@@ -1,0 +1,101 @@
+#include "bench/bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace uvs::bench {
+
+std::vector<int> ScaleSweep() {
+  int max_procs = 8192;
+  if (const char* env = std::getenv("UVS_MAX_PROCS")) max_procs = std::atoi(env);
+  std::vector<int> scales;
+  for (int p = 64; p <= max_procs; p *= 2) scales.push_back(p);
+  if (scales.empty()) scales.push_back(64);
+  return scales;
+}
+
+double Rate(Bytes bytes, Time seconds) {
+  return seconds > 0 ? static_cast<double>(bytes) / seconds / 1e9 : 0.0;
+}
+
+void Emit(const std::string& title, const Table& table) {
+  std::printf("\n== %s ==\n%s", title.c_str(), table.ToString().c_str());
+  if (std::getenv("UVS_CSV") != nullptr) std::printf("%s", table.ToCsv().c_str());
+  std::fflush(stdout);
+}
+
+namespace {
+workload::ScenarioOptions Options(int procs, sched::PlacementPolicy policy, bool workflow) {
+  workload::ScenarioOptions options;
+  options.procs = procs;
+  options.policy = policy;
+  options.workflow_enabled = workflow;
+  return options;
+}
+}  // namespace
+
+UvsSetup MakeUniviStor(int procs, const univistor::Config& config, bool cfs, bool workflow,
+                       int client_programs) {
+  UvsSetup setup;
+  setup.scenario = std::make_unique<workload::Scenario>(
+      Options(procs, cfs ? sched::PlacementPolicy::kCfs
+                         : sched::PlacementPolicy::kInterferenceAware,
+              workflow));
+  setup.system = std::make_unique<univistor::UniviStor>(
+      setup.scenario->runtime(), setup.scenario->pfs(), setup.scenario->workflow(), config);
+  setup.driver = std::make_unique<univistor::UniviStorDriver>(*setup.system);
+  setup.app = setup.scenario->runtime().LaunchProgram("app", procs / client_programs);
+  return setup;
+}
+
+DeSetup MakeDataElevator(int procs, int client_programs) {
+  DeSetup setup;
+  setup.scenario = std::make_unique<workload::Scenario>(
+      Options(procs, sched::PlacementPolicy::kCfs, false));
+  setup.system = std::make_unique<baselines::DataElevator>(setup.scenario->runtime(),
+                                                           setup.scenario->pfs());
+  setup.driver = std::make_unique<baselines::DataElevatorDriver>(*setup.system);
+  setup.app = setup.scenario->runtime().LaunchProgram("app", procs / client_programs);
+  return setup;
+}
+
+LustreSetup MakeLustre(int procs, int client_programs) {
+  LustreSetup setup;
+  setup.scenario = std::make_unique<workload::Scenario>(
+      Options(procs, sched::PlacementPolicy::kCfs, false));
+  setup.driver = std::make_unique<baselines::LustreDriver>(setup.scenario->runtime(),
+                                                           setup.scenario->pfs());
+  setup.app = setup.scenario->runtime().LaunchProgram("app", procs / client_programs);
+  return setup;
+}
+
+Time RunCoupledWorkflow(workload::Scenario& scenario, vmpi::AdioDriver& driver,
+                        vmpi::ProgramId writer, vmpi::ProgramId reader,
+                        const workload::VpicParams& params, bool overlap) {
+  workload::VpicRun vpic(scenario, writer, driver, params);
+  workload::BdcatsRun bdcats(
+      scenario, reader, driver,
+      workload::BdcatsParams{.producer = params,
+                             .producer_ranks = scenario.runtime().ProgramSize(writer)});
+  const Time start = scenario.engine().Now();
+  Time end = start;
+  vpic.Start();
+  if (overlap) {
+    bdcats.Start();
+  } else {
+    scenario.engine().Spawn(
+        [](workload::VpicRun& v, workload::BdcatsRun& b) -> sim::Task {
+          co_await v.done().Wait();
+          b.Start();
+        }(vpic, bdcats));
+  }
+  scenario.engine().Spawn([](workload::BdcatsRun& b, sim::Engine& engine,
+                             Time& done_at) -> sim::Task {
+    co_await b.done().Wait();
+    done_at = engine.Now();
+  }(bdcats, scenario.engine(), end));
+  scenario.engine().Run();
+  return end - start;
+}
+
+}  // namespace uvs::bench

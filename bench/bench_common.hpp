@@ -1,0 +1,75 @@
+// Shared scaffolding for the figure-reproduction benches: builds a fresh
+// simulated machine + storage system per configuration and provides the
+// process-count sweep used throughout the paper's evaluation (64 to 8192
+// ranks in 2x increments).
+//
+// Environment knobs:
+//   UVS_MAX_PROCS  — cap the sweep (default 8192; set e.g. 1024 for a
+//                    quick pass).
+//   UVS_CSV        — also print tables as CSV.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/data_elevator.hpp"
+#include "src/baselines/lustre_driver.hpp"
+#include "src/common/table.hpp"
+#include "src/univistor/driver.hpp"
+#include "src/univistor/system.hpp"
+#include "src/workload/bdcats.hpp"
+#include "src/workload/hdf_micro.hpp"
+#include "src/workload/scenario.hpp"
+#include "src/workload/vpic.hpp"
+
+namespace uvs::bench {
+
+/// 64, 128, ..., UVS_MAX_PROCS (default 8192).
+std::vector<int> ScaleSweep();
+
+/// GB (decimal) per second, the unit the paper's figures use.
+double Rate(Bytes bytes, Time seconds);
+
+/// Prints a figure header + the table (and CSV when UVS_CSV is set).
+void Emit(const std::string& title, const Table& table);
+
+/// A complete UniviStor deployment on a fresh simulated machine.
+struct UvsSetup {
+  std::unique_ptr<workload::Scenario> scenario;
+  std::unique_ptr<univistor::UniviStor> system;
+  std::unique_ptr<univistor::UniviStorDriver> driver;
+  vmpi::ProgramId app = -1;
+};
+
+/// Builds the machine with the paper's defaults (IA placement unless the
+/// config disables it — pass `cfs` to force CFS) and launches `procs`
+/// client ranks.
+UvsSetup MakeUniviStor(int procs, const univistor::Config& config, bool cfs = false,
+                       bool workflow = false, int client_programs = 1);
+
+/// Data Elevator / Lustre deployments (always CFS, as deployed in §III).
+struct DeSetup {
+  std::unique_ptr<workload::Scenario> scenario;
+  std::unique_ptr<baselines::DataElevator> system;
+  std::unique_ptr<baselines::DataElevatorDriver> driver;
+  vmpi::ProgramId app = -1;
+};
+DeSetup MakeDataElevator(int procs, int client_programs = 1);
+
+struct LustreSetup {
+  std::unique_ptr<workload::Scenario> scenario;
+  std::unique_ptr<baselines::LustreDriver> driver;
+  vmpi::ProgramId app = -1;
+};
+LustreSetup MakeLustre(int procs, int client_programs = 1);
+
+/// Runs VPIC-IO (writer program) coupled with BD-CATS-IO (reader program)
+/// and returns the workflow's elapsed time (VPIC start -> BD-CATS end).
+/// Overlap starts both together (coordinated by the workflow manager);
+/// nonoverlap starts BD-CATS after VPIC completes.
+Time RunCoupledWorkflow(workload::Scenario& scenario, vmpi::AdioDriver& driver,
+                        vmpi::ProgramId writer, vmpi::ProgramId reader,
+                        const workload::VpicParams& params, bool overlap);
+
+}  // namespace uvs::bench

@@ -1,0 +1,97 @@
+// google-benchmark microbenchmarks for the discrete-event kernel itself:
+// event dispatch throughput, coroutine spawn/join, channel round-trips,
+// and the fair-share pool under churn. These bound how large a simulated
+// machine the figure benches can afford.
+#include <benchmark/benchmark.h>
+
+#include "src/sim/channel.hpp"
+#include "src/sim/combinators.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/fair_share.hpp"
+
+namespace uvs::sim {
+namespace {
+
+void BM_EngineDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    Engine engine;
+    for (int i = 0; i < 1000; ++i) engine.Schedule(static_cast<Time>(i), [] {});
+    engine.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineDispatch);
+
+Task Sleeper(Engine& engine, Time dt) { co_await engine.Delay(dt); }
+
+void BM_SpawnJoin(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Engine engine;
+    for (int i = 0; i < procs; ++i) engine.Spawn(Sleeper(engine, static_cast<Time>(i)));
+    engine.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * procs);
+}
+BENCHMARK(BM_SpawnJoin)->Arg(100)->Arg(10000);
+
+Task PingPong(Engine& engine, Channel<int>& ping, Channel<int>& pong, int rounds) {
+  (void)engine;
+  for (int i = 0; i < rounds; ++i) {
+    ping.Send(i);
+    benchmark::DoNotOptimize(co_await pong.Recv());
+  }
+}
+
+Task Echo(Channel<int>& ping, Channel<int>& pong, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    int v = co_await ping.Recv();
+    pong.Send(v);
+  }
+}
+
+void BM_ChannelPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    Engine engine;
+    Channel<int> ping(engine), pong(engine);
+    engine.Spawn(PingPong(engine, ping, pong, 1000));
+    engine.Spawn(Echo(ping, pong, 1000));
+    engine.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ChannelPingPong);
+
+Task DoTransfer(FairSharePool& pool, Bytes bytes) { co_await pool.Transfer(bytes); }
+
+void BM_FairShareChurn(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Engine engine;
+    FairSharePool pool(engine, {.capacity = 1e9});
+    for (int i = 0; i < flows; ++i)
+      engine.Spawn(DoTransfer(pool, 1000 + static_cast<Bytes>(i) * 37));
+    engine.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FairShareChurn)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_WhenAllFanout(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Engine engine;
+    std::vector<Task> tasks;
+    tasks.reserve(static_cast<std::size_t>(width));
+    for (int i = 0; i < width; ++i) tasks.push_back(Sleeper(engine, 1.0));
+    engine.Spawn(WhenAll(engine, std::move(tasks)));
+    engine.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * width);
+}
+BENCHMARK(BM_WhenAllFanout)->Arg(16)->Arg(256);
+
+}  // namespace
+}  // namespace uvs::sim
+
+BENCHMARK_MAIN();

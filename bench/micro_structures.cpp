@@ -1,0 +1,117 @@
+// google-benchmark microbenchmarks for the core data structures: the
+// log-structured store, virtual-address codec, range partitioner,
+// distributed metadata service, and adaptive striping planner.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.hpp"
+#include "src/kv/range_partitioner.hpp"
+#include "src/meta/service.hpp"
+#include "src/placement/striping.hpp"
+#include "src/placement/virtual_address.hpp"
+#include "src/storage/log_file.hpp"
+
+namespace uvs {
+namespace {
+
+void BM_LogAppend(benchmark::State& state) {
+  const auto segment = static_cast<Bytes>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    storage::LogFile log(1_GiB, 32_MiB);
+    state.ResumeTiming();
+    while (log.appendable() >= segment) benchmark::DoNotOptimize(log.AppendUpTo(segment));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(1_GiB));
+}
+BENCHMARK(BM_LogAppend)->Arg(64 << 10)->Arg(1 << 20)->Arg(32 << 20);
+
+void BM_LogAppendFreeChurn(benchmark::State& state) {
+  storage::LogFile log(256_MiB, 8_MiB);
+  Rng rng(42);
+  std::vector<storage::Extent> live;
+  for (auto _ : state) {
+    if (live.size() < 8 || rng.NextDouble() < 0.5) {
+      auto extents = log.AppendUpTo(1 + rng.NextBelow(4_MiB));
+      live.insert(live.end(), extents.begin(), extents.end());
+      if (extents.empty() && !live.empty()) {
+        (void)log.Free(live.back());
+        live.pop_back();
+      }
+    } else {
+      (void)log.Free(live.back());
+      live.pop_back();
+    }
+  }
+}
+BENCHMARK(BM_LogAppendFreeChurn);
+
+void BM_VirtualAddressEncode(benchmark::State& state) {
+  placement::VirtualAddressCodec codec({1_GiB, 0, 16_GiB, 0});
+  Bytes addr = 0;
+  for (auto _ : state) {
+    addr = (addr + 4097) % 16_GiB;
+    benchmark::DoNotOptimize(codec.Encode(hw::Layer::kSharedBurstBuffer, addr));
+  }
+}
+BENCHMARK(BM_VirtualAddressEncode);
+
+void BM_VirtualAddressDecode(benchmark::State& state) {
+  placement::VirtualAddressCodec codec({1_GiB, 0, 16_GiB, 0});
+  Bytes va = 0;
+  for (auto _ : state) {
+    va = (va + 4097) % 17_GiB;
+    benchmark::DoNotOptimize(codec.Decode(va));
+  }
+}
+BENCHMARK(BM_VirtualAddressDecode);
+
+void BM_RangePartitionerServersFor(benchmark::State& state) {
+  kv::RangePartitioner part(static_cast<int>(state.range(0)), 8_MiB);
+  Bytes offset = 0;
+  for (auto _ : state) {
+    offset = (offset + 123457) % 1_TiB;
+    benchmark::DoNotOptimize(part.ServersFor(offset, 256_MiB));
+  }
+}
+BENCHMARK(BM_RangePartitionerServersFor)->Arg(16)->Arg(512);
+
+void BM_MetadataInsert(benchmark::State& state) {
+  const int servers = static_cast<int>(state.range(0));
+  meta::DistributedMetadataService service(servers, 8_MiB);
+  Bytes offset = 0;
+  std::int64_t producer = 0;
+  for (auto _ : state) {
+    service.Insert({1, offset, 32_MiB, producer++, offset});
+    offset += 32_MiB;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetadataInsert)->Arg(16)->Arg(512);
+
+void BM_MetadataQuery(benchmark::State& state) {
+  meta::DistributedMetadataService service(64, 8_MiB);
+  for (Bytes off = 0; off < 64_GiB; off += 32_MiB)
+    service.Insert({1, off, 32_MiB, static_cast<std::int64_t>(off), off});
+  Rng rng(7);
+  for (auto _ : state) {
+    const Bytes off = rng.NextBelow(63) * 1_GiB;
+    benchmark::DoNotOptimize(service.Query(1, off, 256_MiB));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetadataQuery);
+
+void BM_AdaptiveStripingPlan(benchmark::State& state) {
+  const int servers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        placement::PlanAdaptiveStriping(2_TiB, servers, 248, placement::StripingParams{}));
+  }
+}
+BENCHMARK(BM_AdaptiveStripingPlan)->Arg(16)->Arg(512)->Arg(4096);
+
+}  // namespace
+}  // namespace uvs
+
+BENCHMARK_MAIN();

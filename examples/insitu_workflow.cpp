@@ -1,0 +1,79 @@
+// In-situ analysis workflow: a VPIC-IO producer and a BD-CATS-IO consumer
+// coupled through UniviStor's lightweight workflow management (§II-E).
+//
+//   $ ./build/examples/insitu_workflow
+//
+// Both programs run in the same job. With ENABLE_WORKFLOW semantics on,
+// the consumer's collective open of each time-step file blocks until the
+// producer's close releases the write lock — so the analysis runs
+// *during* the simulation (overlap) without ever reading a half-written
+// file. The example runs the same workflow in overlap and nonoverlap
+// modes and prints the speedup.
+#include <cstdio>
+
+#include "src/common/strings.hpp"
+#include "src/univistor/driver.hpp"
+#include "src/univistor/system.hpp"
+#include "src/workload/bdcats.hpp"
+#include "src/workload/scenario.hpp"
+#include "src/workload/vpic.hpp"
+
+using namespace uvs;
+
+namespace {
+
+Time RunMode(bool overlap) {
+  constexpr int kProcs = 128;  // half to the producer, half to the analysis
+  workload::Scenario scenario(
+      workload::ScenarioOptions{.procs = kProcs, .workflow_enabled = true});
+  univistor::UniviStor univistor(scenario.runtime(), scenario.pfs(), scenario.workflow(),
+                                 univistor::Config{});
+  univistor::UniviStorDriver driver(univistor);
+
+  const auto producer = scenario.runtime().LaunchProgram("vpic", kProcs / 2);
+  const auto consumer = scenario.runtime().LaunchProgram("bdcats", kProcs / 2);
+
+  const workload::VpicParams params{.steps = 5,
+                                    .vars = 8,
+                                    .bytes_per_var = 32_MiB,
+                                    .compute_time = 0.0,
+                                    .file_prefix = "insitu"};
+  workload::VpicRun vpic(scenario, producer, driver, params);
+  workload::BdcatsRun bdcats(scenario, consumer, driver,
+                             workload::BdcatsParams{.producer = params,
+                                                    .producer_ranks = kProcs / 2});
+
+  const Time start = scenario.engine().Now();
+  Time end = start;
+  vpic.Start();
+  if (overlap) {
+    bdcats.Start();  // blocks on the workflow locks, not on stale data
+  } else {
+    scenario.engine().Spawn([](workload::VpicRun& v, workload::BdcatsRun& b) -> sim::Task {
+      co_await v.done().Wait();
+      b.Start();
+    }(vpic, bdcats));
+  }
+  scenario.engine().Spawn([](workload::BdcatsRun& b, sim::Engine& engine,
+                             Time& done_at) -> sim::Task {
+    co_await b.done().Wait();
+    done_at = engine.Now();
+  }(bdcats, scenario.engine(), end));
+  scenario.engine().Run();
+
+  std::printf("  %-10s producer writes %s, consumer reads %s, elapsed %s\n",
+              overlap ? "overlap:" : "nonoverlap:",
+              HumanTime(vpic.result().write_time).c_str(),
+              HumanTime(bdcats.result().read_time).c_str(), HumanTime(end - start).c_str());
+  return end - start;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("In-situ workflow: 5-step VPIC-IO producer + BD-CATS-IO consumer\n");
+  const Time overlap = RunMode(true);
+  const Time nonoverlap = RunMode(false);
+  std::printf("\nworkflow-managed overlap speedup: %.2fx\n", nonoverlap / overlap);
+  return 0;
+}

@@ -1,0 +1,215 @@
+#include "src/baselines/data_elevator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.hpp"
+#include "src/placement/striping.hpp"
+#include "src/sim/combinators.hpp"
+
+namespace uvs::baselines {
+
+namespace {
+sim::Task PoolLeg(sim::FairSharePool& pool, Bytes bytes) { co_await pool.Transfer(bytes); }
+sim::Task BbLeg(hw::BurstBuffer& bb, int node, Bytes bytes, double inflation) {
+  co_await bb.Access(node, bytes, inflation);
+}
+}  // namespace
+
+DataElevator::DataElevator(vmpi::Runtime& runtime, storage::Pfs& pfs, Options options)
+    : runtime_(&runtime),
+      pfs_(&pfs),
+      options_(options),
+      mds_(std::make_unique<sim::Mutex>(runtime.engine())) {
+  total_servers_ = runtime.cluster().node_count() * options_.servers_per_node;
+  server_program_ = runtime.LaunchProgram("de-server", total_servers_, /*is_server=*/true);
+  for (int s = 0; s < total_servers_; ++s) runtime.SetRankBusy(server_program_, s, false);
+}
+
+DataElevator::DataElevator(vmpi::Runtime& runtime, storage::Pfs& pfs)
+    : DataElevator(runtime, pfs, Options{}) {}
+
+storage::FileId DataElevator::OpenOrCreate(const std::string& name) {
+  if (auto it = names_.find(name); it != names_.end()) return it->second;
+  const auto fid = static_cast<storage::FileId>(files_.size());
+  names_.emplace(name, fid);
+  auto info = std::make_unique<FileInfo>();
+  info->name = name;
+  files_.push_back(std::move(info));
+  return fid;
+}
+
+DataElevator::FileInfo& DataElevator::Info(storage::FileId fid) {
+  return *files_.at(static_cast<std::size_t>(fid));
+}
+
+sim::Task DataElevator::OpenMetadata(vmpi::ProgramId program, int rank) {
+  (void)program;
+  (void)rank;
+  co_await runtime_->engine().Delay(runtime_->cluster().burst_buffer().params().latency);
+  auto guard = co_await mds_->Lock();
+  co_await runtime_->engine().Delay(static_cast<double>(options_.md_ops_per_open) *
+                                    runtime_->cluster().params().rpc_service_time);
+}
+
+double DataElevator::BbInflation(const FileInfo& info, bool read) const {
+  const int peers = read ? info.active_readers : info.active_writers;
+  if (peers <= 1) return 1.0;
+  double penalty = runtime_->cluster().burst_buffer().params().shared_file_lock_penalty;
+  if (read) penalty *= 0.5;
+  return 1.0 + penalty * std::log2(static_cast<double>(peers));
+}
+
+sim::Task DataElevator::BbAccess(vmpi::ProgramId program, int rank, FileInfo& info,
+                                 Bytes offset, Bytes len, bool read) {
+  hw::Cluster& cluster = runtime_->cluster();
+  const int node = runtime_->Rank(program, rank).node;
+  int& active = read ? info.active_readers : info.active_writers;
+  ++active;
+  const double inflation = BbInflation(info, read);
+
+  const int bb_nodes = cluster.burst_buffer().node_count();
+  const int streams = std::min(options_.bb_streams_per_write, bb_nodes);
+  const Bytes base = len / static_cast<Bytes>(streams);
+
+  std::vector<sim::Task> legs;
+  legs.push_back(PoolLeg(runtime_->RankCpu(program, rank), len));
+  legs.push_back(
+      PoolLeg(read ? cluster.node(node).nic_rx() : cluster.node(node).nic_tx(), len));
+  // DataWarp stripes the shared file across BB nodes; the rank's range
+  // maps onto `streams` of them. Mix the stripe index so power-of-two
+  // offsets do not all alias onto the same BB nodes.
+  std::uint64_t mix = offset / 8_MiB;
+  mix = SplitMix64(mix);
+  const int first = static_cast<int>(mix % static_cast<std::uint64_t>(bb_nodes));
+  for (int s = 0; s < streams; ++s) {
+    const Bytes piece = s + 1 == streams ? len - base * static_cast<Bytes>(streams - 1) : base;
+    if (piece > 0) legs.push_back(BbLeg(cluster.burst_buffer(), (first + s) % bb_nodes,
+                                        piece, inflation));
+  }
+  co_await sim::WhenAll(cluster.engine(), std::move(legs));
+  --active;
+}
+
+sim::Task DataElevator::Write(vmpi::ProgramId program, int rank, storage::FileId fid,
+                              Bytes offset, Bytes len) {
+  FileInfo& info = Info(fid);
+  info.logical_size = std::max(info.logical_size, offset + len);
+  info.cached_bytes += len;
+  co_await BbAccess(program, rank, info, offset, len, /*read=*/false);
+}
+
+sim::Task DataElevator::Read(vmpi::ProgramId program, int rank, storage::FileId fid,
+                             Bytes offset, Bytes len) {
+  FileInfo& info = Info(fid);
+  if (info.cached_bytes > 0) {
+    co_await BbAccess(program, rank, info, offset, len, /*read=*/true);
+  } else {
+    // Not cached: fall through to Lustre.
+    if (info.pfs_file < 0) co_return;
+    const int node = runtime_->Rank(program, rank).node;
+    co_await pfs_->Read(info.pfs_file, offset, len, node,
+                        {.layout = storage::AccessLayout::kSharedInterleaved});
+  }
+}
+
+sim::Task DataElevator::ServerFlushShare(FileInfo& info, int server_idx, Bytes range_offset,
+                                         Bytes bytes) {
+  hw::Cluster& cluster = runtime_->cluster();
+  const int node = server_idx / options_.servers_per_node;
+  runtime_->SetRankBusy(server_program_, server_idx, true);
+  // Data Elevator is a staged copier: it reads a region from the BB, then
+  // writes it to Lustre (no read/write pipelining, unlike UniviStor's
+  // flush whose legs overlap).
+  std::vector<sim::Task> read_legs;
+  read_legs.push_back(BbLeg(cluster.burst_buffer(),
+                            server_idx % cluster.burst_buffer().node_count(), bytes, 1.0));
+  read_legs.push_back(PoolLeg(cluster.node(node).nic_rx(), bytes));
+  read_legs.push_back(PoolLeg(runtime_->RankCpu(server_program_, server_idx), bytes));
+  co_await sim::WhenAll(cluster.engine(), std::move(read_legs));
+  // Write to Lustre with the non-adaptive default striping.
+  co_await pfs_->Write(info.pfs_file, range_offset, bytes, node,
+                       {.layout = storage::AccessLayout::kAlignedRanges,
+                        .coordinated = false});
+  runtime_->SetRankBusy(server_program_, server_idx, false);
+}
+
+sim::Task DataElevator::FlushTask(storage::FileId fid) {
+  FileInfo& info = Info(fid);
+  const Time start = runtime_->engine().Now();
+  const Bytes total = info.cached_bytes;
+  if (total == 0) {
+    info.flush_in_flight = false;
+    co_return;
+  }
+  if (info.pfs_file < 0) {
+    info.pfs_file =
+        pfs_->Create(info.name, storage::StripeConfig{.stripe_size = 1_MiB,
+                                                      .stripe_count = pfs_->ost_count()});
+  }
+  const auto plan =
+      placement::PlanDefaultStriping(total, total_servers_, pfs_->ost_count());
+  std::vector<sim::Task> shares;
+  Bytes range_offset = 0;
+  for (int s = 0; s < total_servers_; ++s) {
+    const Bytes share = plan.RangeBytesFor(s, total);
+    shares.push_back(ServerFlushShare(info, s, range_offset, share));
+    range_offset += share;
+  }
+  co_await sim::WhenAll(runtime_->engine(), std::move(shares));
+  flush_stats_.flushes += 1;
+  flush_stats_.bytes_flushed += total;
+  flush_stats_.last_flush_duration = runtime_->engine().Now() - start;
+  info.flush_in_flight = false;
+}
+
+void DataElevator::TriggerFlush(storage::FileId fid) {
+  FileInfo& info = Info(fid);
+  if (info.flush_in_flight) return;
+  info.flush_in_flight = true;
+  info.flush_process = runtime_->engine().Spawn(FlushTask(fid), "de-flush:" + info.name);
+}
+
+sim::Task DataElevator::WaitFlush(storage::FileId fid) {
+  FileInfo& info = Info(fid);
+  if (info.flush_process.valid() && !info.flush_process.finished())
+    co_await info.flush_process.Done().Wait();
+}
+
+// --- Driver face. ---
+
+DataElevatorDriver::State& DataElevatorDriver::StateOf(vmpi::File& file) {
+  if (auto* state = file.driver_state<State>()) return *state;
+  auto& state = file.EmplaceDriverState<State>();
+  state.fid = system_->OpenOrCreate(file.options().name);
+  return state;
+}
+
+sim::Task DataElevatorDriver::Open(vmpi::File& file, int rank) {
+  StateOf(file);
+  co_await system_->OpenMetadata(file.program(), rank);
+}
+
+sim::Task DataElevatorDriver::WriteAt(vmpi::File& file, int rank, Bytes offset, Bytes len) {
+  return system_->Write(file.program(), rank, StateOf(file).fid, offset, len);
+}
+
+sim::Task DataElevatorDriver::ReadAt(vmpi::File& file, int rank, Bytes offset, Bytes len) {
+  return system_->Read(file.program(), rank, StateOf(file).fid, offset, len);
+}
+
+sim::Task DataElevatorDriver::Close(vmpi::File& file, int rank) {
+  State& state = StateOf(file);
+  ++state.closes;
+  co_await system_->OpenMetadata(file.program(), rank);  // close-time metadata
+  if (state.closes == file.comm().size() &&
+      file.options().mode == vmpi::FileMode::kWriteOnly) {
+    system_->TriggerFlush(state.fid);
+  }
+}
+
+sim::Task DataElevatorDriver::WaitFlush(vmpi::File& file) {
+  return system_->WaitFlush(StateOf(file).fid);
+}
+
+}  // namespace uvs::baselines

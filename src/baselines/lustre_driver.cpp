@@ -1,0 +1,68 @@
+#include "src/baselines/lustre_driver.hpp"
+
+#include "src/sim/combinators.hpp"
+
+namespace uvs::baselines {
+
+namespace {
+sim::Task PoolLeg(sim::FairSharePool& pool, Bytes bytes) { co_await pool.Transfer(bytes); }
+}  // namespace
+
+LustreDriver::LustreDriver(vmpi::Runtime& runtime, storage::Pfs& pfs, Options options)
+    : runtime_(&runtime),
+      pfs_(&pfs),
+      options_(options),
+      mds_(std::make_unique<sim::Mutex>(runtime.engine())) {}
+
+LustreDriver::LustreDriver(vmpi::Runtime& runtime, storage::Pfs& pfs)
+    : LustreDriver(runtime, pfs, Options{}) {}
+
+LustreDriver::State& LustreDriver::StateOf(vmpi::File& file) {
+  if (auto* state = file.driver_state<State>()) return *state;
+  auto& state = file.EmplaceDriverState<State>();
+  auto existing = pfs_->Lookup(file.options().name);
+  state.handle = existing.ok() ? *existing : pfs_->Create(file.options().name, options_.stripe);
+  return state;
+}
+
+sim::Task LustreDriver::MdsOp(int node, int ops) {
+  const auto& params = runtime_->cluster().params();
+  co_await runtime_->cluster().engine().Delay(params.pfs.latency);
+  (void)node;
+  auto guard = co_await mds_->Lock();
+  co_await runtime_->cluster().engine().Delay(static_cast<double>(ops) *
+                                              params.rpc_service_time);
+}
+
+sim::Task LustreDriver::Open(vmpi::File& file, int rank) {
+  StateOf(file);
+  const int node = runtime_->Rank(file.program(), rank).node;
+  co_await MdsOp(node, options_.md_ops_per_open);
+}
+
+sim::Task LustreDriver::WriteAt(vmpi::File& file, int rank, Bytes offset, Bytes len) {
+  State& state = StateOf(file);
+  const int node = runtime_->Rank(file.program(), rank).node;
+  std::vector<sim::Task> legs;
+  legs.push_back(PoolLeg(runtime_->RankCpu(file.program(), rank), len));
+  legs.push_back(pfs_->Write(state.handle, offset, len, node,
+                             {.layout = storage::AccessLayout::kSharedInterleaved}));
+  co_await sim::WhenAll(runtime_->engine(), std::move(legs));
+}
+
+sim::Task LustreDriver::ReadAt(vmpi::File& file, int rank, Bytes offset, Bytes len) {
+  State& state = StateOf(file);
+  const int node = runtime_->Rank(file.program(), rank).node;
+  std::vector<sim::Task> legs;
+  legs.push_back(PoolLeg(runtime_->RankCpu(file.program(), rank), len));
+  legs.push_back(pfs_->Read(state.handle, offset, len, node,
+                            {.layout = storage::AccessLayout::kSharedInterleaved}));
+  co_await sim::WhenAll(runtime_->engine(), std::move(legs));
+}
+
+sim::Task LustreDriver::Close(vmpi::File& file, int rank) {
+  const int node = runtime_->Rank(file.program(), rank).node;
+  co_await MdsOp(node, 1);
+}
+
+}  // namespace uvs::baselines

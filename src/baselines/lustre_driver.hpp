@@ -1,0 +1,52 @@
+// Lustre baseline: applications write one shared (HDF5) file straight to
+// the disk-based PFS, with no caching layer (§III-A "Comparisons").
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/sim/sync.hpp"
+#include "src/storage/pfs.hpp"
+#include "src/vmpi/file.hpp"
+#include "src/vmpi/runtime.hpp"
+
+namespace uvs::baselines {
+
+class LustreDriver : public vmpi::AdioDriver {
+ public:
+  struct Options {
+    /// Stripe settings for newly created shared files; VPIC-style large
+    /// shared files on Cori are striped across all OSTs (the "simple and
+    /// widely used approach" of §II-D).
+    storage::StripeConfig stripe{.stripe_size = 1_MiB, .stripe_count = 248};
+    /// HDF5 metadata requests per open/close; every rank pays them (no
+    /// collective optimization in the baseline).
+    int md_ops_per_open = 4;
+  };
+
+  LustreDriver(vmpi::Runtime& runtime, storage::Pfs& pfs, Options options);
+  LustreDriver(vmpi::Runtime& runtime, storage::Pfs& pfs);
+
+  const char* fs_type() const override { return "lustre"; }
+
+  sim::Task Open(vmpi::File& file, int rank) override;
+  sim::Task WriteAt(vmpi::File& file, int rank, Bytes offset, Bytes len) override;
+  sim::Task ReadAt(vmpi::File& file, int rank, Bytes offset, Bytes len) override;
+  sim::Task Close(vmpi::File& file, int rank) override;
+
+ private:
+  struct State {
+    storage::Pfs::FileHandle handle = -1;
+  };
+  State& StateOf(vmpi::File& file);
+  /// Serialized metadata-server service (Lustre MDS).
+  sim::Task MdsOp(int node, int ops);
+
+  vmpi::Runtime* runtime_;
+  storage::Pfs* pfs_;
+  Options options_;
+  std::unique_ptr<sim::Mutex> mds_;
+};
+
+}  // namespace uvs::baselines

@@ -1,0 +1,50 @@
+#include "src/common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+#include "src/common/status.hpp"
+
+namespace uvs {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+namespace internal {
+void LogLine(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
+}
+}  // namespace internal
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "?";
+}
+
+}  // namespace uvs

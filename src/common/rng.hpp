@@ -1,0 +1,72 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// All stochastic choices in the simulator draw from an explicitly seeded
+// Xoshiro256** stream so runs are reproducible bit-for-bit; there is no
+// global RNG state.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace uvs {
+
+/// SplitMix64 step, used to seed Xoshiro from a single 64-bit seed.
+constexpr std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Xoshiro256** generator; satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bull) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform integer in [0, bound) without modulo bias for small bounds.
+  std::uint64_t NextBelow(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // Rejection sampling over the top of the range.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// A statistically independent child stream (for per-entity RNGs).
+  Rng Fork() { return Rng((*this)() ^ 0x6a09e667f3bcc908ull); }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace uvs

@@ -1,0 +1,60 @@
+// Running statistics and simple fixed-bucket histograms for measurements.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uvs {
+
+/// Streaming mean / min / max / variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+  std::string ToString() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-width linear histogram over [lo, hi); out-of-range goes to the
+/// edge buckets. Used by benches to report load-balance distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void Add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  std::uint64_t total() const { return total_; }
+
+  /// Smallest x such that at least `q` fraction of samples are <= x
+  /// (bucket-granular approximation).
+  double Quantile(double q) const;
+
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace uvs

@@ -1,0 +1,119 @@
+// Minimal Status / Result<T> error-handling vocabulary (std::expected is
+// C++23; this is the subset the library needs, with the same shape).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace uvs {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode ("OK", "NOT_FOUND", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Error-or-OK result of an operation; cheap to copy when OK.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  static Status Ok() { return Status{}; }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "NOT_FOUND: no such file" or "OK".
+  std::string ToString() const {
+    return ok() ? "OK" : std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status InvalidArgumentError(std::string msg) {
+  return {StatusCode::kInvalidArgument, std::move(msg)};
+}
+inline Status NotFoundError(std::string msg) { return {StatusCode::kNotFound, std::move(msg)}; }
+inline Status AlreadyExistsError(std::string msg) {
+  return {StatusCode::kAlreadyExists, std::move(msg)};
+}
+inline Status OutOfRangeError(std::string msg) { return {StatusCode::kOutOfRange, std::move(msg)}; }
+inline Status ResourceExhaustedError(std::string msg) {
+  return {StatusCode::kResourceExhausted, std::move(msg)};
+}
+inline Status FailedPreconditionError(std::string msg) {
+  return {StatusCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status UnavailableError(std::string msg) {
+  return {StatusCode::kUnavailable, std::move(msg)};
+}
+inline Status InternalError(std::string msg) { return {StatusCode::kInternal, std::move(msg)}; }
+
+/// Value-or-Status. `Result<T>` is OK iff it holds a value.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : rep_(std::in_place_index<0>, std::move(value)) {}
+  Result(Status status) : rep_(std::in_place_index<1>, std::move(status)) {
+    assert(!std::get<1>(rep_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return rep_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<0>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<0>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const { return ok() ? Status::Ok() : std::get<1>(rep_); }
+
+  /// Value if OK, otherwise `fallback`.
+  T value_or(T fallback) const { return ok() ? std::get<0>(rep_) : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace uvs
+
+/// Propagate a non-OK Status from an expression, like absl's RETURN_IF_ERROR.
+#define UVS_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::uvs::Status uvs_status_ = (expr);      \
+    if (!uvs_status_.ok()) return uvs_status_; \
+  } while (false)

@@ -1,0 +1,43 @@
+#include "src/common/strings.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace uvs {
+
+std::string FormatDouble(double v, int precision) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", precision, v);
+  return buf.data();
+}
+
+std::string HumanBytes(Bytes n) {
+  static constexpr const char* kSuffix[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  double v = static_cast<double>(n);
+  std::size_t i = 0;
+  while (v >= 1024.0 && i + 1 < std::size(kSuffix)) {
+    v /= 1024.0;
+    ++i;
+  }
+  return FormatDouble(v, i == 0 ? 0 : 1) + " " + kSuffix[i];
+}
+
+std::string HumanRate(Bandwidth r) {
+  static constexpr const char* kSuffix[] = {"B/s", "KB/s", "MB/s", "GB/s", "TB/s"};
+  double v = r;
+  std::size_t i = 0;
+  while (v >= 1000.0 && i + 1 < std::size(kSuffix)) {
+    v /= 1000.0;
+    ++i;
+  }
+  return FormatDouble(v, 2) + " " + kSuffix[i];
+}
+
+std::string HumanTime(Time s) {
+  if (s >= 1.0) return FormatDouble(s, 2) + " s";
+  if (s >= 1e-3) return FormatDouble(s * 1e3, 2) + " ms";
+  if (s >= 1e-6) return FormatDouble(s * 1e6, 2) + " us";
+  return FormatDouble(s * 1e9, 2) + " ns";
+}
+
+}  // namespace uvs

@@ -1,0 +1,22 @@
+// Human-readable formatting of byte counts, rates, and durations.
+#pragma once
+
+#include <string>
+
+#include "src/common/units.hpp"
+
+namespace uvs {
+
+/// "256.0 MiB", "1.5 GiB", ...
+std::string HumanBytes(Bytes n);
+
+/// "2.80 GB/s", "512.0 MB/s", ... (decimal units, as vendors quote).
+std::string HumanRate(Bandwidth bytes_per_sec);
+
+/// "1.23 s", "45.6 ms", "7.8 us".
+std::string HumanTime(Time seconds);
+
+/// printf-style double with fixed precision, without stream boilerplate.
+std::string FormatDouble(double v, int precision = 2);
+
+}  // namespace uvs

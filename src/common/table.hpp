@@ -1,0 +1,34 @@
+// Column-aligned ASCII table printer used by the benchmark harnesses to
+// emit the rows/series that correspond to the paper's figures.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace uvs {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Formats doubles with the given precision.
+  void AddNumericRow(const std::vector<double>& row, int precision = 2);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with a separator under the header and right-aligned columns.
+  std::string ToString() const;
+
+  /// Renders as comma-separated values (for piping into plotting scripts).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace uvs

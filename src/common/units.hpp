@@ -1,0 +1,48 @@
+// Byte-size, time, and bandwidth units used throughout the simulator.
+//
+// Simulation time is a double in seconds (sim::Time). Byte counts are
+// unsigned 64-bit. Bandwidth is bytes per second as a double. The literal
+// suffixes make device/parameter tables readable: `256_MiB`, `2.8_GBps`.
+#pragma once
+
+#include <cstdint>
+
+namespace uvs {
+
+using Bytes = std::uint64_t;
+
+/// Bytes per second.
+using Bandwidth = double;
+
+/// Simulation time in seconds.
+using Time = double;
+
+inline namespace literals {
+
+constexpr Bytes operator""_KiB(unsigned long long v) { return v * 1024ull; }
+constexpr Bytes operator""_MiB(unsigned long long v) { return v * 1024ull * 1024ull; }
+constexpr Bytes operator""_GiB(unsigned long long v) { return v * 1024ull * 1024ull * 1024ull; }
+constexpr Bytes operator""_TiB(unsigned long long v) {
+  return v * 1024ull * 1024ull * 1024ull * 1024ull;
+}
+
+/// Decimal giga-bytes-per-second, the unit vendors quote for devices.
+constexpr Bandwidth operator""_GBps(long double v) { return static_cast<Bandwidth>(v) * 1e9; }
+constexpr Bandwidth operator""_GBps(unsigned long long v) {
+  return static_cast<Bandwidth>(v) * 1e9;
+}
+constexpr Bandwidth operator""_MBps(long double v) { return static_cast<Bandwidth>(v) * 1e6; }
+constexpr Bandwidth operator""_MBps(unsigned long long v) {
+  return static_cast<Bandwidth>(v) * 1e6;
+}
+
+constexpr Time operator""_us(long double v) { return static_cast<Time>(v) * 1e-6; }
+constexpr Time operator""_us(unsigned long long v) { return static_cast<Time>(v) * 1e-6; }
+constexpr Time operator""_ms(long double v) { return static_cast<Time>(v) * 1e-3; }
+constexpr Time operator""_ms(unsigned long long v) { return static_cast<Time>(v) * 1e-3; }
+constexpr Time operator""_sec(long double v) { return static_cast<Time>(v); }
+constexpr Time operator""_sec(unsigned long long v) { return static_cast<Time>(v); }
+
+}  // namespace literals
+
+}  // namespace uvs

@@ -1,0 +1,23 @@
+#include "src/h5lite/h5file.hpp"
+
+namespace uvs::h5lite {
+
+H5File::H5File(vmpi::Runtime& runtime, vmpi::ProgramId program, std::string name,
+               vmpi::FileMode mode, vmpi::AdioDriver& driver,
+               std::vector<DatasetSpec> datasets)
+    : file_(std::make_unique<vmpi::File>(
+          runtime, program, vmpi::FileOptions{std::move(name), mode, /*hdf5=*/true}, driver)),
+      ranks_(runtime.ProgramSize(program)),
+      datasets_(std::move(datasets)) {}
+
+Bytes H5File::DatasetOffset(int i) const {
+  Bytes offset = kHeaderBytes;
+  for (int d = 0; d < i; ++d)
+    offset += datasets_[static_cast<std::size_t>(d)].bytes_per_rank() *
+              static_cast<Bytes>(ranks_);
+  return offset;
+}
+
+Bytes H5File::TotalBytes() const { return DatasetOffset(dataset_count()); }
+
+}  // namespace uvs::h5lite

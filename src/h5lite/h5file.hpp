@@ -1,0 +1,67 @@
+// Minimal HDF5-like container over the MPI-IO layer: a metadata header
+// followed by contiguous named datasets, each split into equal per-rank
+// slices. Enough structure to exercise the paper's HDF5-over-MPI-IO
+// stacking (§II-F): the superblock/metadata region lives at offset 0 and
+// is what the collective open/close optimization avoids hammering.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/units.hpp"
+#include "src/vmpi/file.hpp"
+
+namespace uvs::h5lite {
+
+struct DatasetSpec {
+  std::string name;
+  Bytes elem_size = 8;
+  std::uint64_t elems_per_rank = 0;
+
+  Bytes bytes_per_rank() const { return elem_size * elems_per_rank; }
+};
+
+class H5File {
+ public:
+  /// Header (superblock + object headers) reserved at the file's start.
+  static constexpr Bytes kHeaderBytes = 64_KiB;
+
+  H5File(vmpi::Runtime& runtime, vmpi::ProgramId program, std::string name,
+         vmpi::FileMode mode, vmpi::AdioDriver& driver, std::vector<DatasetSpec> datasets);
+
+  vmpi::File& file() { return *file_; }
+  int ranks() const { return ranks_; }
+  int dataset_count() const { return static_cast<int>(datasets_.size()); }
+  const DatasetSpec& dataset(int i) const {
+    return datasets_.at(static_cast<std::size_t>(i));
+  }
+
+  /// Start of dataset `i`'s data region.
+  Bytes DatasetOffset(int i) const;
+  /// Where rank `rank`'s slice of dataset `i` begins.
+  Bytes SliceOffset(int i, int rank) const {
+    return DatasetOffset(i) + static_cast<Bytes>(rank) * dataset(i).bytes_per_rank();
+  }
+  /// Header plus all datasets.
+  Bytes TotalBytes() const;
+
+  // Collective operations (every rank calls each).
+  sim::Task Open(int rank) { return file_->Open(rank); }
+  sim::Task Close(int rank) { return file_->Close(rank); }
+  sim::Task WriteSlice(int rank, int dataset) {
+    return file_->WriteAt(rank, SliceOffset(dataset, rank), this->dataset(dataset).bytes_per_rank());
+  }
+  sim::Task ReadSlice(int rank, int dataset) {
+    return file_->ReadAt(rank, SliceOffset(dataset, rank), this->dataset(dataset).bytes_per_rank());
+  }
+  sim::Task WaitFlush() { return file_->driver().WaitFlush(*file_); }
+
+ private:
+  std::unique_ptr<vmpi::File> file_;
+  int ranks_;
+  std::vector<DatasetSpec> datasets_;
+};
+
+}  // namespace uvs::h5lite

@@ -1,0 +1,30 @@
+#include "src/hw/burst_buffer.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <string>
+
+namespace uvs::hw {
+
+BurstBuffer::BurstBuffer(sim::Engine& engine, const BurstBufferParams& params)
+    : params_(params), engine_(&engine) {
+  pools_.reserve(static_cast<std::size_t>(params.bb_nodes));
+  for (int i = 0; i < params.bb_nodes; ++i) {
+    pools_.push_back(std::make_unique<sim::FairSharePool>(
+        engine, sim::FairSharePool::Options{.name = "bb" + std::to_string(i),
+                                            .capacity = params.bw_per_bb_node}));
+  }
+}
+
+Bytes BurstBuffer::total_capacity() const {
+  return params_.capacity_per_bb_node * static_cast<Bytes>(params_.bb_nodes);
+}
+
+sim::Task BurstBuffer::Access(int bb_node, Bytes bytes, double inflation) {
+  assert(inflation >= 1.0);
+  co_await engine_->Delay(params_.latency);
+  const auto effective = static_cast<Bytes>(std::llround(static_cast<double>(bytes) * inflation));
+  co_await pool(bb_node).Transfer(effective);
+}
+
+}  // namespace uvs::hw

@@ -1,0 +1,36 @@
+// Shared SSD-based burst buffer: a pool of DataWarp-like server nodes
+// reachable from every compute node, each with its own bandwidth pool.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/hw/params.hpp"
+#include "src/sim/fair_share.hpp"
+#include "src/sim/task.hpp"
+
+namespace uvs::hw {
+
+class BurstBuffer {
+ public:
+  BurstBuffer(sim::Engine& engine, const BurstBufferParams& params);
+  BurstBuffer(const BurstBuffer&) = delete;
+  BurstBuffer& operator=(const BurstBuffer&) = delete;
+
+  const BurstBufferParams& params() const { return params_; }
+  int node_count() const { return static_cast<int>(pools_.size()); }
+  Bytes total_capacity() const;
+
+  sim::FairSharePool& pool(int bb_node) { return *pools_.at(static_cast<std::size_t>(bb_node)); }
+
+  /// Device access on one BB node. `inflation >= 1` models lock/section
+  /// overhead (shared-file layouts pay it; log-structured FPP does not).
+  sim::Task Access(int bb_node, Bytes bytes, double inflation = 1.0);
+
+ private:
+  BurstBufferParams params_;
+  sim::Engine* engine_;
+  std::vector<std::unique_ptr<sim::FairSharePool>> pools_;
+};
+
+}  // namespace uvs::hw

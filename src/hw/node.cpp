@@ -1,0 +1,36 @@
+#include "src/hw/node.hpp"
+
+#include <string>
+
+namespace uvs::hw {
+
+namespace {
+std::string PoolName(int node_id, const char* what, int idx = -1) {
+  std::string name = "node" + std::to_string(node_id) + "/" + what;
+  if (idx >= 0) name += std::to_string(idx);
+  return name;
+}
+}  // namespace
+
+NumaSocket::NumaSocket(sim::Engine& engine, int node_id, int socket_id,
+                       const NodeParams& params)
+    : socket_id_(socket_id),
+      dram_(engine, {.name = PoolName(node_id, "dram", socket_id),
+                     .capacity = params.dram_bw_per_socket}) {}
+
+Node::Node(sim::Engine& engine, int id, const NodeParams& params)
+    : id_(id),
+      params_(params),
+      nic_tx_(engine, {.name = PoolName(id, "nic_tx"), .capacity = params.nic_bw}),
+      nic_rx_(engine, {.name = PoolName(id, "nic_rx"), .capacity = params.nic_bw}) {
+  sockets_.reserve(static_cast<std::size_t>(params.sockets));
+  for (int s = 0; s < params.sockets; ++s)
+    sockets_.push_back(std::make_unique<NumaSocket>(engine, id, s, params));
+  if (params.has_local_ssd) {
+    ssd_ = std::make_unique<sim::FairSharePool>(
+        engine, sim::FairSharePool::Options{.name = PoolName(id, "ssd"),
+                                            .capacity = params.ssd_bw});
+  }
+}
+
+}  // namespace uvs::hw

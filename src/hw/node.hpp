@@ -1,0 +1,57 @@
+// Compute-node model: NUMA sockets with DRAM bandwidth pools, cores, a NIC,
+// and an optional node-local SSD.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/hw/params.hpp"
+#include "src/sim/fair_share.hpp"
+
+namespace uvs::hw {
+
+/// One NUMA socket: a share of the node's cores and its own memory
+/// bandwidth pool. Core c belongs to socket c / (cores / sockets).
+class NumaSocket {
+ public:
+  NumaSocket(sim::Engine& engine, int node_id, int socket_id, const NodeParams& params);
+
+  int socket_id() const { return socket_id_; }
+  sim::FairSharePool& dram() { return dram_; }
+
+ private:
+  int socket_id_;
+  sim::FairSharePool dram_;
+};
+
+class Node {
+ public:
+  Node(sim::Engine& engine, int id, const NodeParams& params);
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  int id() const { return id_; }
+  const NodeParams& params() const { return params_; }
+  int cores() const { return params_.cores; }
+  int sockets() const { return params_.sockets; }
+
+  NumaSocket& socket(int i) { return *sockets_.at(static_cast<std::size_t>(i)); }
+  /// Socket that owns core `core` (cores are split contiguously).
+  int SocketOfCore(int core) const { return core / (params_.cores / params_.sockets); }
+
+  sim::FairSharePool& nic_tx() { return nic_tx_; }
+  sim::FairSharePool& nic_rx() { return nic_rx_; }
+
+  bool has_local_ssd() const { return ssd_ != nullptr; }
+  sim::FairSharePool& local_ssd() { return *ssd_; }
+
+ private:
+  int id_;
+  NodeParams params_;
+  std::vector<std::unique_ptr<NumaSocket>> sockets_;
+  sim::FairSharePool nic_tx_;
+  sim::FairSharePool nic_rx_;
+  std::unique_ptr<sim::FairSharePool> ssd_;
+};
+
+}  // namespace uvs::hw

@@ -1,0 +1,104 @@
+// Hardware parameter sets for the simulated cluster, with a Cori-like
+// preset matching the paper's testbed (§III-A): Cray XC40 Haswell nodes
+// (32 cores / 2 NUMA sockets / 128 GB DDR4-2133), a DataWarp shared burst
+// buffer, and a Lustre file system with 248 OSTs.
+//
+// Absolute values are order-of-magnitude calibrations; the reproduction
+// targets ratios and trend shapes, not testbed-exact numbers.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/units.hpp"
+
+namespace uvs::hw {
+
+/// Identifies a storage layer in the hierarchy, ordered fastest-first.
+/// This ordering is what the DHP spill cascade walks (§II-B1).
+enum class Layer : std::uint8_t {
+  kDram = 0,
+  kNodeLocalSsd = 1,
+  kSharedBurstBuffer = 2,
+  kPfs = 3,
+};
+
+inline constexpr int kLayerCount = 4;
+const char* LayerName(Layer layer);
+
+struct NodeParams {
+  int cores = 32;
+  int sockets = 2;
+
+  /// Peak DRAM bandwidth per NUMA socket (DDR4-2133, 4 channels).
+  Bandwidth dram_bw_per_socket = 40.0_GBps;
+  /// Effective per-rank rate of the client I/O stack (HDF5 + MPI-IO +
+  /// log append + redirection) on a full core; a client's injection is
+  /// capped by its CPU share times this.
+  Bandwidth per_core_client_io_bw = 0.3_GBps;
+  /// Bulk sequential copy rate of a server process on a full core
+  /// (flush-time reads of cached logs).
+  Bandwidth per_core_server_copy_bw = 6.0_GBps;
+  /// DRAM a UniviStor server may use for cached logs on this node (the
+  /// rest is application memory). Sized so 5 VPIC time steps fit and 10 do
+  /// not, as in §III-C.
+  Bytes dram_cache_capacity = 44_GiB;
+
+  /// NIC injection/ejection bandwidth (Aries-like).
+  Bandwidth nic_bw = 10.0_GBps;
+  Time nic_latency = 2_us;
+
+  /// Optional node-local SSD tier (absent on Cori Haswell; kept for the
+  /// DHP cascade, which supports it).
+  bool has_local_ssd = false;
+  Bandwidth ssd_bw = 2.0_GBps;
+  Bytes ssd_capacity = 1_TiB;
+  Time ssd_latency = 80_us;
+};
+
+struct BurstBufferParams {
+  /// Number of DataWarp server nodes allocated to the job.
+  int bb_nodes = 8;
+  Bandwidth bw_per_bb_node = 6.4_GBps;
+  Bytes capacity_per_bb_node = 6_TiB;
+  Time latency = 120_us;
+  /// Extra per-request fraction lost to extent-lock conflicts when `w`
+  /// writers share one striped file on a BB node (DataWarp shared-file
+  /// layout). Applied by the storage layer, not here.
+  double shared_file_lock_penalty = 0.03;  // multiplies log2(writers)
+};
+
+struct PfsParams {
+  int osts = 248;
+  Bandwidth bw_per_ost = 2.6_GBps;
+  Bytes capacity_per_ost = 60_TiB;
+  Time latency = 4_ms;
+  /// Maximum stripe size the file system accepts (Smax in Eq. 3).
+  Bytes max_stripe_size = 1_GiB;
+  /// Client/server synchronization cost paid per distinct OST a writer
+  /// touches (stripe-count overhead, §II-D).
+  Time per_ost_sync_overhead = 5_ms;
+  /// Extent-lock penalty factor for shared-file writes (multiplies
+  /// log2(writers per file)).
+  double shared_file_lock_penalty = 0.85;
+};
+
+struct ClusterParams {
+  int nodes = 2;
+  NodeParams node;
+  BurstBufferParams bb;
+  PfsParams pfs;
+
+  /// One-way small-message latency for metadata RPCs.
+  Time rpc_latency = 8_us;
+  /// Server-side CPU time to service one metadata request (HDF5-level
+  /// attribute/metadata operations are heavyweight).
+  Time rpc_service_time = 30_us;
+
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Cori-like cluster sized for `procs` client processes at
+/// `procs_per_node` ranks per node (paper default: 32).
+ClusterParams CoriPreset(int procs, int procs_per_node = 32);
+
+}  // namespace uvs::hw

@@ -1,0 +1,26 @@
+#include "src/hw/pfs_device.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <string>
+
+namespace uvs::hw {
+
+PfsDevice::PfsDevice(sim::Engine& engine, const PfsParams& params)
+    : params_(params), engine_(&engine) {
+  pools_.reserve(static_cast<std::size_t>(params.osts));
+  for (int i = 0; i < params.osts; ++i) {
+    pools_.push_back(std::make_unique<sim::FairSharePool>(
+        engine, sim::FairSharePool::Options{.name = "ost" + std::to_string(i),
+                                            .capacity = params.bw_per_ost}));
+  }
+}
+
+sim::Task PfsDevice::Access(int ost, Bytes bytes, double inflation) {
+  assert(inflation >= 1.0);
+  co_await engine_->Delay(params_.latency);
+  const auto effective = static_cast<Bytes>(std::llround(static_cast<double>(bytes) * inflation));
+  co_await this->ost(ost).Transfer(effective);
+}
+
+}  // namespace uvs::hw

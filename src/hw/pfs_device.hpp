@@ -1,0 +1,35 @@
+// Disk-based parallel-file-system hardware: an array of object storage
+// targets (OSTs), each an independent bandwidth pool. File-level semantics
+// (striping, locking) live in storage::Pfs; this is just the device array.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/hw/params.hpp"
+#include "src/sim/fair_share.hpp"
+#include "src/sim/task.hpp"
+
+namespace uvs::hw {
+
+class PfsDevice {
+ public:
+  PfsDevice(sim::Engine& engine, const PfsParams& params);
+  PfsDevice(const PfsDevice&) = delete;
+  PfsDevice& operator=(const PfsDevice&) = delete;
+
+  const PfsParams& params() const { return params_; }
+  int ost_count() const { return static_cast<int>(pools_.size()); }
+  sim::FairSharePool& ost(int i) { return *pools_.at(static_cast<std::size_t>(i)); }
+
+  /// Device access on one OST; `inflation >= 1` models extent-lock
+  /// overhead for contended shared-file writes.
+  sim::Task Access(int ost, Bytes bytes, double inflation = 1.0);
+
+ private:
+  PfsParams params_;
+  sim::Engine* engine_;
+  std::vector<std::unique_ptr<sim::FairSharePool>> pools_;
+};
+
+}  // namespace uvs::hw

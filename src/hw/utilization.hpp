@@ -1,0 +1,40 @@
+// Post-run utilization reporting: summarizes how many bytes moved through
+// and how busy each device class was (NICs, DRAM sockets, BB nodes, OSTs).
+// Useful for identifying the binding resource of an experiment.
+#pragma once
+
+#include <string>
+
+#include "src/hw/cluster.hpp"
+
+namespace uvs::hw {
+
+struct DeviceClassUsage {
+  Bytes total_bytes = 0;
+  Time busy_time = 0;   // summed across devices in the class
+  int devices = 0;
+  double peak_possible_bytes = 0;  // capacity * elapsed * devices
+
+  /// Fraction of the class's aggregate capacity actually used over
+  /// `elapsed` seconds (0 when elapsed is 0).
+  double Utilization() const {
+    return peak_possible_bytes > 0 ? static_cast<double>(total_bytes) / peak_possible_bytes
+                                   : 0.0;
+  }
+};
+
+struct UtilizationReport {
+  DeviceClassUsage nic_tx;
+  DeviceClassUsage nic_rx;
+  DeviceClassUsage dram;
+  DeviceClassUsage bb;
+  DeviceClassUsage ost;
+  Time elapsed = 0;
+
+  std::string ToString() const;
+};
+
+/// Snapshot of the cluster's device counters at the current simulated time.
+UtilizationReport CollectUtilization(Cluster& cluster);
+
+}  // namespace uvs::hw

@@ -1,0 +1,55 @@
+// Ordered in-memory key-value store — the per-server building block of the
+// distributed metadata service (§II-B3). Header-only template.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/common/status.hpp"
+
+namespace uvs::kv {
+
+template <typename Key, typename Value>
+class LocalStore {
+ public:
+  std::size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  /// Inserts or overwrites.
+  void Put(const Key& key, Value value) { map_[key] = std::move(value); }
+
+  std::optional<Value> Get(const Key& key) const {
+    auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool Contains(const Key& key) const { return map_.contains(key); }
+
+  Status Delete(const Key& key) {
+    return map_.erase(key) > 0 ? Status::Ok() : NotFoundError("key not present");
+  }
+
+  /// All entries with lo <= key < hi, in key order.
+  std::vector<std::pair<Key, Value>> Scan(const Key& lo, const Key& hi) const {
+    std::vector<std::pair<Key, Value>> out;
+    for (auto it = map_.lower_bound(lo); it != map_.end() && it->first < hi; ++it)
+      out.emplace_back(it->first, it->second);
+    return out;
+  }
+
+  /// Greatest entry with key <= `key` (predecessor query — used to find the
+  /// metadata record covering a byte offset).
+  std::optional<std::pair<Key, Value>> FloorEntry(const Key& key) const {
+    auto it = map_.upper_bound(key);
+    if (it == map_.begin()) return std::nullopt;
+    --it;
+    return std::make_pair(it->first, it->second);
+  }
+
+ private:
+  std::map<Key, Value> map_;
+};
+
+}  // namespace uvs::kv

@@ -1,0 +1,42 @@
+#include "src/kv/range_partitioner.hpp"
+
+#include <algorithm>
+
+namespace uvs::kv {
+
+std::vector<int> RangePartitioner::ServersFor(Bytes offset, Bytes len) const {
+  std::vector<int> out;
+  if (len == 0) return out;
+  const std::uint64_t first = RangeOf(offset);
+  const std::uint64_t last = RangeOf(offset + len - 1);
+  const std::uint64_t ranges = last - first + 1;
+  if (ranges >= static_cast<std::uint64_t>(servers_)) {
+    out.resize(static_cast<std::size_t>(servers_));
+    for (int s = 0; s < servers_; ++s) out[static_cast<std::size_t>(s)] = s;
+    return out;
+  }
+  for (std::uint64_t r = first; r <= last; ++r) {
+    const int s = static_cast<int>(r % static_cast<std::uint64_t>(servers_));
+    if (std::find(out.begin(), out.end(), s) == out.end()) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<Bytes, Bytes>> RangePartitioner::PiecesFor(int server, Bytes offset,
+                                                                 Bytes len) const {
+  std::vector<std::pair<Bytes, Bytes>> out;
+  if (len == 0) return out;
+  const std::uint64_t first = RangeOf(offset);
+  const std::uint64_t last = RangeOf(offset + len - 1);
+  for (std::uint64_t r = first; r <= last; ++r) {
+    if (static_cast<int>(r % static_cast<std::uint64_t>(servers_)) != server) continue;
+    const Bytes range_lo = r * range_size_;
+    const Bytes lo = std::max(range_lo, offset);
+    const Bytes hi = std::min(range_lo + range_size_, offset + len);
+    if (hi > lo) out.emplace_back(lo, hi - lo);
+  }
+  return out;
+}
+
+}  // namespace uvs::kv

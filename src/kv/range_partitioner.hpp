@@ -1,0 +1,43 @@
+// Offset-range partitioning of metadata records across servers (§II-B3,
+// Fig. 3): the logical file's offset space is divided into fixed-size
+// ranges, and ranges are assigned to servers round-robin.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/units.hpp"
+
+namespace uvs::kv {
+
+class RangePartitioner {
+ public:
+  RangePartitioner(int servers, Bytes range_size) : servers_(servers), range_size_(range_size) {
+    assert(servers > 0 && range_size > 0);
+  }
+
+  int servers() const { return servers_; }
+  Bytes range_size() const { return range_size_; }
+
+  std::uint64_t RangeOf(Bytes offset) const { return offset / range_size_; }
+
+  /// Server owning the range that contains `offset`.
+  int ServerOf(Bytes offset) const {
+    return static_cast<int>(RangeOf(offset) % static_cast<std::uint64_t>(servers_));
+  }
+
+  /// Distinct servers whose ranges overlap [offset, offset+len), in
+  /// ascending server order (used to fan a range query out).
+  std::vector<int> ServersFor(Bytes offset, Bytes len) const;
+
+  /// The sub-interval of [offset, offset+len) owned by `server`, expressed
+  /// as the list of (offset, len) pieces (one per owned range touched).
+  std::vector<std::pair<Bytes, Bytes>> PiecesFor(int server, Bytes offset, Bytes len) const;
+
+ private:
+  int servers_;
+  Bytes range_size_;
+};
+
+}  // namespace uvs::kv

@@ -1,0 +1,25 @@
+// Metadata record for one placed file segment (§II-B3, Fig. 3): maps a
+// logical (file, offset, len) range to its producer process and the
+// virtual address of its bytes in that producer's log chain.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/units.hpp"
+#include "src/storage/layer_store.hpp"
+
+namespace uvs::meta {
+
+struct MetadataRecord {
+  storage::FileId fid = 0;
+  Bytes offset = 0;  // logical offset in the shared file
+  Bytes len = 0;
+  std::int64_t producer = 0;  // global producer id (program, rank) that wrote the segment
+  Bytes va = 0;      // virtual address of the segment's first byte
+
+  Bytes end() const { return offset + len; }
+
+  friend bool operator==(const MetadataRecord&, const MetadataRecord&) = default;
+};
+
+}  // namespace uvs::meta

@@ -1,0 +1,43 @@
+#include "src/meta/record_index.hpp"
+
+#include <algorithm>
+
+namespace uvs::meta {
+
+void RecordIndex::Insert(const MetadataRecord& record) {
+  store_.Put(Key{record.fid, record.offset}, record);
+}
+
+std::vector<MetadataRecord> RecordIndex::Query(storage::FileId fid, Bytes offset,
+                                               Bytes len) const {
+  std::vector<MetadataRecord> out;
+  if (len == 0) return out;
+  const Bytes end = offset + len;
+
+  // A record starting before `offset` can still overlap it.
+  if (auto floor = store_.FloorEntry(Key{fid, offset})) {
+    const MetadataRecord& rec = floor->second;
+    if (rec.fid == fid && rec.end() > offset && rec.offset < offset) {
+      MetadataRecord clipped = rec;
+      const Bytes skip = offset - rec.offset;
+      clipped.offset = offset;
+      clipped.va += skip;
+      clipped.len = std::min(rec.len - skip, len);
+      out.push_back(clipped);
+    }
+  }
+  for (auto& [key, rec] : store_.Scan(Key{fid, offset}, Key{fid, end})) {
+    MetadataRecord clipped = rec;
+    if (clipped.end() > end) clipped.len = end - clipped.offset;
+    out.push_back(clipped);
+  }
+  return out;
+}
+
+Bytes RecordIndex::CoveredBytes(storage::FileId fid, Bytes offset, Bytes len) const {
+  Bytes covered = 0;
+  for (const auto& rec : Query(fid, offset, len)) covered += rec.len;
+  return covered;
+}
+
+}  // namespace uvs::meta

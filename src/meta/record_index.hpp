@@ -1,0 +1,38 @@
+// Offset-ordered index of metadata records for overlap queries. Used by
+// each metadata partition and by the per-node shared metadata buffer that
+// powers location-aware reads (§II-B4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/kv/local_store.hpp"
+#include "src/meta/record.hpp"
+
+namespace uvs::meta {
+
+class RecordIndex {
+ public:
+  std::size_t size() const { return store_.size(); }
+
+  /// Records must not partially overlap existing ones; re-inserting the
+  /// exact same (fid, offset) replaces it (overwrite-in-place).
+  void Insert(const MetadataRecord& record);
+
+  /// Records overlapping [offset, offset+len) of `fid`, clipped to the
+  /// query range (offset, len and va adjusted), in offset order.
+  std::vector<MetadataRecord> Query(storage::FileId fid, Bytes offset, Bytes len) const;
+
+  /// Total bytes of `fid` covered by records in [offset, offset+len).
+  Bytes CoveredBytes(storage::FileId fid, Bytes offset, Bytes len) const;
+
+ private:
+  struct Key {
+    storage::FileId fid;
+    Bytes offset;
+    auto operator<=>(const Key&) const = default;
+  };
+  kv::LocalStore<Key, MetadataRecord> store_;
+};
+
+}  // namespace uvs::meta

@@ -1,0 +1,55 @@
+#include "src/meta/service.hpp"
+
+#include <algorithm>
+
+namespace uvs::meta {
+
+DistributedMetadataService::DistributedMetadataService(int servers, Bytes range_size)
+    : partitioner_(servers, range_size),
+      partitions_(static_cast<std::size_t>(servers)) {}
+
+std::vector<int> DistributedMetadataService::Insert(const MetadataRecord& record) {
+  std::vector<int> touched;
+  const Bytes range_size = partitioner_.range_size();
+  Bytes offset = record.offset;
+  Bytes remaining = record.len;
+  Bytes va = record.va;
+  while (remaining > 0) {
+    const Bytes range_end = (offset / range_size + 1) * range_size;
+    const Bytes piece = std::min(remaining, range_end - offset);
+    const int server = partitioner_.ServerOf(offset);
+    partitions_[static_cast<std::size_t>(server)].Insert(
+        MetadataRecord{record.fid, offset, piece, record.producer, va});
+    if (std::find(touched.begin(), touched.end(), server) == touched.end())
+      touched.push_back(server);
+    offset += piece;
+    va += piece;
+    remaining -= piece;
+  }
+  return touched;
+}
+
+std::vector<MetadataRecord> DistributedMetadataService::Query(storage::FileId fid, Bytes offset,
+                                                              Bytes len) const {
+  std::vector<MetadataRecord> out;
+  for (int server : partitioner_.ServersFor(offset, len)) {
+    auto part = partitions_[static_cast<std::size_t>(server)].Query(fid, offset, len);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetadataRecord& a, const MetadataRecord& b) { return a.offset < b.offset; });
+  return out;
+}
+
+std::vector<MetadataRecord> DistributedMetadataService::QueryPartition(
+    int server, storage::FileId fid, Bytes offset, Bytes len) const {
+  return partitions_.at(static_cast<std::size_t>(server)).Query(fid, offset, len);
+}
+
+std::size_t DistributedMetadataService::TotalRecords() const {
+  std::size_t n = 0;
+  for (const auto& part : partitions_) n += part.size();
+  return n;
+}
+
+}  // namespace uvs::meta

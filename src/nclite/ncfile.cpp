@@ -1,0 +1,73 @@
+#include "src/nclite/ncfile.hpp"
+
+namespace uvs::nclite {
+
+NcFile::NcFile(vmpi::Runtime& runtime, vmpi::ProgramId program, std::string name,
+               vmpi::FileMode mode, vmpi::AdioDriver& driver, std::vector<VarSpec> vars)
+    : file_(std::make_unique<vmpi::File>(
+          runtime, program, vmpi::FileOptions{std::move(name), mode, /*hdf5=*/false},
+          driver)),
+      ranks_(runtime.ProgramSize(program)),
+      vars_(std::move(vars)) {}
+
+Bytes NcFile::RecordBytes() const {
+  Bytes total = 0;
+  for (const auto& var : vars_)
+    if (var.record) total += var.bytes_per_rank() * static_cast<Bytes>(ranks_);
+  return total;
+}
+
+Bytes NcFile::FixedVarOffset(int v) const {
+  assert(!var(v).record);
+  Bytes offset = kHeaderBytes;
+  for (int i = 0; i < v; ++i)
+    if (!vars_[static_cast<std::size_t>(i)].record)
+      offset += vars_[static_cast<std::size_t>(i)].bytes_per_rank() *
+                static_cast<Bytes>(ranks_);
+  return offset;
+}
+
+Bytes NcFile::RecordSectionOffset() const {
+  Bytes offset = kHeaderBytes;
+  for (const auto& var : vars_)
+    if (!var.record) offset += var.bytes_per_rank() * static_cast<Bytes>(ranks_);
+  return offset;
+}
+
+Bytes NcFile::RecordSlabOffset(int v, int rank, std::uint64_t rec) const {
+  assert(var(v).record);
+  Bytes within_record = 0;
+  for (int i = 0; i < v; ++i)
+    if (vars_[static_cast<std::size_t>(i)].record)
+      within_record += vars_[static_cast<std::size_t>(i)].bytes_per_rank() *
+                       static_cast<Bytes>(ranks_);
+  return RecordSectionOffset() + rec * RecordBytes() + within_record +
+         static_cast<Bytes>(rank) * var(v).bytes_per_rank();
+}
+
+Bytes NcFile::TotalBytes(std::uint64_t records) const {
+  return RecordSectionOffset() + records * RecordBytes();
+}
+
+sim::Task NcFile::WriteFixed(int rank, int v) {
+  const Bytes offset =
+      FixedVarOffset(v) + static_cast<Bytes>(rank) * var(v).bytes_per_rank();
+  return file_->WriteAt(rank, offset, var(v).bytes_per_rank());
+}
+
+sim::Task NcFile::WriteRecord(int rank, int v, std::uint64_t rec) {
+  return file_->WriteAt(rank, RecordSlabOffset(v, rank, rec), var(v).bytes_per_rank());
+}
+
+sim::Task NcFile::WriteWholeRecord(int rank, std::uint64_t rec) {
+  for (int v = 0; v < var_count(); ++v) {
+    if (!var(v).record) continue;
+    co_await WriteRecord(rank, v, rec);
+  }
+}
+
+sim::Task NcFile::ReadRecord(int rank, int v, std::uint64_t rec) {
+  return file_->ReadAt(rank, RecordSlabOffset(v, rank, rec), var(v).bytes_per_rank());
+}
+
+}  // namespace uvs::nclite

@@ -1,0 +1,75 @@
+// Minimal netCDF-like (classic CDF format) container over MPI-IO — the
+// third I/O API the paper names alongside MPI-IO and HDF5 (§I, §II-F).
+//
+// Layout follows the classic netCDF file format:
+//   [header][fixed-size variables, one contiguous block each]
+//   [record section: for each record r, every record variable's slab]
+// Record variables are *interleaved by record*, so a rank writing "its"
+// part of every record issues strided accesses — a genuinely different
+// access pattern from h5lite's contiguous datasets, and the reason
+// PnetCDF-style workloads stress a storage system differently.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/units.hpp"
+#include "src/vmpi/file.hpp"
+
+namespace uvs::nclite {
+
+struct VarSpec {
+  std::string name;
+  Bytes elem_size = 8;
+  /// Elements each rank owns per (record, variable) slab — or in total for
+  /// fixed variables.
+  std::uint64_t elems_per_rank = 0;
+  /// Record variables repeat once per record along the unlimited dimension.
+  bool record = false;
+
+  Bytes bytes_per_rank() const { return elem_size * elems_per_rank; }
+};
+
+class NcFile {
+ public:
+  static constexpr Bytes kHeaderBytes = 8_KiB;
+
+  NcFile(vmpi::Runtime& runtime, vmpi::ProgramId program, std::string name,
+         vmpi::FileMode mode, vmpi::AdioDriver& driver, std::vector<VarSpec> vars);
+
+  vmpi::File& file() { return *file_; }
+  int ranks() const { return ranks_; }
+  int var_count() const { return static_cast<int>(vars_.size()); }
+  const VarSpec& var(int v) const { return vars_.at(static_cast<std::size_t>(v)); }
+
+  /// Size of one full record (all record variables, all ranks).
+  Bytes RecordBytes() const;
+  /// Start of the fixed section's variable `v` (must be fixed).
+  Bytes FixedVarOffset(int v) const;
+  /// Start of the record section.
+  Bytes RecordSectionOffset() const;
+  /// Offset of rank `rank`'s slab of record variable `v` in record `rec`.
+  Bytes RecordSlabOffset(int v, int rank, std::uint64_t rec) const;
+  /// Header + fixed section + `records` full records.
+  Bytes TotalBytes(std::uint64_t records) const;
+
+  // Collective per-rank operations.
+  sim::Task Open(int rank) { return file_->Open(rank); }
+  sim::Task Close(int rank) { return file_->Close(rank); }
+  /// Writes rank's block of a fixed variable.
+  sim::Task WriteFixed(int rank, int v);
+  /// Writes rank's slab of record variable `v` in record `rec`.
+  sim::Task WriteRecord(int rank, int v, std::uint64_t rec);
+  /// Writes every record variable's slab for record `rec` (one time step).
+  sim::Task WriteWholeRecord(int rank, std::uint64_t rec);
+  sim::Task ReadRecord(int rank, int v, std::uint64_t rec);
+
+ private:
+  std::unique_ptr<vmpi::File> file_;
+  int ranks_;
+  std::vector<VarSpec> vars_;
+};
+
+}  // namespace uvs::nclite

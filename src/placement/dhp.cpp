@@ -1,0 +1,86 @@
+#include "src/placement/dhp.hpp"
+
+#include <cassert>
+
+namespace uvs::placement {
+
+Bytes DefaultLogCapacity(Bytes layer_capacity, int sharers) {
+  assert(sharers > 0);
+  return layer_capacity / static_cast<Bytes>(sharers);
+}
+
+namespace {
+std::vector<Bytes> BuildCapacities(const std::vector<storage::LayerStore*>& stores,
+                                   std::vector<storage::LogFile*>& logs,
+                                   const storage::LogKey& key,
+                                   const std::vector<Bytes>& requested) {
+  assert(stores.size() == requested.size());
+  std::vector<Bytes> caps(static_cast<std::size_t>(hw::kLayerCount), 0);
+  logs.assign(static_cast<std::size_t>(hw::kLayerCount), nullptr);
+  for (std::size_t i = 0; i < stores.size(); ++i) {
+    storage::LayerStore* store = stores[i];
+    assert(store != nullptr);
+    const auto layer_idx = static_cast<std::size_t>(store->layer());
+    storage::LogFile* log = store->OpenLog(key, requested[i]);
+    if (log != nullptr) {
+      logs[layer_idx] = log;
+      caps[layer_idx] = log->capacity();
+    }
+  }
+  return caps;  // PFS (last layer) stays 0 == unbounded tail in the codec
+}
+}  // namespace
+
+DhpWriterChain::DhpWriterChain(storage::LogKey key, std::vector<storage::LayerStore*> stores,
+                               const std::vector<Bytes>& requested_capacities)
+    : key_(key),
+      stores_(std::move(stores)),
+      codec_(BuildCapacities(stores_, logs_, key_, requested_capacities)),
+      placed_(static_cast<std::size_t>(hw::kLayerCount), 0) {}
+
+Bytes DhpWriterChain::PlacedOn(hw::Layer layer) const {
+  return placed_.at(static_cast<std::size_t>(layer));
+}
+
+std::vector<Placement> DhpWriterChain::Append(Bytes len) {
+  std::vector<Placement> out;
+  Bytes remaining = len;
+  for (int i = 0; i < hw::kLayerCount - 1 && remaining > 0; ++i) {
+    storage::LogFile* log = logs_[static_cast<std::size_t>(i)];
+    if (log == nullptr) continue;
+    for (const auto& extent : log->AppendUpTo(remaining)) {
+      const auto layer = static_cast<hw::Layer>(i);
+      auto va = codec_.Encode(layer, extent.addr);
+      assert(va.ok());
+      out.push_back(Placement{layer, extent, *va});
+      placed_[static_cast<std::size_t>(i)] += extent.len;
+      remaining -= extent.len;
+    }
+  }
+  if (remaining > 0) {
+    // Spill tail: the destination layer (PFS) is unbounded.
+    constexpr auto kLast = static_cast<std::size_t>(hw::kLayerCount - 1);
+    auto va = codec_.Encode(hw::Layer::kPfs, pfs_cursor_);
+    assert(va.ok());
+    out.push_back(Placement{hw::Layer::kPfs, storage::Extent{pfs_cursor_, remaining}, *va});
+    placed_[kLast] += remaining;
+    pfs_cursor_ += remaining;
+  }
+  return out;
+}
+
+Status DhpWriterChain::Free(const Placement& placement) {
+  const auto idx = static_cast<std::size_t>(placement.layer);
+  if (placement.layer == hw::Layer::kPfs) {
+    // PFS space is managed by the file system, not the log chain.
+    placed_[idx] -= placement.extent.len;
+    return Status::Ok();
+  }
+  storage::LogFile* log = logs_[idx];
+  if (log == nullptr) return FailedPreconditionError("no log on that layer");
+  UVS_RETURN_IF_ERROR(log->Free(placement.extent));
+  placed_[idx] -= placement.extent.len;
+  return Status::Ok();
+}
+
+}  // namespace uvs::placement

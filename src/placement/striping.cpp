@@ -1,0 +1,85 @@
+#include "src/placement/striping.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace uvs::placement {
+
+std::vector<int> StripePlan::TargetsFor(int server) const {
+  std::vector<int> out;
+  switch (mode) {
+    case StripeMode::kDistinctSets:
+      out.reserve(static_cast<std::size_t>(osts_per_server));
+      for (int k = 0; k < osts_per_server; ++k)
+        out.push_back((server * osts_per_server + k) % osts);
+      break;
+    case StripeMode::kOneOstPerServer:
+      out.push_back(server % osts);
+      break;
+    case StripeMode::kAllOsts:
+      out.reserve(static_cast<std::size_t>(osts));
+      for (int o = 0; o < osts; ++o) out.push_back(o);
+      break;
+  }
+  return out;
+}
+
+Bytes StripePlan::RangeBytesFor(int server, Bytes file_size) const {
+  assert(server >= 0 && server < servers);
+  // Contiguous ranges of file_size / dummy_servers; real servers past the
+  // dummy rounding simply get the remainder spread evenly.
+  const auto d = static_cast<Bytes>(dummy_servers);
+  const Bytes base = file_size / static_cast<Bytes>(servers);
+  const Bytes rem = file_size % static_cast<Bytes>(servers);
+  (void)d;
+  return base + (static_cast<Bytes>(server) < rem ? 1 : 0);
+}
+
+StripePlan PlanAdaptiveStriping(Bytes file_size, int servers, int osts,
+                                const StripingParams& params) {
+  assert(file_size > 0 && servers > 0 && osts > 0);
+  StripePlan plan;
+  plan.servers = servers;
+  plan.osts = osts;
+  if (servers <= osts) {
+    // Case 1: distinct OST sets per server (Eqs. 2–4).
+    plan.mode = StripeMode::kDistinctSets;
+    plan.distinct_sets = true;
+    plan.osts_per_server = std::max(1, std::min(osts / servers, params.alpha));
+    plan.dummy_servers = servers;
+    const Bytes denom =
+        static_cast<Bytes>(servers) * static_cast<Bytes>(plan.osts_per_server);
+    plan.stripe_size = std::max<Bytes>(1, std::min(file_size / denom, params.max_stripe_size));
+    plan.stripe_count = static_cast<int>(
+        std::min<Bytes>(file_size / plan.stripe_size, static_cast<Bytes>(osts)));
+    plan.stripe_count = std::max(plan.stripe_count, 1);
+  } else {
+    // Case 2: balance overlapping servers via dummy-server rounding
+    // (Eqs. 5–6).
+    plan.mode = StripeMode::kOneOstPerServer;
+    plan.distinct_sets = false;
+    plan.osts_per_server = 1;
+    plan.dummy_servers = ((servers + osts - 1) / osts) * osts;
+    plan.stripe_size =
+        std::max<Bytes>(1, file_size / static_cast<Bytes>(plan.dummy_servers));
+    plan.stripe_count = osts;
+  }
+  return plan;
+}
+
+StripePlan PlanDefaultStriping(Bytes file_size, int servers, int osts,
+                               Bytes default_stripe_size) {
+  StripePlan plan;
+  plan.servers = servers;
+  plan.osts = osts;
+  plan.mode = StripeMode::kAllOsts;
+  plan.distinct_sets = false;
+  plan.osts_per_server = osts;  // every server touches the whole layout
+  plan.dummy_servers = servers;
+  plan.stripe_size = default_stripe_size;
+  plan.stripe_count = osts;
+  (void)file_size;
+  return plan;
+}
+
+}  // namespace uvs::placement

@@ -1,0 +1,69 @@
+// Adaptive data striping for server-side flush (§II-D, Eqs. 2–6).
+//
+// Case 1 — fewer flushing servers than OSTs: each server's contiguous file
+// range is striped across a *distinct* set of Cper_server OSTs,
+//     Cper_server = min(Cmax_units / Cservers, alpha)            (Eq. 2)
+//     Sstripe     = min(Sfile / (Cservers * Cper_server), Smax)  (Eq. 3)
+//     Cstripe     = min(Sfile / Sstripe, Cmax_units)             (Eq. 4)
+// where alpha is the smallest OST count that saturates one server's write
+// bandwidth.
+//
+// Case 2 — more servers than OSTs: servers overlap on OSTs; to keep every
+// OST equally loaded the server count is rounded up to a multiple of the
+// OST count ("dummy servers"),
+//     Sstripe      = Sfile / Cdum_servers                        (Eq. 5)
+//     Cdum_servers = ceil(Cservers / Cmax_units) * Cmax_units    (Eq. 6)
+// and server s flushes to OST s mod Cmax_units.
+#pragma once
+
+#include <vector>
+
+#include "src/common/units.hpp"
+
+namespace uvs::placement {
+
+struct StripingParams {
+  /// Minimum OST count that saturates a single server (alpha in Eq. 2).
+  int alpha = 8;
+  /// Maximum stripe size the file system allows (Smax in Eq. 3).
+  Bytes max_stripe_size = 1_GiB;
+};
+
+enum class StripeMode {
+  kDistinctSets,      // case 1: each server owns Cper_server OSTs
+  kOneOstPerServer,   // case 2: server s -> OST s mod osts
+  kAllOsts,           // non-adaptive default: everyone targets every OST
+};
+
+struct StripePlan {
+  Bytes stripe_size = 0;
+  int stripe_count = 0;
+  StripeMode mode = StripeMode::kAllOsts;
+  /// True in case 1 (distinct per-server OST sets).
+  bool distinct_sets = false;
+  /// Cper_server in case 1; 1 in case 2.
+  int osts_per_server = 1;
+  /// Cdum_servers (== servers in case 1).
+  int dummy_servers = 0;
+
+  int servers = 0;
+  int osts = 0;
+
+  /// OSTs server `s` flushes its range to.
+  std::vector<int> TargetsFor(int server) const;
+
+  /// Bytes of the file assigned to server `s` (contiguous range split).
+  Bytes RangeBytesFor(int server, Bytes file_size) const;
+};
+
+/// Eqs. 2–6; requires file_size > 0, servers > 0, osts > 0.
+StripePlan PlanAdaptiveStriping(Bytes file_size, int servers, int osts,
+                                const StripingParams& params);
+
+/// The non-adaptive default the paper contrasts against: every shared file
+/// striped across all OSTs with a fixed stripe size, requests directed
+/// uncoordinated.
+StripePlan PlanDefaultStriping(Bytes file_size, int servers, int osts,
+                               Bytes default_stripe_size = 1_MiB);
+
+}  // namespace uvs::placement

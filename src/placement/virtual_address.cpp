@@ -1,0 +1,39 @@
+#include "src/placement/virtual_address.hpp"
+
+#include <cassert>
+#include <string>
+
+namespace uvs::placement {
+
+VirtualAddressCodec::VirtualAddressCodec(std::vector<Bytes> log_capacities)
+    : capacities_(std::move(log_capacities)) {
+  assert(!capacities_.empty());
+  prefix_.resize(capacities_.size() + 1, 0);
+  for (std::size_t i = 0; i < capacities_.size(); ++i)
+    prefix_[i + 1] = prefix_[i] + capacities_[i];
+}
+
+Result<Bytes> VirtualAddressCodec::Encode(hw::Layer layer, Bytes physical) const {
+  const auto i = static_cast<std::size_t>(layer);
+  if (i >= capacities_.size()) return InvalidArgumentError("layer out of range");
+  const bool last = i + 1 == capacities_.size();
+  if (!last && physical >= capacities_[i])
+    return OutOfRangeError("physical address " + std::to_string(physical) +
+                           " beyond layer log capacity " + std::to_string(capacities_[i]));
+  return prefix_[i] + physical;
+}
+
+Result<LayerAddress> VirtualAddressCodec::Decode(Bytes va) const {
+  // Find the layer whose [prefix_[i], prefix_[i+1]) interval contains va;
+  // the final layer is open-ended.
+  for (std::size_t i = 0; i + 1 < capacities_.size(); ++i) {
+    if (va < prefix_[i + 1]) {
+      if (capacities_[i] == 0) return InternalError("VA maps into a zero-capacity layer");
+      return LayerAddress{static_cast<hw::Layer>(i), va - prefix_[i]};
+    }
+  }
+  return LayerAddress{static_cast<hw::Layer>(capacities_.size() - 1),
+                      va - prefix_[capacities_.size() - 1]};
+}
+
+}  // namespace uvs::placement

@@ -1,0 +1,55 @@
+// Virtual Address codec (§II-B2, Eq. 1).
+//
+// A producer process's data for one logical file lives in a chain of log
+// files, one per storage layer, with per-layer capacities C_0..C_{L-1}
+// fixed at open time. The virtual address of a byte at physical address A
+// inside the layer-i log is
+//     VA = C_0 + C_1 + ... + C_{i-1} + A,
+// i.e. the prefix sum of lower-layer log capacities plus the offset in the
+// layer's own log. (The paper's Fig. 2 example: D4 at physical address 1
+// in the shared-BB log behind a node-local log of capacity 2 has VA 3.)
+// The VA therefore identifies both the storage layer and the physical
+// address within that layer's log.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.hpp"
+#include "src/common/units.hpp"
+#include "src/hw/params.hpp"
+
+namespace uvs::placement {
+
+/// A decoded virtual address: which layer and where inside its log.
+struct LayerAddress {
+  hw::Layer layer = hw::Layer::kDram;
+  Bytes physical = 0;
+
+  friend bool operator==(const LayerAddress&, const LayerAddress&) = default;
+};
+
+class VirtualAddressCodec {
+ public:
+  /// `log_capacities[i]` is the producer's log capacity on layer i (0 for
+  /// layers the producer has no log on). The last layer (PFS) is treated
+  /// as unbounded.
+  explicit VirtualAddressCodec(std::vector<Bytes> log_capacities);
+
+  int layer_count() const { return static_cast<int>(capacities_.size()); }
+  Bytes capacity(hw::Layer layer) const {
+    return capacities_.at(static_cast<std::size_t>(layer));
+  }
+
+  /// Eq. 1. `physical` must be within the layer's log (last layer exempt).
+  Result<Bytes> Encode(hw::Layer layer, Bytes physical) const;
+
+  /// Inverse of Encode.
+  Result<LayerAddress> Decode(Bytes va) const;
+
+ private:
+  std::vector<Bytes> capacities_;
+  std::vector<Bytes> prefix_;  // prefix_[i] = sum of capacities_[0..i-1]
+};
+
+}  // namespace uvs::placement

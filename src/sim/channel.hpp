@@ -1,0 +1,77 @@
+// Unbounded CSP-style channel between simulation processes.
+//
+// `Send` never blocks; `Recv` suspends until a value is available. Values
+// are handed directly to a waiting receiver (never re-queued), so wakeups
+// cannot be "stolen" by a receiver that arrives between the send and the
+// scheduled resumption.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "src/sim/engine.hpp"
+
+namespace uvs::sim {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Engine& engine) : engine_(&engine) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  std::size_t waiting_receivers() const { return receivers_.size(); }
+
+  void Send(T value) {
+    if (!receivers_.empty()) {
+      Receiver* r = receivers_.front();
+      receivers_.pop_front();
+      r->slot.emplace(std::move(value));
+      engine_->ScheduleNow([h = r->handle] { h.resume(); });
+      return;
+    }
+    items_.push_back(std::move(value));
+  }
+
+  /// Awaitable yielding the next value.
+  auto Recv() {
+    struct Awaiter : Receiver {
+      Channel* chan;
+      explicit Awaiter(Channel* c) : chan(c) {}
+      bool await_ready() {
+        if (!chan->items_.empty()) {
+          this->slot.emplace(std::move(chan->items_.front()));
+          chan->items_.pop_front();
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        this->handle = h;
+        chan->receivers_.push_back(this);
+      }
+      T await_resume() {
+        assert(this->slot.has_value());
+        return std::move(*this->slot);
+      }
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  struct Receiver {
+    std::coroutine_handle<> handle;
+    std::optional<T> slot;
+  };
+
+  Engine* engine_;
+  std::deque<T> items_;
+  std::deque<Receiver*> receivers_;
+};
+
+}  // namespace uvs::sim

@@ -1,0 +1,76 @@
+#include "src/sim/engine.hpp"
+
+#include <utility>
+
+namespace uvs::sim {
+
+ProcessCtl::ProcessCtl(Engine& eng) : engine(&eng), done_event(eng) {}
+
+Engine::~Engine() {
+  // Destroy still-suspended process frames; queue entries may hold handles
+  // into them, so drop the queue first.
+  queue_ = {};
+  for (auto& rec : processes_) {
+    if (rec.handle && !rec.handle.promise().done) {
+      rec.handle.destroy();
+      rec.handle = {};
+    } else if (rec.handle) {
+      rec.handle.destroy();
+      rec.handle = {};
+    }
+  }
+}
+
+void Engine::Schedule(Time at, std::function<void()> fn) {
+  assert(at >= now_ - 1e-12 && "scheduling into the past");
+  if (at < now_) at = now_;
+  queue_.push(Item{at, next_seq_++, std::move(fn)});
+}
+
+Process Engine::Spawn(Task task, std::string name) {
+  assert(task.valid());
+  auto ctl = std::make_shared<ProcessCtl>(*this);
+  ctl->name = std::move(name);
+  Task::Handle handle = task.Release();
+  handle.promise().ctl = ctl.get();
+  processes_.push_back(ProcessRecord{handle, ctl});
+  Schedule(now_, [handle] { handle.resume(); });
+  return Process{ctl};
+}
+
+void Engine::Dispatch(Item item) {
+  now_ = item.at;
+  ++processed_;
+  item.fn();
+  if (pending_exception_) {
+    auto ex = std::exchange(pending_exception_, nullptr);
+    std::rethrow_exception(ex);
+  }
+}
+
+void Engine::Run() {
+  while (!queue_.empty()) {
+    Item item = std::move(const_cast<Item&>(queue_.top()));
+    queue_.pop();
+    Dispatch(std::move(item));
+  }
+}
+
+bool Engine::RunUntil(Time until) {
+  while (!queue_.empty() && queue_.top().at <= until) {
+    Item item = std::move(const_cast<Item&>(queue_.top()));
+    queue_.pop();
+    Dispatch(std::move(item));
+  }
+  now_ = std::max(now_, until);
+  return !queue_.empty();
+}
+
+std::size_t Engine::live_processes() const {
+  std::size_t n = 0;
+  for (const auto& rec : processes_)
+    if (rec.ctl && !rec.ctl->finished) ++n;
+  return n;
+}
+
+}  // namespace uvs::sim

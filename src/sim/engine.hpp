@@ -1,0 +1,127 @@
+// Discrete-event simulation engine.
+//
+// Single-threaded, deterministic: events fire in (time, insertion-sequence)
+// order, so two runs with the same seed produce identical traces. Simulation
+// time is `uvs::Time` (double seconds) and is unrelated to wall-clock time.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "src/common/units.hpp"
+#include "src/sim/event.hpp"
+#include "src/sim/task.hpp"
+
+namespace uvs::sim {
+
+/// Control block shared between the Engine, the coroutine promise, and any
+/// `Process` handles; outlives all three via shared_ptr.
+struct ProcessCtl {
+  explicit ProcessCtl(Engine& engine);
+
+  Engine* engine;
+  Event done_event;
+  std::string name;
+  std::exception_ptr exception;
+  bool finished = false;
+};
+
+/// Join handle for a spawned simulation process.
+class Process {
+ public:
+  Process() = default;
+
+  bool valid() const { return ctl_ != nullptr; }
+  bool finished() const { return ctl_ && ctl_->finished; }
+  const std::string& name() const { return ctl_->name; }
+
+  /// One-shot event triggered when the process returns; `co_await
+  /// proc.Done().Wait()` joins it.
+  Event& Done() { return ctl_->done_event; }
+
+ private:
+  friend class Engine;
+  explicit Process(std::shared_ptr<ProcessCtl> ctl) : ctl_(std::move(ctl)) {}
+  std::shared_ptr<ProcessCtl> ctl_;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  Time Now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (>= Now()).
+  void Schedule(Time at, std::function<void()> fn);
+  void ScheduleNow(std::function<void()> fn) { Schedule(now_, std::move(fn)); }
+
+  /// Awaitable that resumes the coroutine after `dt` simulated seconds.
+  auto Delay(Time dt) {
+    struct Awaiter {
+      Engine* engine;
+      Time dt;
+      bool await_ready() const noexcept { return dt <= 0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        engine->Schedule(engine->now_ + dt, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, dt};
+  }
+
+  /// Starts `task` as a top-level process at the current time. The engine
+  /// owns the coroutine frame for its whole lifetime.
+  Process Spawn(Task task, std::string name = {});
+
+  /// Runs until the event queue drains. Throws if a process escaped with an
+  /// exception.
+  void Run();
+
+  /// Runs events with timestamp <= `until`, then advances the clock to
+  /// `until`. Returns true if events remain beyond `until`.
+  bool RunUntil(Time until);
+
+  std::uint64_t processed_events() const { return processed_; }
+  std::size_t live_processes() const;
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  friend struct Task::promise_type;
+
+  struct Item {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct ItemAfter {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void Dispatch(Item item);
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Item, std::vector<Item>, ItemAfter> queue_;
+
+  struct ProcessRecord {
+    Task::Handle handle;
+    std::shared_ptr<ProcessCtl> ctl;
+  };
+  std::deque<ProcessRecord> processes_;
+  std::exception_ptr pending_exception_;
+};
+
+}  // namespace uvs::sim

@@ -1,0 +1,18 @@
+#include "src/sim/event.hpp"
+
+#include <utility>
+
+#include "src/sim/engine.hpp"
+
+namespace uvs::sim {
+
+void Event::Trigger() {
+  if (triggered_) return;
+  triggered_ = true;
+  auto waiters = std::exchange(waiters_, {});
+  for (auto handle : waiters) {
+    engine_->ScheduleNow([handle] { handle.resume(); });
+  }
+}
+
+}  // namespace uvs::sim

@@ -1,0 +1,42 @@
+// One-shot trigger event, the basic synchronization primitive of the DES.
+#pragma once
+
+#include <coroutine>
+#include <vector>
+
+namespace uvs::sim {
+
+class Engine;
+
+/// One-shot event: starts untriggered; `Trigger()` wakes every current and
+/// future waiter (awaiting a triggered event completes immediately).
+/// Not copyable or movable: waiters hold a pointer to it.
+class Event {
+ public:
+  explicit Event(Engine& engine) : engine_(&engine) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  bool triggered() const { return triggered_; }
+
+  /// Idempotent; waiters resume via the engine queue at the current time
+  /// (never inline), preserving run-to-completion semantics.
+  void Trigger();
+
+  auto Wait() {
+    struct Awaiter {
+      Event* event;
+      bool await_ready() const noexcept { return event->triggered_; }
+      void await_suspend(std::coroutine_handle<> h) { event->waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Engine* engine_;
+  bool triggered_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace uvs::sim

@@ -1,0 +1,85 @@
+#include "src/sim/fair_share.hpp"
+
+#include <algorithm>
+
+namespace uvs::sim {
+
+namespace {
+// Residual below half a byte is rounding noise, not remaining work: at
+// device rates (>= MB/s) it corresponds to sub-nanosecond error.
+constexpr double kResidualEpsilonBytes = 0.5;
+}  // namespace
+
+FairSharePool::FairSharePool(Engine& engine, Options options)
+    : engine_(&engine), options_(std::move(options)), last_update_(engine.Now()) {
+  assert(options_.capacity > 0 && "pool capacity must be positive");
+}
+
+Bandwidth FairSharePool::RatePerFlow(std::size_t n) const {
+  if (n == 0) return 0.0;
+  const double eff = options_.efficiency ? options_.efficiency(n) : 1.0;
+  assert(eff > 0.0 && eff <= 1.0 + 1e-9);
+  return std::min(options_.per_flow_cap, eff * options_.capacity / static_cast<double>(n));
+}
+
+void FairSharePool::AdvanceToNow() {
+  const Time now = engine_->Now();
+  if (!heap_.empty()) {
+    const Time dt = now - last_update_;
+    vnow_ += dt * RatePerFlow(heap_.size());
+    busy_time_ += dt;
+  }
+  last_update_ = now;
+}
+
+void FairSharePool::AddFlow(Flow* flow) {
+  AdvanceToNow();
+  flow->vfinish = vnow_ + static_cast<double>(flow->bytes);
+  flow->seq = next_flow_seq_++;
+  heap_.push(flow);
+  RescheduleTimer();
+}
+
+void FairSharePool::SetCapacity(Bandwidth capacity) {
+  assert(capacity > 0);
+  AdvanceToNow();
+  options_.capacity = capacity;
+  RescheduleTimer();
+}
+
+void FairSharePool::SetPerFlowCap(Bandwidth cap) {
+  assert(cap > 0);
+  AdvanceToNow();
+  options_.per_flow_cap = cap;
+  RescheduleTimer();
+}
+
+Time FairSharePool::busy_time() const {
+  Time t = busy_time_;
+  if (!heap_.empty()) t += engine_->Now() - last_update_;
+  return t;
+}
+
+void FairSharePool::RescheduleTimer() {
+  ++timer_generation_;
+  if (heap_.empty()) return;
+  const Bandwidth rate = RatePerFlow(heap_.size());
+  const double remaining = std::max(0.0, heap_.top()->vfinish - vnow_);
+  const Time at = engine_->Now() + remaining / rate;
+  engine_->Schedule(at, [this, gen = timer_generation_] { OnTimer(gen); });
+}
+
+void FairSharePool::OnTimer(std::uint64_t generation) {
+  if (generation != timer_generation_) return;  // superseded by a reschedule
+  AdvanceToNow();
+  while (!heap_.empty() && heap_.top()->vfinish <= vnow_ + kResidualEpsilonBytes) {
+    Flow* flow = heap_.top();
+    heap_.pop();
+    total_bytes_ += flow->bytes;
+    ++completed_;
+    engine_->ScheduleNow([handle = flow->handle] { handle.resume(); });
+  }
+  RescheduleTimer();
+}
+
+}  // namespace uvs::sim

@@ -1,0 +1,110 @@
+// Mutual exclusion and counting semaphore for simulation processes.
+// FIFO wakeup order; ownership handed over directly on unlock so the lock
+// can never be barged by a process scheduled in between.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <utility>
+
+namespace uvs::sim {
+
+class Engine;
+
+class Mutex;
+
+/// RAII lock ownership; releases on destruction (like std::unique_lock).
+class [[nodiscard]] LockGuard {
+ public:
+  LockGuard() = default;
+  explicit LockGuard(Mutex* mutex) : mutex_(mutex) {}
+  LockGuard(LockGuard&& other) noexcept : mutex_(std::exchange(other.mutex_, nullptr)) {}
+  LockGuard& operator=(LockGuard&& other) noexcept {
+    if (this != &other) {
+      Release();
+      mutex_ = std::exchange(other.mutex_, nullptr);
+    }
+    return *this;
+  }
+  ~LockGuard() { Release(); }
+
+  bool owns_lock() const { return mutex_ != nullptr; }
+  void Release();
+
+ private:
+  Mutex* mutex_ = nullptr;
+};
+
+class Mutex {
+ public:
+  explicit Mutex(Engine& engine) : engine_(&engine) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  bool locked() const { return locked_; }
+  std::size_t waiters() const { return waiters_.size(); }
+
+  /// `auto guard = co_await mutex.Lock();` — suspends until acquired.
+  auto Lock() {
+    struct Awaiter {
+      Mutex* mutex;
+      bool await_ready() {
+        if (!mutex->locked_) {
+          mutex->locked_ = true;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) { mutex->waiters_.push_back(h); }
+      LockGuard await_resume() { return LockGuard{mutex}; }
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  friend class LockGuard;
+  void Unlock();
+
+  Engine* engine_;
+  bool locked_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Counting semaphore with FIFO handover semantics.
+class Semaphore {
+ public:
+  Semaphore(Engine& engine, std::size_t permits) : engine_(&engine), permits_(permits) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  std::size_t permits() const { return permits_; }
+  std::size_t waiters() const { return waiters_.size(); }
+
+  auto Acquire() {
+    struct Awaiter {
+      Semaphore* sem;
+      bool await_ready() {
+        if (sem->permits_ > 0) {
+          --sem->permits_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) { sem->waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  /// Returns one permit; wakes the oldest waiter if any (the permit is
+  /// handed to it directly).
+  void Release();
+
+ private:
+  Engine* engine_;
+  std::size_t permits_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace uvs::sim

@@ -1,0 +1,26 @@
+#include "src/sim/task.hpp"
+
+#include "src/sim/engine.hpp"
+
+namespace uvs::sim {
+
+std::coroutine_handle<> Task::promise_type::FinalAwaiter::await_suspend(Handle h) noexcept {
+  promise_type& p = h.promise();
+  p.done = true;
+  if (p.ctl != nullptr) {
+    p.ctl->finished = true;
+    if (p.exception) {
+      // Surface the failure out of Engine::Run after this event completes.
+      p.ctl->exception = p.exception;
+      // Note: Dispatch() rethrows; record it there via the ctl's engine.
+      p.ctl->engine->Schedule(p.ctl->engine->Now(), [ex = p.exception] {
+        std::rethrow_exception(ex);
+      });
+    }
+    p.ctl->done_event.Trigger();
+  }
+  if (p.continuation) return p.continuation;
+  return std::noop_coroutine();
+}
+
+}  // namespace uvs::sim

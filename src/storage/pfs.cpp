@@ -1,0 +1,158 @@
+#include "src/storage/pfs.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/sim/combinators.hpp"
+
+namespace uvs::storage {
+
+Pfs::Pfs(hw::Cluster& cluster) : Pfs(cluster, Options{}) {}
+
+Pfs::Pfs(hw::Cluster& cluster, Options options) : cluster_(&cluster), options_(options) {
+  assert(options_.max_streams_per_access > 0);
+}
+
+Pfs::FileHandle Pfs::Create(std::string name, StripeConfig stripe) {
+  const int osts = cluster_->pfs().ost_count();
+  stripe.stripe_count = std::clamp(stripe.stripe_count, 1, osts);
+  if (stripe.ost_offset < 0)
+    stripe.ost_offset = static_cast<int>(cluster_->rng().NextBelow(static_cast<std::uint64_t>(osts)));
+  files_.push_back(std::make_unique<FileInfo>(FileInfo{std::move(name), stripe, 0, 0, 0, 0, 0}));
+  return static_cast<FileHandle>(files_.size() - 1);
+}
+
+Result<Pfs::FileHandle> Pfs::Lookup(const std::string& name) const {
+  for (std::size_t i = 0; i < files_.size(); ++i)
+    if (files_[i]->name == name) return static_cast<FileHandle>(i);
+  return NotFoundError("no PFS file named " + name);
+}
+
+Bytes Pfs::FileSize(FileHandle file) const {
+  return files_.at(static_cast<std::size_t>(file))->size;
+}
+
+const StripeConfig& Pfs::Stripe(FileHandle file) const {
+  return files_.at(static_cast<std::size_t>(file))->stripe;
+}
+
+int Pfs::ost_count() const { return cluster_->pfs().ost_count(); }
+
+int Pfs::ActiveWriters(FileHandle file) const {
+  return files_.at(static_cast<std::size_t>(file))->active_writers;
+}
+
+int Pfs::WriteCalls(FileHandle file) const {
+  return files_.at(static_cast<std::size_t>(file))->write_calls;
+}
+
+int Pfs::PeakWriters(FileHandle file) const {
+  return files_.at(static_cast<std::size_t>(file))->peak_writers;
+}
+
+double Pfs::LockInflation(AccessLayout layout, int writers, bool read) const {
+  if (layout == AccessLayout::kFilePerProcess || writers <= 1) return 1.0;
+  double penalty = cluster_->params().pfs.shared_file_lock_penalty;
+  if (layout == AccessLayout::kAlignedRanges) penalty *= 0.15;
+  if (read) penalty *= 0.5;  // read locks conflict less than write locks
+  return 1.0 + penalty * std::log2(static_cast<double>(writers));
+}
+
+Pfs::StreamPlan Pfs::PlanStreams(const FileInfo& info, Bytes offset, Bytes len,
+                                 const AccessOptions& options) {
+  const int osts = cluster_->pfs().ost_count();
+  // Target set: explicit list, or the stripe layout's OSTs.
+  std::vector<int> targets = options.target_osts;
+  if (targets.empty()) {
+    targets.reserve(static_cast<std::size_t>(info.stripe.stripe_count));
+    for (int k = 0; k < info.stripe.stripe_count; ++k)
+      targets.push_back((info.stripe.ost_offset + k) % osts);
+  }
+
+  // How many distinct stripe pieces does this range cover?
+  const Bytes stripe_size = std::max<Bytes>(1, info.stripe.stripe_size);
+  const auto pieces = static_cast<std::uint64_t>((offset + len + stripe_size - 1) / stripe_size -
+                                                 offset / stripe_size);
+  const std::uint64_t streams =
+      std::min<std::uint64_t>({pieces, targets.size(),
+                               static_cast<std::uint64_t>(options_.max_streams_per_access)});
+
+  StreamPlan plan;
+  plan.sync_targets = static_cast<int>(std::min<std::uint64_t>(pieces, targets.size()));
+  plan.streams.reserve(streams);
+  const Bytes base = len / streams;
+  Bytes leftover = len - base * streams;
+  const std::uint64_t first_piece = offset / stripe_size;
+  for (std::uint64_t s = 0; s < streams; ++s) {
+    Bytes piece_bytes = base + (s < leftover ? 1 : 0);
+    int ost;
+    if (options.coordinated) {
+      // Follow the layout: consecutive pieces round-robin the target set.
+      ost = targets[static_cast<std::size_t>((first_piece + s) % targets.size())];
+    } else {
+      // Uncoordinated: requests land on a random member of the target set.
+      ost = targets[static_cast<std::size_t>(
+          cluster_->rng().NextBelow(static_cast<std::uint64_t>(targets.size())))];
+    }
+    // Merge streams that landed on the same OST.
+    auto it = std::find_if(plan.streams.begin(), plan.streams.end(),
+                           [ost](const auto& p) { return p.first == ost; });
+    if (it != plan.streams.end()) {
+      it->second += piece_bytes;
+    } else {
+      plan.streams.emplace_back(ost, piece_bytes);
+    }
+  }
+  return plan;
+}
+
+namespace {
+sim::Task NicLeg(sim::FairSharePool& pool, Bytes bytes) { co_await pool.Transfer(bytes); }
+sim::Task OstLeg(hw::PfsDevice& dev, int ost, Bytes bytes, double inflation) {
+  co_await dev.Access(ost, bytes, inflation);
+}
+}  // namespace
+
+sim::Task Pfs::Access(FileHandle file, Bytes offset, Bytes len, int node,
+                      AccessOptions options, bool read) {
+  auto& info = *files_.at(static_cast<std::size_t>(file));
+  auto& engine = cluster_->engine();
+  if (len == 0) co_return;
+
+  int& active = read ? info.active_readers : info.active_writers;
+  ++active;
+  if (!read) {
+    ++info.write_calls;
+    info.peak_writers = std::max(info.peak_writers, info.active_writers);
+  }
+  const double inflation = LockInflation(options.layout, active, read);
+
+  const auto plan = PlanStreams(info, offset, len, options);
+
+  // Stripe-count synchronization overhead: one OST association per distinct
+  // stripe target (stream coalescing does not reduce the handshakes).
+  co_await engine.Delay(cluster_->params().pfs.per_ost_sync_overhead *
+                        static_cast<double>(plan.sync_targets));
+
+  std::vector<sim::Task> legs;
+  legs.reserve(plan.streams.size() + 1);
+  auto& nic = read ? cluster_->node(node).nic_rx() : cluster_->node(node).nic_tx();
+  legs.push_back(NicLeg(nic, len));
+  for (const auto& [ost, bytes] : plan.streams)
+    legs.push_back(OstLeg(cluster_->pfs(), ost, bytes, inflation));
+  co_await sim::WhenAll(engine, std::move(legs));
+
+  --active;
+  if (!read) info.size = std::max(info.size, offset + len);
+}
+
+sim::Task Pfs::Write(FileHandle file, Bytes offset, Bytes len, int node, AccessOptions options) {
+  return Access(file, offset, len, node, std::move(options), /*read=*/false);
+}
+
+sim::Task Pfs::Read(FileHandle file, Bytes offset, Bytes len, int node, AccessOptions options) {
+  return Access(file, offset, len, node, std::move(options), /*read=*/true);
+}
+
+}  // namespace uvs::storage

@@ -1,0 +1,122 @@
+// Lustre-like parallel file system semantics over the OST device array:
+// striped files, extent-lock contention for shared-file access, per-OST
+// synchronization overhead, and coordinated vs uncoordinated request
+// direction (§II-D's load-balance discussion).
+//
+// Timing model per Write/Read:
+//  * a synchronization delay proportional to the number of distinct OSTs
+//    the caller contacts (stripe-count overhead [28], [29]);
+//  * the payload moves through the caller node's NIC pool and the target
+//    OST pools concurrently (hose model), with the per-OST bytes inflated
+//    by an extent-lock factor that grows with the number of concurrent
+//    writers sharing the file — unless the layout is file-per-process.
+//  * uncoordinated mode directs each stream to a random OST of the file's
+//    target set (the paper's "write requests are randomly directed to
+//    storage units"), producing balls-into-bins stragglers; coordinated
+//    mode follows the stripe layout exactly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.hpp"
+#include "src/common/units.hpp"
+#include "src/hw/cluster.hpp"
+#include "src/sim/task.hpp"
+
+namespace uvs::storage {
+
+struct StripeConfig {
+  Bytes stripe_size = 1_MiB;
+  int stripe_count = 1;
+  /// First OST of the layout; -1 picks one at random at Create time (the
+  /// Lustre default).
+  int ost_offset = -1;
+};
+
+enum class AccessLayout {
+  /// Many writers, interleaved extents in one file: full lock penalty.
+  kSharedInterleaved,
+  /// Writers own disjoint stripe-aligned ranges: mild lock penalty.
+  kAlignedRanges,
+  /// One file per writer: no lock conflicts.
+  kFilePerProcess,
+};
+
+class Pfs {
+ public:
+  using FileHandle = int;
+
+  struct Options {
+    /// Max concurrent device streams one access fans out to.
+    int max_streams_per_access = 16;
+  };
+
+  explicit Pfs(hw::Cluster& cluster);
+  Pfs(hw::Cluster& cluster, Options options);
+
+  FileHandle Create(std::string name, StripeConfig stripe);
+  Result<FileHandle> Lookup(const std::string& name) const;
+  Bytes FileSize(FileHandle file) const;
+  const StripeConfig& Stripe(FileHandle file) const;
+  int ost_count() const;
+
+  struct AccessOptions {
+    AccessLayout layout = AccessLayout::kSharedInterleaved;
+    /// Explicit OST targets (adaptive striping passes the server's
+    /// distinct set); empty uses the file's stripe layout.
+    std::vector<int> target_osts;
+    /// false = requests randomly directed within the target set.
+    bool coordinated = true;
+  };
+
+  struct StreamPlan {
+    /// Device streams (bandwidth legs), coalesced per OST.
+    std::vector<std::pair<int, Bytes>> streams;
+    /// Distinct OSTs the caller must synchronize with — min(stripe
+    /// targets, stripe pieces); NOT reduced by stream coalescing, because
+    /// the lock/connection handshakes happen per target regardless.
+    int sync_targets = 0;
+  };
+
+  /// Writes `len` bytes at `offset` from compute node `node`.
+  sim::Task Write(FileHandle file, Bytes offset, Bytes len, int node, AccessOptions options);
+  sim::Task Read(FileHandle file, Bytes offset, Bytes len, int node, AccessOptions options);
+
+  /// Concurrent writer count on `file` right now (tests/introspection).
+  int ActiveWriters(FileHandle file) const;
+  /// Total Write calls issued against `file` so far.
+  int WriteCalls(FileHandle file) const;
+  /// Highest concurrent writer count ever observed on `file`.
+  int PeakWriters(FileHandle file) const;
+
+  /// Lock-overhead multiplier for `writers` concurrent writers (>= 1.0).
+  double LockInflation(AccessLayout layout, int writers, bool read) const;
+
+ private:
+  struct FileInfo {
+    std::string name;
+    StripeConfig stripe;
+    Bytes size = 0;
+    int active_writers = 0;
+    int active_readers = 0;
+    int write_calls = 0;
+    int peak_writers = 0;
+  };
+
+  sim::Task Access(FileHandle file, Bytes offset, Bytes len, int node, AccessOptions options,
+                   bool read);
+  /// Distributes `len` across the chosen OSTs.
+  StreamPlan PlanStreams(const FileInfo& info, Bytes offset, Bytes len,
+                         const AccessOptions& options);
+
+  hw::Cluster* cluster_;
+  Options options_;
+  // unique_ptr for address stability: Access() coroutines hold references
+  // across suspension points while new files (e.g. spill logs) are created.
+  std::vector<std::unique_ptr<FileInfo>> files_;
+};
+
+}  // namespace uvs::storage

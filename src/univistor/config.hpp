@@ -1,0 +1,68 @@
+// UniviStor configuration: every optimization the paper evaluates is a
+// toggle here so the benches can ablate them (IA, COC, ADPT, LA, workflow).
+#pragma once
+
+#include "src/common/units.hpp"
+#include "src/hw/params.hpp"
+#include "src/placement/striping.hpp"
+
+namespace uvs::univistor {
+
+struct Config {
+  /// UniviStor server processes per compute node (paper default in the
+  /// evaluation: 2, one per NUMA socket).
+  int servers_per_node = 2;
+
+  /// Collective open/close: only the root rank performs the metadata
+  /// operations and broadcasts the result (§II-F). Also covers the HDF5
+  /// metadata-region optimization.
+  bool collective_open_close = true;
+
+  /// Adaptive data striping for the server-side flush (§II-D). Off means
+  /// the widely-used default: stripe across all OSTs, uncoordinated.
+  bool adaptive_striping = true;
+
+  /// Location-aware read service (§II-B4): local metadata buffer consulted
+  /// first; BB segments fetched directly without a server hop.
+  bool location_aware_reads = true;
+
+  /// Migrate co-located clients off server cores during flushes (§II-C).
+  /// Placement policy itself is chosen when the vmpi::Runtime is built.
+  bool interference_aware_flush = true;
+
+  /// Flush cached data to the PFS when a write-mode file closes.
+  bool flush_on_close = true;
+
+  /// First layer of the DHP cascade: kDram uses DRAM -> [SSD] -> BB -> PFS
+  /// (the paper's UniviStor/DRAM); kSharedBurstBuffer starts at the BB
+  /// (UniviStor/BB); kPfs writes straight to disk (UniviStor/Disk).
+  hw::Layer first_cache_layer = hw::Layer::kDram;
+
+  /// Log-file chunk size (§II-B1).
+  Bytes chunk_size = 32_MiB;
+
+  /// Metadata offset-range size (§II-B3).
+  Bytes metadata_range_size = 8_MiB;
+
+  /// Adaptive striping parameters (alpha, Smax).
+  placement::StripingParams striping;
+
+  /// HDF5-level metadata requests per open/close; each rank pays them
+  /// without COC, only the root with COC.
+  int md_ops_per_open = 4;
+
+  // --- Future-work extensions the paper sketches in §V. ---
+
+  /// Resilience for volatile layers: asynchronously replicate DRAM/SSD
+  /// cached data to the shared burst buffer, so a compute-node failure
+  /// does not lose checkpoints that have not been flushed yet.
+  bool replicate_volatile = false;
+
+  /// Proactive placement based on usage: segments read from a slow or
+  /// remote location are promoted into a per-node DRAM read cache, so
+  /// repeated analysis passes hit locally.
+  bool promote_hot_reads = false;
+  Bytes read_cache_capacity_per_node = 4_GiB;
+};
+
+}  // namespace uvs::univistor

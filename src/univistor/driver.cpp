@@ -1,0 +1,81 @@
+#include "src/univistor/driver.hpp"
+
+namespace uvs::univistor {
+
+UniviStorDriver::State& UniviStorDriver::StateOf(vmpi::File& file) {
+  if (auto* state = file.driver_state<State>()) return *state;
+  auto& state = file.EmplaceDriverState<State>();
+  state.fid = system_->OpenOrCreate(file.options().name);
+  return state;
+}
+
+sim::Task UniviStorDriver::Open(vmpi::File& file, int rank) {
+  State& state = StateOf(file);
+  system_->ConnectProgram(file.program());  // MPI_Init-time connection hook
+  const bool writer = file.options().mode == vmpi::FileMode::kWriteOnly;
+
+  if (system_->config().collective_open_close) {
+    if (rank == 0) {
+      // Lock acquire piggybacks on the collective open (§II-E), then the
+      // root performs the metadata operations for everyone.
+      if (writer) co_await system_->workflow().AcquireWrite(state.fid);
+      else co_await system_->workflow().AcquireRead(state.fid);
+      co_await system_->OpenMetadata(file.program(), rank, state.fid);
+    }
+    co_await file.comm().Bcast(rank);
+  } else {
+    if (rank == 0) {
+      if (writer) co_await system_->workflow().AcquireWrite(state.fid);
+      else co_await system_->workflow().AcquireRead(state.fid);
+    }
+    // Every rank sends its own metadata requests to the same server — the
+    // all-to-one pattern the COC optimization removes.
+    co_await system_->OpenMetadata(file.program(), rank, state.fid);
+  }
+}
+
+sim::Task UniviStorDriver::WriteAt(vmpi::File& file, int rank, Bytes offset, Bytes len) {
+  State& state = StateOf(file);
+  return system_->Write(file.program(), rank, state.fid, offset, len);
+}
+
+sim::Task UniviStorDriver::ReadAt(vmpi::File& file, int rank, Bytes offset, Bytes len) {
+  State& state = StateOf(file);
+  return system_->Read(file.program(), rank, state.fid, offset, len);
+}
+
+sim::Task UniviStorDriver::WaitFlush(vmpi::File& file) {
+  return system_->WaitFlush(StateOf(file).fid);
+}
+
+sim::Task UniviStorDriver::Close(vmpi::File& file, int rank) {
+  State& state = StateOf(file);
+  const bool writer = file.options().mode == vmpi::FileMode::kWriteOnly;
+  ++state.closes;
+
+  if (system_->config().collective_open_close) {
+    if (rank == 0) co_await system_->CloseMetadata(file.program(), rank, state.fid);
+    co_await file.comm().Bcast(rank);
+    if (rank == 0) {
+      if (writer) {
+        co_await system_->workflow().ReleaseWrite(state.fid);
+        if (system_->config().flush_on_close) system_->TriggerFlush(state.fid);
+      } else {
+        co_await system_->workflow().ReleaseRead(state.fid);
+      }
+    }
+  } else {
+    co_await system_->CloseMetadata(file.program(), rank, state.fid);
+    if (state.closes == file.comm().size()) {
+      // Last rank out releases the lock and triggers the flush.
+      if (writer) {
+        co_await system_->workflow().ReleaseWrite(state.fid);
+        if (system_->config().flush_on_close) system_->TriggerFlush(state.fid);
+      } else {
+        co_await system_->workflow().ReleaseRead(state.fid);
+      }
+    }
+  }
+}
+
+}  // namespace uvs::univistor

@@ -1,0 +1,36 @@
+// UniviStor's MPI-IO (ADIO) client driver (§II-F): redirects the
+// application's parallel I/O to the UniviStor service. Selected the way
+// ROMIO_FSTYPE_FORCE=UniviStor selects the real driver.
+#pragma once
+
+#include "src/sim/task.hpp"
+#include "src/univistor/system.hpp"
+#include "src/vmpi/file.hpp"
+
+namespace uvs::univistor {
+
+class UniviStorDriver : public vmpi::AdioDriver {
+ public:
+  explicit UniviStorDriver(UniviStor& system) : system_(&system) {}
+
+  const char* fs_type() const override { return "univistor"; }
+
+  sim::Task Open(vmpi::File& file, int rank) override;
+  sim::Task WriteAt(vmpi::File& file, int rank, Bytes offset, Bytes len) override;
+  sim::Task ReadAt(vmpi::File& file, int rank, Bytes offset, Bytes len) override;
+  sim::Task Close(vmpi::File& file, int rank) override;
+  sim::Task WaitFlush(vmpi::File& file) override;
+
+  UniviStor& system() { return *system_; }
+
+ private:
+  struct State {
+    storage::FileId fid = 0;
+    int closes = 0;
+  };
+  State& StateOf(vmpi::File& file);
+
+  UniviStor* system_;
+};
+
+}  // namespace uvs::univistor

@@ -1,0 +1,573 @@
+#include "src/univistor/system.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+#include "src/sim/combinators.hpp"
+
+namespace uvs::univistor {
+
+namespace {
+
+sim::Task PoolLeg(sim::FairSharePool& pool, Bytes bytes) { co_await pool.Transfer(bytes); }
+
+sim::Task BbLeg(hw::BurstBuffer& bb, int bb_node, Bytes bytes) {
+  co_await bb.Access(bb_node, bytes, 1.0);
+}
+
+/// Ranks of a block-mapped program that land on `node`.
+int LocalRanksOnNode(int node, int program_size, int nodes) {
+  const int per_node = (program_size + nodes - 1) / nodes;
+  return std::clamp(program_size - node * per_node, 0, per_node);
+}
+
+}  // namespace
+
+UniviStor::UniviStor(vmpi::Runtime& runtime, storage::Pfs& pfs,
+                     workflow::WorkflowManager& workflow, Config config)
+    : runtime_(&runtime), pfs_(&pfs), workflow_(&workflow), config_(config) {
+  hw::Cluster& cluster = runtime.cluster();
+  const int nodes = cluster.node_count();
+  total_servers_ = nodes * config_.servers_per_node;
+
+  // Launch the server program across all compute nodes; servers idle
+  // between flushes (§II-C's state-aware scheduling relies on this).
+  server_program_ = runtime.LaunchProgram("univistor-server", total_servers_,
+                                          /*is_server=*/true);
+  for (int s = 0; s < total_servers_; ++s) runtime.SetRankBusy(server_program_, s, false);
+
+  for (int n = 0; n < nodes; ++n) {
+    node_dram_.push_back(std::make_unique<storage::LayerStore>(
+        hw::Layer::kDram, cluster.params().node.dram_cache_capacity, config_.chunk_size));
+    node_ssd_.push_back(cluster.params().node.has_local_ssd
+                            ? std::make_unique<storage::LayerStore>(
+                                  hw::Layer::kNodeLocalSsd,
+                                  cluster.params().node.ssd_capacity, config_.chunk_size)
+                            : nullptr);
+  }
+  bb_store_ = std::make_unique<storage::LayerStore>(
+      hw::Layer::kSharedBurstBuffer, cluster.burst_buffer().total_capacity(),
+      config_.chunk_size);
+
+  metadata_ = std::make_unique<meta::DistributedMetadataService>(total_servers_,
+                                                                 config_.metadata_range_size);
+  node_md_buffer_.resize(static_cast<std::size_t>(nodes));
+  read_cache_index_.resize(static_cast<std::size_t>(nodes));
+  for (int n = 0; n < nodes; ++n) {
+    read_cache_.push_back(std::make_unique<storage::LayerStore>(
+        hw::Layer::kDram, config_.read_cache_capacity_per_node, config_.chunk_size));
+  }
+  md_queue_.reserve(static_cast<std::size_t>(total_servers_));
+  for (int s = 0; s < total_servers_; ++s)
+    md_queue_.push_back(std::make_unique<sim::Mutex>(cluster.engine()));
+}
+
+UniviStor::~UniviStor() = default;
+
+void UniviStor::ConnectProgram(vmpi::ProgramId program) {
+  connected_.insert(program);
+  had_client_ = true;
+}
+
+void UniviStor::DisconnectProgram(vmpi::ProgramId program) { connected_.erase(program); }
+
+storage::FileId UniviStor::OpenOrCreate(const std::string& name) {
+  if (auto it = names_.find(name); it != names_.end()) return it->second;
+  const auto fid = static_cast<storage::FileId>(files_.size());
+  names_.emplace(name, fid);
+  auto info = std::make_unique<FileInfo>();
+  info->name = name;
+  files_.push_back(std::move(info));
+  return fid;
+}
+
+UniviStor::FileInfo& UniviStor::Info(storage::FileId fid) {
+  return *files_.at(static_cast<std::size_t>(fid));
+}
+
+const UniviStor::FileInfo* UniviStor::FindInfo(storage::FileId fid) const {
+  return fid < files_.size() ? files_[static_cast<std::size_t>(fid)].get() : nullptr;
+}
+
+Bytes UniviStor::LogicalSize(storage::FileId fid) const {
+  const FileInfo* info = FindInfo(fid);
+  return info != nullptr ? info->logical_size : 0;
+}
+
+placement::DhpWriterChain& UniviStor::Chain(FileInfo& info, vmpi::ProgramId program,
+                                            int rank) {
+  const ProducerId producer = MakeProducer(program, rank);
+  if (auto it = info.chains.find(producer); it != info.chains.end()) return *it->second;
+
+  const int node = runtime_->Rank(program, rank).node;
+  const int nodes = runtime_->cluster().node_count();
+  const int program_size = runtime_->ProgramSize(program);
+  const int local_clients =
+      std::max(1, LocalRanksOnNode(node, program_size, nodes));
+
+  std::vector<storage::LayerStore*> stores;
+  std::vector<Bytes> requested;
+  if (config_.first_cache_layer == hw::Layer::kDram) {
+    storage::LayerStore& dram = *node_dram_[static_cast<std::size_t>(node)];
+    stores.push_back(&dram);
+    requested.push_back(placement::DefaultLogCapacity(dram.capacity(), local_clients));
+    if (node_ssd_[static_cast<std::size_t>(node)] != nullptr) {
+      storage::LayerStore& ssd = *node_ssd_[static_cast<std::size_t>(node)];
+      stores.push_back(&ssd);
+      requested.push_back(placement::DefaultLogCapacity(ssd.capacity(), local_clients));
+    }
+  }
+  if (config_.first_cache_layer == hw::Layer::kDram ||
+      config_.first_cache_layer == hw::Layer::kSharedBurstBuffer) {
+    stores.push_back(bb_store_.get());
+    requested.push_back(
+        placement::DefaultLogCapacity(bb_store_->capacity(), std::max(1, program_size)));
+  }
+  // first_cache_layer == kPfs: no cache layers, everything spills to disk.
+
+  auto chain = std::make_unique<placement::DhpWriterChain>(
+      storage::LogKey{OpenOrCreate(info.name), producer}, std::move(stores), requested);
+  auto [it, inserted] = info.chains.emplace(producer, std::move(chain));
+  assert(inserted);
+  return *it->second;
+}
+
+sim::Task UniviStor::MetadataRpc(int client_node, int server_idx, int ops) {
+  hw::Cluster& cluster = runtime_->cluster();
+  co_await cluster.network().RoundTrip(client_node, ServerNode(server_idx));
+  auto guard = co_await md_queue_[static_cast<std::size_t>(server_idx)]->Lock();
+  co_await cluster.engine().Delay(static_cast<double>(ops) *
+                                  cluster.params().rpc_service_time);
+}
+
+sim::Task UniviStor::OpenMetadata(vmpi::ProgramId program, int rank, storage::FileId fid) {
+  const int server = static_cast<int>(std::hash<storage::FileId>{}(fid) %
+                                      static_cast<std::size_t>(total_servers_));
+  const int node = runtime_->Rank(program, rank).node;
+  if (config_.collective_open_close) {
+    // Root-only metadata operation; the driver broadcasts the result.
+    if (rank == 0) co_await MetadataRpc(node, server, config_.md_ops_per_open);
+  } else {
+    co_await MetadataRpc(node, server, config_.md_ops_per_open);
+  }
+}
+
+sim::Task UniviStor::CloseMetadata(vmpi::ProgramId program, int rank, storage::FileId fid) {
+  return OpenMetadata(program, rank, fid);  // same traffic pattern
+}
+
+int UniviStor::BbNodeOf(ProducerId producer) const {
+  const int bb_nodes = runtime_->cluster().burst_buffer().node_count();
+  return static_cast<int>(static_cast<std::uint64_t>(producer) * 0x9e3779b97f4a7c15ull %
+                          static_cast<std::uint64_t>(bb_nodes));
+}
+
+storage::Pfs::FileHandle UniviStor::PfsDestination(FileInfo& info) {
+  if (info.pfs_file < 0) {
+    info.pfs_file = pfs_->Create(info.name, storage::StripeConfig{
+                                                .stripe_size = 1_MiB,
+                                                .stripe_count = pfs_->ost_count()});
+  }
+  return info.pfs_file;
+}
+
+sim::Task UniviStor::ChargeWrite(vmpi::ProgramId program, int rank, FileInfo& info,
+                                 placement::Placement placement, Bytes logical_offset) {
+  hw::Cluster& cluster = runtime_->cluster();
+  const int node = runtime_->Rank(program, rank).node;
+  const Bytes len = placement.extent.len;
+  std::vector<sim::Task> legs;
+  legs.push_back(PoolLeg(runtime_->RankCpu(program, rank), len));
+  switch (placement.layer) {
+    case hw::Layer::kDram:
+      legs.push_back(PoolLeg(runtime_->RankDram(program, rank), len));
+      break;
+    case hw::Layer::kNodeLocalSsd:
+      legs.push_back(PoolLeg(cluster.node(node).local_ssd(), len));
+      break;
+    case hw::Layer::kSharedBurstBuffer:
+      legs.push_back(PoolLeg(cluster.node(node).nic_tx(), len));
+      legs.push_back(
+          BbLeg(cluster.burst_buffer(), BbNodeOf(MakeProducer(program, rank)), len));
+      break;
+    case hw::Layer::kPfs: {
+      // Spill tail / UniviStor-on-Disk: the bytes go straight into the
+      // shared destination file on the PFS, paying the shared-file costs
+      // the cache layers exist to avoid.
+      legs.push_back(pfs_->Write(PfsDestination(info), logical_offset, len, node,
+                                 {.layout = storage::AccessLayout::kSharedInterleaved}));
+      break;
+    }
+  }
+  co_await sim::WhenAll(cluster.engine(), std::move(legs));
+}
+
+sim::Task UniviStor::Write(vmpi::ProgramId program, int rank, storage::FileId fid,
+                           Bytes offset, Bytes len) {
+  FileInfo& info = Info(fid);
+  placement::DhpWriterChain& chain = Chain(info, program, rank);
+  const int node = runtime_->Rank(program, rank).node;
+  const ProducerId producer = MakeProducer(program, rank);
+
+  const auto placements = chain.Append(len);
+
+  // Metadata records follow the data pieces through the logical range.
+  std::vector<int> touched;
+  Bytes cursor = offset;
+  for (const auto& placement : placements) {
+    const meta::MetadataRecord record{fid, cursor, placement.extent.len, producer,
+                                      placement.va};
+    for (int server : metadata_->Insert(record))
+      if (std::find(touched.begin(), touched.end(), server) == touched.end())
+        touched.push_back(server);
+    node_md_buffer_[static_cast<std::size_t>(node)].Insert(record);
+    cursor += placement.extent.len;
+  }
+  info.logical_size = std::max(info.logical_size, offset + len);
+
+  // Data movement and the piggybacked metadata RPCs.
+  std::vector<sim::Task> legs;
+  Bytes leg_cursor = offset;
+  for (const auto& placement : placements) {
+    legs.push_back(ChargeWrite(program, rank, info, placement, leg_cursor));
+    leg_cursor += placement.extent.len;
+  }
+  co_await sim::WhenAll(runtime_->engine(), std::move(legs));
+  for (int server : touched) co_await MetadataRpc(node, server, 1);
+
+  // Resilience extension: replicate volatile-layer data to the BB in the
+  // background (the client does not wait for it).
+  if (config_.replicate_volatile) {
+    for (const auto& placement : placements) {
+      if (placement.layer == hw::Layer::kDram ||
+          placement.layer == hw::Layer::kNodeLocalSsd) {
+        runtime_->engine().Spawn(ReplicateTask(node, producer, placement.extent.len),
+                                 "replicate");
+      }
+    }
+  }
+}
+
+sim::Task UniviStor::ReplicateTask(int node, ProducerId producer, Bytes len) {
+  hw::Cluster& cluster = runtime_->cluster();
+  std::vector<sim::Task> legs;
+  legs.push_back(PoolLeg(cluster.node(node).nic_tx(), len));
+  legs.push_back(BbLeg(cluster.burst_buffer(), BbNodeOf(producer), len));
+  co_await sim::WhenAll(cluster.engine(), std::move(legs));
+  replicated_bytes_ += len;
+}
+
+void UniviStor::FailNode(int node) { failed_nodes_.insert(node); }
+
+bool UniviStor::NodeFailed(int node) const { return failed_nodes_.contains(node); }
+
+void UniviStor::Promote(int node, const meta::MetadataRecord& record) {
+  storage::LayerStore& cache = *read_cache_[static_cast<std::size_t>(node)];
+  // One synthetic producer per node keys the cache log for this file.
+  const storage::LogKey key{record.fid, -(node + 1)};
+  storage::LogFile* log = cache.OpenLog(key, config_.read_cache_capacity_per_node);
+  if (log == nullptr) return;
+  Bytes granted = 0;
+  for (const auto& extent : log->AppendUpTo(record.len)) granted += extent.len;
+  if (granted == 0) return;  // cache full: best effort, no eviction
+  meta::MetadataRecord cached = record;
+  cached.len = granted;
+  read_cache_index_[static_cast<std::size_t>(node)].Insert(cached);
+  promoted_bytes_ += granted;
+}
+
+sim::Task UniviStor::ReadRecord(vmpi::ProgramId program, int rank, FileInfo& info,
+                                const meta::MetadataRecord& record) {
+  hw::Cluster& cluster = runtime_->cluster();
+  const int reader_node = runtime_->Rank(program, rank).node;
+  const Bytes len = record.len;
+
+  auto chain_it = info.chains.find(record.producer);
+  if (chain_it == info.chains.end()) {
+    // No cached copy (e.g. data only exists as the flushed PFS file).
+    if (info.pfs_file >= 0) {
+      co_await pfs_->Read(info.pfs_file, record.offset, len, reader_node,
+                          {.layout = storage::AccessLayout::kAlignedRanges});
+    }
+    co_return;
+  }
+  const auto decoded = chain_it->second->codec().Decode(record.va);
+  assert(decoded.ok());
+  const int producer_node =
+      runtime_->Rank(ProducerProgram(record.producer), ProducerRank(record.producer)).node;
+  const bool local = producer_node == reader_node;
+  const bool la = config_.location_aware_reads;
+
+  // Resilience: volatile data on a failed node is served from the BB
+  // replica, or from the flushed PFS copy, or counted as lost.
+  if ((decoded->layer == hw::Layer::kDram || decoded->layer == hw::Layer::kNodeLocalSsd) &&
+      NodeFailed(producer_node)) {
+    if (config_.replicate_volatile) {
+      std::vector<sim::Task> replica_legs;
+      replica_legs.push_back(BbLeg(cluster.burst_buffer(), BbNodeOf(record.producer), len));
+      replica_legs.push_back(PoolLeg(cluster.node(reader_node).nic_rx(), len));
+      replica_legs.push_back(PoolLeg(runtime_->RankCpu(program, rank), len));
+      co_await sim::WhenAll(cluster.engine(), std::move(replica_legs));
+    } else if (info.pfs_file >= 0) {
+      co_await pfs_->Read(info.pfs_file, record.offset, len, reader_node,
+                          {.layout = storage::AccessLayout::kAlignedRanges});
+    } else {
+      ++lost_reads_;
+    }
+    co_return;
+  }
+
+  std::vector<sim::Task> legs;
+  switch (decoded->layer) {
+    case hw::Layer::kDram:
+    case hw::Layer::kNodeLocalSsd: {
+      if (local) {
+        // Without LA the request detours through the co-located server and
+        // pays an extra memory copy (§II-B4).
+        const Bytes moved = la ? len : 2 * len;
+        legs.push_back(PoolLeg(runtime_->RankCpu(program, rank), moved));
+        if (decoded->layer == hw::Layer::kDram) {
+          legs.push_back(PoolLeg(runtime_->RankDram(program, rank), moved));
+        } else {
+          legs.push_back(PoolLeg(cluster.node(reader_node).local_ssd(), len));
+        }
+      } else {
+        // Remote segment: served by the server co-located with the data.
+        co_await cluster.network().RoundTrip(reader_node, producer_node);
+        const int remote_server =
+            producer_node * config_.servers_per_node +
+            static_cast<int>(record.va % static_cast<Bytes>(config_.servers_per_node));
+        legs.push_back(PoolLeg(runtime_->RankCpu(server_program_, remote_server), len));
+        if (decoded->layer == hw::Layer::kDram) {
+          legs.push_back(PoolLeg(runtime_->RankDram(server_program_, remote_server), len));
+        } else {
+          legs.push_back(PoolLeg(cluster.node(producer_node).local_ssd(), len));
+        }
+        legs.push_back(cluster.network().Transfer(producer_node, reader_node, len));
+        legs.push_back(PoolLeg(runtime_->RankCpu(program, rank), len));
+      }
+      break;
+    }
+    case hw::Layer::kSharedBurstBuffer: {
+      legs.push_back(BbLeg(cluster.burst_buffer(), BbNodeOf(record.producer), len));
+      legs.push_back(PoolLeg(cluster.node(reader_node).nic_rx(), len));
+      if (la) {
+        legs.push_back(PoolLeg(runtime_->RankCpu(program, rank), len));
+      } else {
+        // Detour via the producer-side server: extra network hop + copy.
+        legs.push_back(cluster.network().Transfer(producer_node, reader_node, len));
+        legs.push_back(PoolLeg(runtime_->RankCpu(program, rank), 2 * len));
+      }
+      break;
+    }
+    case hw::Layer::kPfs: {
+      if (info.pfs_file >= 0) {
+        legs.push_back(pfs_->Read(info.pfs_file, record.offset, len, reader_node,
+                                  {.layout = storage::AccessLayout::kSharedInterleaved}));
+      }
+      legs.push_back(PoolLeg(runtime_->RankCpu(program, rank), len));
+      break;
+    }
+  }
+  co_await sim::WhenAll(cluster.engine(), std::move(legs));
+
+  // Proactive placement: promote data served from a slow or remote
+  // location into the reader node's DRAM read cache.
+  if (config_.promote_hot_reads &&
+      (!local || decoded->layer == hw::Layer::kSharedBurstBuffer ||
+       decoded->layer == hw::Layer::kPfs)) {
+    Promote(reader_node, record);
+  }
+}
+
+sim::Task UniviStor::Read(vmpi::ProgramId program, int rank, storage::FileId fid,
+                          Bytes offset, Bytes len) {
+  FileInfo& info = Info(fid);
+  const int node = runtime_->Rank(program, rank).node;
+
+  std::vector<std::pair<Bytes, Bytes>> pieces{{offset, len}};
+
+  // Proactive-placement read cache first: promoted segments are DRAM-local
+  // regardless of where their canonical copy lives.
+  if (config_.promote_hot_reads) {
+    auto& cache_index = read_cache_index_[static_cast<std::size_t>(node)];
+    std::vector<std::pair<Bytes, Bytes>> misses;
+    std::vector<sim::Task> hit_legs;
+    for (const auto& [piece_offset, piece_len] : pieces) {
+      Bytes cursor = piece_offset;
+      for (const auto& hit : cache_index.Query(fid, piece_offset, piece_len)) {
+        if (hit.offset > cursor) misses.emplace_back(cursor, hit.offset - cursor);
+        hit_legs.push_back(PoolLeg(runtime_->RankCpu(program, rank), hit.len));
+        hit_legs.push_back(PoolLeg(runtime_->RankDram(program, rank), hit.len));
+        ++read_cache_hits_;
+        cursor = hit.end();
+      }
+      if (cursor < piece_offset + piece_len)
+        misses.emplace_back(cursor, piece_offset + piece_len - cursor);
+    }
+    co_await sim::WhenAll(runtime_->engine(), std::move(hit_legs));
+    pieces = std::move(misses);
+  }
+
+  std::vector<meta::MetadataRecord> to_read;
+  std::vector<std::pair<Bytes, Bytes>> uncovered;
+
+  if (config_.location_aware_reads) {
+    // Local metadata buffer next: locally produced segments bypass the
+    // servers entirely (§II-B4).
+    for (const auto& [piece_offset, piece_len] : pieces) {
+      Bytes cursor = piece_offset;
+      for (const auto& hit :
+           node_md_buffer_[static_cast<std::size_t>(node)].Query(fid, piece_offset,
+                                                                 piece_len)) {
+        if (hit.offset > cursor) uncovered.emplace_back(cursor, hit.offset - cursor);
+        to_read.push_back(hit);
+        cursor = hit.end();
+      }
+      if (cursor < piece_offset + piece_len)
+        uncovered.emplace_back(cursor, piece_offset + piece_len - cursor);
+    }
+  } else {
+    uncovered = pieces;
+    // The request is delegated to the co-located server (§II-A).
+    co_await runtime_->cluster().network().RoundTrip(node, node);
+  }
+
+  // Distributed metadata lookup for everything not resolved locally.
+  for (const auto& [piece_offset, piece_len] : uncovered) {
+    for (int server : metadata_->partitioner().ServersFor(piece_offset, piece_len))
+      co_await MetadataRpc(node, server, 1);
+    auto records = metadata_->Query(fid, piece_offset, piece_len);
+    to_read.insert(to_read.end(), records.begin(), records.end());
+  }
+
+  std::vector<sim::Task> legs;
+  legs.reserve(to_read.size());
+  for (const auto& record : to_read) legs.push_back(ReadRecord(program, rank, info, record));
+  co_await sim::WhenAll(runtime_->engine(), std::move(legs));
+}
+
+sim::Task UniviStor::ServerFlushShare(FileInfo& info, int server_idx, Bytes range_offset,
+                                      Bytes dram_bytes, Bytes bb_bytes,
+                                      const placement::StripePlan& plan, bool coordinated) {
+  hw::Cluster& cluster = runtime_->cluster();
+  const int node = ServerNode(server_idx);
+  runtime_->SetRankBusy(server_program_, server_idx, true);
+
+  const Bytes total = dram_bytes + bb_bytes;
+  std::vector<sim::Task> legs;
+  if (dram_bytes > 0) {
+    legs.push_back(PoolLeg(runtime_->RankCpu(server_program_, server_idx), dram_bytes));
+    legs.push_back(PoolLeg(runtime_->RankDram(server_program_, server_idx), dram_bytes));
+  }
+  if (bb_bytes > 0) {
+    legs.push_back(BbLeg(cluster.burst_buffer(),
+                         server_idx % cluster.burst_buffer().node_count(), bb_bytes));
+    legs.push_back(PoolLeg(cluster.node(node).nic_rx(), bb_bytes));
+  }
+  if (total > 0) {
+    legs.push_back(pfs_->Write(info.pfs_file, range_offset, total, node,
+                               {.layout = storage::AccessLayout::kAlignedRanges,
+                                .target_osts = plan.TargetsFor(server_idx),
+                                .coordinated = coordinated}));
+  }
+  co_await sim::WhenAll(cluster.engine(), std::move(legs));
+  runtime_->SetRankBusy(server_program_, server_idx, false);
+}
+
+sim::Task UniviStor::FlushTask(storage::FileId fid) {
+  FileInfo& info = Info(fid);
+  hw::Cluster& cluster = runtime_->cluster();
+  const Time start = cluster.engine().Now();
+
+  co_await workflow_->AcquireFlush(fid);
+
+  // Bytes still cached above the PFS.
+  Bytes dram_total = 0, bb_total = 0;
+  for (const auto& [producer, chain] : info.chains) {
+    dram_total += chain->PlacedOn(hw::Layer::kDram) + chain->PlacedOn(hw::Layer::kNodeLocalSsd);
+    bb_total += chain->PlacedOn(hw::Layer::kSharedBurstBuffer);
+  }
+  // Only bytes cached since the previous flush need to move (cached data
+  // is never evicted, so the watermark is monotonic).
+  const Bytes cached = dram_total + bb_total;
+  const Bytes total = cached > info.flushed_watermark ? cached - info.flushed_watermark : 0;
+  if (total == 0) {
+    co_await workflow_->ReleaseFlush(fid);
+    info.flush_in_flight = false;
+    co_return;
+  }
+  info.flushed_watermark = cached;
+  // Split the delta across layers in proportion to the cached mix.
+  dram_total = static_cast<Bytes>(static_cast<unsigned __int128>(total) * dram_total / cached);
+  bb_total = total - dram_total;
+
+  PfsDestination(info);
+
+  const placement::StripePlan plan =
+      config_.adaptive_striping
+          ? placement::PlanAdaptiveStriping(total, total_servers_, pfs_->ost_count(),
+                                            config_.striping)
+          : placement::PlanDefaultStriping(total, total_servers_, pfs_->ost_count());
+
+  if (config_.interference_aware_flush) runtime_->BeginServerFlushAllNodes();
+
+  std::vector<sim::Task> shares;
+  Bytes range_offset = 0;
+  for (int s = 0; s < total_servers_; ++s) {
+    const Bytes share = plan.RangeBytesFor(s, total);
+    // 128-bit intermediate: share * dram_total overflows 64 bits at tens
+    // of GB.
+    const Bytes dram_share =
+        total > 0 ? static_cast<Bytes>(static_cast<unsigned __int128>(share) * dram_total /
+                                       total)
+                  : 0;
+    const Bytes bb_share = share - dram_share;
+    shares.push_back(ServerFlushShare(info, s, range_offset, dram_share, bb_share, plan,
+                                      config_.adaptive_striping));
+    range_offset += share;
+  }
+  co_await sim::WhenAll(cluster.engine(), std::move(shares));
+
+  if (config_.interference_aware_flush) runtime_->EndServerFlushAllNodes();
+  co_await workflow_->ReleaseFlush(fid);
+
+  const Time duration = cluster.engine().Now() - start;
+  flush_stats_.flushes += 1;
+  flush_stats_.bytes_flushed += total;
+  flush_stats_.last_flush_duration = duration;
+  flush_stats_.total_flush_time += duration;
+  info.flush_in_flight = false;
+}
+
+void UniviStor::TriggerFlush(storage::FileId fid) {
+  FileInfo& info = Info(fid);
+  if (info.flush_in_flight) return;
+  info.flush_in_flight = true;
+  info.flush_process =
+      runtime_->engine().Spawn(FlushTask(fid), "flush:" + info.name);
+}
+
+sim::Task UniviStor::WaitFlush(storage::FileId fid) {
+  FileInfo& info = Info(fid);
+  if (info.flush_process.valid() && !info.flush_process.finished())
+    co_await info.flush_process.Done().Wait();
+}
+
+sim::Task UniviStor::WaitAllFlushes() {
+  for (auto& info : files_) {
+    if (info->flush_process.valid() && !info->flush_process.finished())
+      co_await info->flush_process.Done().Wait();
+  }
+}
+
+Bytes UniviStor::CachedOn(storage::FileId fid, hw::Layer layer) const {
+  const FileInfo* info = FindInfo(fid);
+  if (info == nullptr) return 0;
+  Bytes total = 0;
+  for (const auto& [producer, chain] : info->chains) total += chain->PlacedOn(layer);
+  return total;
+}
+
+}  // namespace uvs::univistor

@@ -1,0 +1,200 @@
+// The UniviStor integrated storage system (§II).
+//
+// Owns the server program (servers_per_node ranks on every compute node),
+// the per-layer stores (node DRAM, optional node SSD, shared BB), the
+// distributed metadata service, the per-node shared metadata buffers, the
+// DHP writer chains, and the server-side flush service. The MPI-IO client
+// driver (driver.hpp) calls into this object; connection management mirrors
+// the paper's MPI_Init/MPI_Finalize hooks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/meta/record_index.hpp"
+#include "src/meta/service.hpp"
+#include "src/placement/dhp.hpp"
+#include "src/sim/sync.hpp"
+#include "src/storage/pfs.hpp"
+#include "src/univistor/config.hpp"
+#include "src/vmpi/file.hpp"
+#include "src/vmpi/runtime.hpp"
+#include "src/workflow/manager.hpp"
+
+namespace uvs::univistor {
+
+/// Globally unique producer id for a (program, rank) pair.
+using ProducerId = std::int64_t;
+constexpr ProducerId MakeProducer(vmpi::ProgramId program, int rank) {
+  return (static_cast<ProducerId>(program) << 32) | static_cast<std::uint32_t>(rank);
+}
+constexpr vmpi::ProgramId ProducerProgram(ProducerId id) {
+  return static_cast<vmpi::ProgramId>(id >> 32);
+}
+constexpr int ProducerRank(ProducerId id) { return static_cast<int>(id & 0xffffffff); }
+
+class UniviStor {
+ public:
+  struct FlushStats {
+    int flushes = 0;
+    Bytes bytes_flushed = 0;
+    Time last_flush_duration = 0;
+    Time total_flush_time = 0;
+  };
+
+  UniviStor(vmpi::Runtime& runtime, storage::Pfs& pfs, workflow::WorkflowManager& workflow,
+            Config config);
+  UniviStor(const UniviStor&) = delete;
+  UniviStor& operator=(const UniviStor&) = delete;
+  ~UniviStor();
+
+  const Config& config() const { return config_; }
+  vmpi::Runtime& runtime() { return *runtime_; }
+  workflow::WorkflowManager& workflow() { return *workflow_; }
+  storage::Pfs& pfs() { return *pfs_; }
+  int total_servers() const { return total_servers_; }
+
+  // --- Connection management (MPI_Init / MPI_Finalize hooks, §II-A). ---
+  void ConnectProgram(vmpi::ProgramId program);
+  void DisconnectProgram(vmpi::ProgramId program);
+  int connected_programs() const { return static_cast<int>(connected_.size()); }
+  /// Servers terminate once every client application has exited.
+  bool shut_down() const { return had_client_ && connected_.empty(); }
+
+  // --- File namespace. ---
+  storage::FileId OpenOrCreate(const std::string& name);
+  Bytes LogicalSize(storage::FileId fid) const;
+
+  // --- Client request paths, invoked by the ADIO driver. ---
+  /// Metadata open/close traffic for one collective operation.
+  sim::Task OpenMetadata(vmpi::ProgramId program, int rank, storage::FileId fid);
+  sim::Task CloseMetadata(vmpi::ProgramId program, int rank, storage::FileId fid);
+
+  /// Caches `len` bytes of `fid` at logical `offset`, written by (program,
+  /// rank), into the DHP hierarchy; inserts metadata records.
+  sim::Task Write(vmpi::ProgramId program, int rank, storage::FileId fid, Bytes offset,
+                  Bytes len);
+
+  /// Location-aware read of [offset, offset+len).
+  sim::Task Read(vmpi::ProgramId program, int rank, storage::FileId fid, Bytes offset,
+                 Bytes len);
+
+  /// Asynchronous server-side flush of `fid` to the PFS; returns once the
+  /// flush has been *started* (it runs as its own simulation process).
+  void TriggerFlush(storage::FileId fid);
+  /// Completes when no flush for `fid` is in flight (immediately if none
+  /// ever started).
+  sim::Task WaitFlush(storage::FileId fid);
+  sim::Task WaitAllFlushes();
+
+  const FlushStats& flush_stats() const { return flush_stats_; }
+  /// Bytes of `fid` currently cached per layer (summed over producers).
+  Bytes CachedOn(storage::FileId fid, hw::Layer layer) const;
+
+  // --- Resilience extension (§V future work). ---
+  /// Marks a compute node's volatile layers (DRAM/SSD) as lost. Reads of
+  /// affected segments fall back to the BB replica (when
+  /// config.replicate_volatile is on) or to the flushed PFS copy.
+  void FailNode(int node);
+  bool NodeFailed(int node) const;
+  /// Bytes replicated to the BB so far.
+  Bytes replicated_bytes() const { return replicated_bytes_; }
+  /// Reads that found neither a replica nor a PFS copy after a failure.
+  int lost_reads() const { return lost_reads_; }
+
+  // --- Proactive placement extension (§V future work). ---
+  /// Bytes promoted into node-local read caches so far.
+  Bytes promoted_bytes() const { return promoted_bytes_; }
+  int read_cache_hits() const { return read_cache_hits_; }
+
+ private:
+  struct FileInfo {
+    std::string name;
+    Bytes logical_size = 0;
+    std::map<ProducerId, std::unique_ptr<placement::DhpWriterChain>> chains;
+    storage::Pfs::FileHandle pfs_file = -1;  // destination / spill target
+    sim::Process flush_process;
+    bool flush_in_flight = false;
+    Bytes flushed_watermark = 0;  // cached bytes already persisted
+  };
+
+  FileInfo& Info(storage::FileId fid);
+  const FileInfo* FindInfo(storage::FileId fid) const;
+
+  /// Lazily builds the producer's DHP chain with c/p log capacities.
+  placement::DhpWriterChain& Chain(FileInfo& info, vmpi::ProgramId program, int rank);
+
+  /// Metadata RPC from a client node to metadata server `server_idx`
+  /// (service time is serialized per server).
+  sim::Task MetadataRpc(int client_node, int server_idx, int ops);
+
+  int ServerNode(int server_idx) const { return server_idx / config_.servers_per_node; }
+
+  /// Device-charging legs for one placed extent written by (program, rank)
+  /// at logical file offset `logical_offset`.
+  sim::Task ChargeWrite(vmpi::ProgramId program, int rank, FileInfo& info,
+                        placement::Placement placement, Bytes logical_offset);
+
+  /// Lazily creates the file's PFS destination (shared, striped wide).
+  storage::Pfs::FileHandle PfsDestination(FileInfo& info);
+
+  /// Read one metadata record's bytes to (program, rank).
+  sim::Task ReadRecord(vmpi::ProgramId program, int rank, FileInfo& info,
+                       const meta::MetadataRecord& record);
+
+  sim::Task FlushTask(storage::FileId fid);
+  sim::Task ServerFlushShare(FileInfo& info, int server_idx, Bytes range_offset,
+                             Bytes dram_bytes, Bytes bb_bytes,
+                             const placement::StripePlan& plan, bool coordinated);
+
+  int BbNodeOf(ProducerId producer) const;
+
+  /// Async BB replication of a volatile-layer placement (resilience).
+  sim::Task ReplicateTask(int node, ProducerId producer, Bytes len);
+
+  /// Inserts the just-read record into `node`'s read cache (promotion).
+  void Promote(int node, const meta::MetadataRecord& record);
+
+  vmpi::Runtime* runtime_;
+  storage::Pfs* pfs_;
+  workflow::WorkflowManager* workflow_;
+  Config config_;
+
+  vmpi::ProgramId server_program_ = -1;
+  int total_servers_ = 0;
+
+  // Storage state.
+  std::vector<std::unique_ptr<storage::LayerStore>> node_dram_;
+  std::vector<std::unique_ptr<storage::LayerStore>> node_ssd_;  // may hold nullptr
+  std::unique_ptr<storage::LayerStore> bb_store_;
+
+  // Metadata state.
+  std::unique_ptr<meta::DistributedMetadataService> metadata_;
+  std::vector<meta::RecordIndex> node_md_buffer_;     // per node (§II-B4)
+  std::vector<std::unique_ptr<sim::Mutex>> md_queue_;  // per server service queue
+
+  // Namespace.
+  std::map<std::string, storage::FileId> names_;
+  std::vector<std::unique_ptr<FileInfo>> files_;
+
+  // Connection management.
+  std::set<vmpi::ProgramId> connected_;
+  bool had_client_ = false;
+
+  // Extensions.
+  std::set<int> failed_nodes_;
+  Bytes replicated_bytes_ = 0;
+  int lost_reads_ = 0;
+  std::vector<std::unique_ptr<storage::LayerStore>> read_cache_;  // per node
+  std::vector<meta::RecordIndex> read_cache_index_;               // per node
+  Bytes promoted_bytes_ = 0;
+  int read_cache_hits_ = 0;
+
+  FlushStats flush_stats_;
+};
+
+}  // namespace uvs::univistor

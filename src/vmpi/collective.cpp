@@ -1,0 +1,112 @@
+#include "src/vmpi/collective.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/sim/combinators.hpp"
+
+namespace uvs::vmpi {
+
+CollectiveIo::CollectiveIo(File& file, CollectiveConfig config)
+    : file_(&file), config_(config), ranks_(file.comm().size()) {
+  assert(config_.aggregators_per_node >= 1);
+  round_.extents.resize(static_cast<std::size_t>(ranks_));
+}
+
+int CollectiveIo::aggregator_count() const {
+  const int nodes = file_->runtime().cluster().node_count();
+  return std::min(ranks_, nodes * config_.aggregators_per_node);
+}
+
+int CollectiveIo::AggregatorRank(int agg) const {
+  // Spread aggregators across the block-mapped ranks: aggregator a is the
+  // first rank of its slice, which lands on a distinct node while ranks
+  // remain (the ROMIO cb_config_list default).
+  const int naggs = aggregator_count();
+  return agg * (ranks_ / naggs);
+}
+
+std::pair<Bytes, Bytes> CollectiveIo::Domain(const Round& round, int agg) const {
+  const int naggs = aggregator_count();
+  const Bytes span = round.hi - round.lo;
+  const Bytes per = span / static_cast<Bytes>(naggs);
+  const Bytes lo = round.lo + per * static_cast<Bytes>(agg);
+  const Bytes hi = agg + 1 == naggs ? round.hi : lo + per;
+  return {lo, hi};
+}
+
+sim::Task CollectiveIo::Run(int rank, Bytes offset, Bytes len, bool read) {
+  auto& runtime = file_->runtime();
+  auto& comm = file_->comm();
+  round_.extents[static_cast<std::size_t>(rank)] = {offset, len};
+
+  // Everyone's extents must be posted before domains can be planned.
+  co_await comm.Barrier(rank);
+  if (!round_.planned) {
+    round_.lo = round_.hi = round_.extents[0].first;
+    for (const auto& [off, l] : round_.extents) {
+      round_.lo = std::min(round_.lo, off);
+      round_.hi = std::max(round_.hi, off + l);
+    }
+    round_.planned = true;
+  }
+
+  const int naggs = aggregator_count();
+  const int my_node = runtime.Rank(file_->program(), rank).node;
+
+  if (!read) {
+    // Phase 1: shuffle this rank's bytes to the owning aggregators.
+    std::vector<sim::Task> shuffles;
+    for (int agg = 0; agg < naggs; ++agg) {
+      const auto [dlo, dhi] = Domain(round_, agg);
+      const Bytes lo = std::max(offset, dlo);
+      const Bytes hi = std::min(offset + len, dhi);
+      if (hi <= lo) continue;
+      const int agg_node = runtime.Rank(file_->program(), AggregatorRank(agg)).node;
+      shuffles.push_back(runtime.cluster().network().Transfer(my_node, agg_node, hi - lo));
+    }
+    co_await sim::WhenAll(runtime.engine(), std::move(shuffles));
+    co_await comm.Barrier(rank);  // exchange complete
+
+    // Phase 2: aggregators write their (contiguous) file domains.
+    for (int agg = 0; agg < naggs; ++agg) {
+      if (AggregatorRank(agg) != rank) continue;
+      const auto [dlo, dhi] = Domain(round_, agg);
+      if (dhi > dlo) co_await file_->WriteAt(rank, dlo, dhi - dlo);
+    }
+  } else {
+    // Phase 1: aggregators read their file domains.
+    for (int agg = 0; agg < naggs; ++agg) {
+      if (AggregatorRank(agg) != rank) continue;
+      const auto [dlo, dhi] = Domain(round_, agg);
+      if (dhi > dlo) co_await file_->ReadAt(rank, dlo, dhi - dlo);
+    }
+    co_await comm.Barrier(rank);  // domains resident at the aggregators
+
+    // Phase 2: scatter to the requesting ranks.
+    std::vector<sim::Task> shuffles;
+    for (int agg = 0; agg < naggs; ++agg) {
+      const auto [dlo, dhi] = Domain(round_, agg);
+      const Bytes lo = std::max(offset, dlo);
+      const Bytes hi = std::min(offset + len, dhi);
+      if (hi <= lo) continue;
+      const int agg_node = runtime.Rank(file_->program(), AggregatorRank(agg)).node;
+      shuffles.push_back(runtime.cluster().network().Transfer(agg_node, my_node, hi - lo));
+    }
+    co_await sim::WhenAll(runtime.engine(), std::move(shuffles));
+  }
+
+  // Collective completion; reset the round for reuse.
+  co_await comm.Barrier(rank);
+  round_.planned = false;
+}
+
+sim::Task CollectiveIo::WriteAll(int rank, Bytes offset, Bytes len) {
+  return Run(rank, offset, len, /*read=*/false);
+}
+
+sim::Task CollectiveIo::ReadAll(int rank, Bytes offset, Bytes len) {
+  return Run(rank, offset, len, /*read=*/true);
+}
+
+}  // namespace uvs::vmpi

@@ -1,0 +1,39 @@
+#include "src/vmpi/comm.hpp"
+
+#include <cmath>
+
+namespace uvs::vmpi {
+
+Comm::Comm(sim::Engine& engine, int size, Time rpc_latency)
+    : engine_(&engine), size_(size), rpc_latency_(rpc_latency) {
+  assert(size > 0);
+  gate_ = std::make_unique<sim::Event>(engine);
+}
+
+sim::Task Comm::Gather(int rank) {
+  (void)rank;
+  ++arrived_;
+  if (arrived_ < size_) {
+    sim::Event* gate = gate_.get();
+    co_await gate->Wait();
+    co_return;
+  }
+  // Last arrival: pay the tree latency, release everyone, reset the gate.
+  arrived_ = 0;
+  ++generation_;
+  const double rounds = size_ > 1 ? std::ceil(std::log2(static_cast<double>(size_))) : 0.0;
+  co_await engine_->Delay(rounds * rpc_latency_);
+  auto released = std::move(gate_);
+  gate_ = std::make_unique<sim::Event>(*engine_);
+  released->Trigger();
+  // Waiters resume via the engine queue at the current timestamp; park the
+  // old event there too so it outlives their resumption.
+  engine_->Schedule(engine_->Now(),
+                    [old = std::shared_ptr<sim::Event>(std::move(released))] { (void)old; });
+}
+
+sim::Task Comm::Barrier(int rank) { return Gather(rank); }
+
+sim::Task Comm::Bcast(int rank) { return Gather(rank); }
+
+}  // namespace uvs::vmpi

@@ -1,0 +1,43 @@
+// Per-program communicator with the collectives the I/O stack needs.
+// Collective cost model: a binomial tree, log2(p) one-way latencies.
+#pragma once
+
+#include <cassert>
+#include <memory>
+
+#include "src/common/units.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/task.hpp"
+
+namespace uvs::vmpi {
+
+class Comm {
+ public:
+  Comm(sim::Engine& engine, int size, Time rpc_latency);
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  int size() const { return size_; }
+
+  /// Every rank must call it; all resume together after the tree latency.
+  sim::Task Barrier(int rank);
+
+  /// Small-message broadcast from rank 0, modeled as a synchronizing tree
+  /// (callers are at the same program point, as in MPI_File_open).
+  sim::Task Bcast(int rank);
+
+  /// How many collective rounds completed (tests/diagnostics).
+  int generation() const { return generation_; }
+
+ private:
+  sim::Task Gather(int rank);
+
+  sim::Engine* engine_;
+  int size_;
+  Time rpc_latency_;
+  int arrived_ = 0;
+  int generation_ = 0;
+  std::unique_ptr<sim::Event> gate_;
+};
+
+}  // namespace uvs::vmpi

@@ -1,0 +1,23 @@
+#include "src/vmpi/file.hpp"
+
+namespace uvs::vmpi {
+
+sim::Task AdioDriver::WaitFlush(File& file) {
+  (void)file;
+  co_return;
+}
+
+Status DriverRegistry::Register(AdioDriver& driver) {
+  auto [it, inserted] = drivers_.emplace(driver.fs_type(), &driver);
+  (void)it;
+  if (!inserted) return AlreadyExistsError(std::string("driver for ") + driver.fs_type());
+  return Status::Ok();
+}
+
+Result<AdioDriver*> DriverRegistry::Resolve(const std::string& forced_fs_type) const {
+  auto it = drivers_.find(forced_fs_type);
+  if (it == drivers_.end()) return NotFoundError("no ADIO driver for " + forced_fs_type);
+  return it->second;
+}
+
+}  // namespace uvs::vmpi

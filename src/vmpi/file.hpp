@@ -1,0 +1,110 @@
+// MPI-IO-like file interface over ADIO-style drivers (§II-F).
+//
+// A `File` is the shared object behind one collective MPI_File_open: the
+// program creates it once, then every rank calls Open / WriteAt / ReadAt /
+// Close on it. All file-system behaviour lives in the AdioDriver, exactly
+// as ROMIO's Abstract-Device Interface lets a file system plug in beneath
+// the MPI-IO API; the `DriverRegistry` plays the role of the
+// ROMIO_FSTYPE_FORCE environment selection.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/common/status.hpp"
+#include "src/common/units.hpp"
+#include "src/sim/task.hpp"
+#include "src/vmpi/comm.hpp"
+#include "src/vmpi/runtime.hpp"
+
+namespace uvs::vmpi {
+
+enum class FileMode { kWriteOnly, kReadOnly };
+
+struct FileOptions {
+  std::string name;
+  FileMode mode = FileMode::kWriteOnly;
+  /// File accessed through the HDF5 layer (drivers model the metadata
+  /// region and may apply the paper's HDF5 open/close optimization).
+  bool hdf5 = true;
+};
+
+class File;
+
+/// Abstract-device interface a file system implements under MPI-IO.
+class AdioDriver {
+ public:
+  virtual ~AdioDriver() = default;
+
+  /// File-system type string the driver registers under (e.g. "univistor").
+  virtual const char* fs_type() const = 0;
+
+  /// All four are collective from the application's point of view: every
+  /// rank of the file's program calls them. The driver decides how much
+  /// communication that costs (e.g. UniviStor's collective open/close).
+  virtual sim::Task Open(File& file, int rank) = 0;
+  virtual sim::Task WriteAt(File& file, int rank, Bytes offset, Bytes len) = 0;
+  virtual sim::Task ReadAt(File& file, int rank, Bytes offset, Bytes len) = 0;
+  virtual sim::Task Close(File& file, int rank) = 0;
+
+  /// Completes when any asynchronous flush of this file has drained
+  /// (immediately for synchronous file systems — the default).
+  virtual sim::Task WaitFlush(File& file);
+};
+
+class File {
+ public:
+  File(Runtime& runtime, ProgramId program, FileOptions options, AdioDriver& driver)
+      : runtime_(&runtime), program_(program), options_(std::move(options)), driver_(&driver) {}
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  Runtime& runtime() { return *runtime_; }
+  ProgramId program() const { return program_; }
+  Comm& comm() { return runtime_->comm(program_); }
+  const FileOptions& options() const { return options_; }
+  AdioDriver& driver() { return *driver_; }
+
+  sim::Task Open(int rank) { return driver_->Open(*this, rank); }
+  sim::Task WriteAt(int rank, Bytes offset, Bytes len) {
+    return driver_->WriteAt(*this, rank, offset, len);
+  }
+  sim::Task ReadAt(int rank, Bytes offset, Bytes len) {
+    return driver_->ReadAt(*this, rank, offset, len);
+  }
+  sim::Task Close(int rank) { return driver_->Close(*this, rank); }
+
+  /// Driver-private per-open state (e.g. the UniviStor fid binding).
+  template <typename T, typename... Args>
+  T& EmplaceDriverState(Args&&... args) {
+    auto owned = std::make_shared<T>(std::forward<Args>(args)...);
+    T& ref = *owned;
+    driver_state_ = std::move(owned);
+    return ref;
+  }
+  template <typename T>
+  T* driver_state() {
+    return static_cast<T*>(driver_state_.get());
+  }
+
+ private:
+  Runtime* runtime_;
+  ProgramId program_;
+  FileOptions options_;
+  AdioDriver* driver_;
+  std::shared_ptr<void> driver_state_;
+};
+
+/// Name -> driver table; `Resolve` honors a forced fs type the way ROMIO
+/// honors ROMIO_FSTYPE_FORCE.
+class DriverRegistry {
+ public:
+  Status Register(AdioDriver& driver);
+  Result<AdioDriver*> Resolve(const std::string& forced_fs_type) const;
+
+ private:
+  std::map<std::string, AdioDriver*> drivers_;
+};
+
+}  // namespace uvs::vmpi

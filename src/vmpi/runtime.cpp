@@ -1,0 +1,78 @@
+#include "src/vmpi/runtime.hpp"
+
+#include "src/vmpi/comm.hpp"
+
+namespace uvs::vmpi {
+
+Runtime::Runtime(hw::Cluster& cluster, sched::PlacementPolicy policy)
+    : cluster_(&cluster), policy_(policy) {
+  schedulers_.reserve(static_cast<std::size_t>(cluster.node_count()));
+  for (int n = 0; n < cluster.node_count(); ++n) {
+    schedulers_.push_back(std::make_unique<sched::NodeScheduler>(
+        cluster.engine(), cluster.node(n),
+        sched::NodeScheduler::Options{.policy = policy}, cluster.rng().Fork()));
+  }
+}
+
+Runtime::~Runtime() = default;
+
+ProgramId Runtime::LaunchProgram(std::string name, int nprocs, bool is_server) {
+  const auto prog_id = static_cast<ProgramId>(programs_.size());
+  Program prog;
+  prog.name = std::move(name);
+  prog.is_server = is_server;
+  prog.ranks.reserve(static_cast<std::size_t>(nprocs));
+  const int nodes = cluster_->node_count();
+  const int per_node = (nprocs + nodes - 1) / nodes;
+  for (int r = 0; r < nprocs; ++r) {
+    const int node = std::min(r / per_node, nodes - 1);
+    const int sched_proc = Scheduler(node).AddProcess(prog_id, is_server);
+    prog.ranks.push_back(RankInfo{node, sched_proc});
+  }
+  prog.comm =
+      std::make_unique<Comm>(cluster_->engine(), nprocs, cluster_->params().rpc_latency);
+  programs_.push_back(std::move(prog));
+  return prog_id;
+}
+
+int Runtime::ProgramSize(ProgramId prog) const {
+  return static_cast<int>(programs_.at(static_cast<std::size_t>(prog)).ranks.size());
+}
+
+const std::string& Runtime::ProgramName(ProgramId prog) const {
+  return programs_.at(static_cast<std::size_t>(prog)).name;
+}
+
+const RankInfo& Runtime::Rank(ProgramId prog, int rank) const {
+  return programs_.at(static_cast<std::size_t>(prog))
+      .ranks.at(static_cast<std::size_t>(rank));
+}
+
+Comm& Runtime::comm(ProgramId prog) {
+  return *programs_.at(static_cast<std::size_t>(prog)).comm;
+}
+
+sim::FairSharePool& Runtime::RankCpu(ProgramId prog, int rank) {
+  const RankInfo& info = Rank(prog, rank);
+  return Scheduler(info.node).cpu(info.sched_proc);
+}
+
+sim::FairSharePool& Runtime::RankDram(ProgramId prog, int rank) {
+  const RankInfo& info = Rank(prog, rank);
+  return Scheduler(info.node).dram(info.sched_proc);
+}
+
+void Runtime::SetRankBusy(ProgramId prog, int rank, bool busy) {
+  const RankInfo& info = Rank(prog, rank);
+  Scheduler(info.node).SetBusy(info.sched_proc, busy);
+}
+
+void Runtime::BeginServerFlushAllNodes() {
+  for (auto& sched : schedulers_) sched->BeginServerFlush();
+}
+
+void Runtime::EndServerFlushAllNodes() {
+  for (auto& sched : schedulers_) sched->EndServerFlush();
+}
+
+}  // namespace uvs::vmpi

@@ -1,0 +1,119 @@
+#include "src/workflow/manager.hpp"
+
+namespace uvs::workflow {
+
+const char* FileStateName(FileState state) {
+  switch (state) {
+    case FileState::kIdle: return "IDLE";
+    case FileState::kWriting: return "WRITING";
+    case FileState::kWriteDone: return "WRITE_DONE";
+    case FileState::kReading: return "READING";
+    case FileState::kReadDone: return "READ_DONE";
+    case FileState::kFlushing: return "FLUSHING";
+    case FileState::kFlushDone: return "FLUSH_DONE";
+  }
+  return "?";
+}
+
+WorkflowManager::WorkflowManager(sim::Engine& engine, Options options)
+    : engine_(&engine), options_(options) {}
+
+WorkflowManager::Record& WorkflowManager::RecordOf(storage::FileId fid) {
+  auto it = records_.find(fid);
+  if (it == records_.end()) {
+    it = records_.emplace(fid, Record{}).first;
+    it->second.changed = std::make_unique<sim::Event>(*engine_);
+  }
+  return it->second;
+}
+
+void WorkflowManager::NotifyChanged(Record& record) {
+  auto released = std::move(record.changed);
+  record.changed = std::make_unique<sim::Event>(*engine_);
+  released->Trigger();
+  engine_->Schedule(engine_->Now(),
+                    [old = std::shared_ptr<sim::Event>(std::move(released))] { (void)old; });
+}
+
+sim::Task WorkflowManager::WaitForChange(Record& record) {
+  sim::Event* gate = record.changed.get();
+  co_await gate->Wait();
+}
+
+sim::Task WorkflowManager::AcquireWrite(storage::FileId fid) {
+  if (!options_.enabled) co_return;
+  Record& record = RecordOf(fid);
+  co_await engine_->Delay(options_.state_file_access);
+  while (record.state == FileState::kWriting || record.state == FileState::kReading ||
+         record.state == FileState::kFlushing) {
+    co_await WaitForChange(record);
+    // Re-check the state file after waking (another waiter may have won).
+    co_await engine_->Delay(options_.state_file_access);
+  }
+  record.state = FileState::kWriting;
+}
+
+sim::Task WorkflowManager::ReleaseWrite(storage::FileId fid) {
+  if (!options_.enabled) co_return;
+  Record& record = RecordOf(fid);
+  co_await engine_->Delay(options_.state_file_access);
+  record.state = FileState::kWriteDone;
+  NotifyChanged(record);
+}
+
+sim::Task WorkflowManager::AcquireRead(storage::FileId fid) {
+  if (!options_.enabled) co_return;
+  Record& record = RecordOf(fid);
+  co_await engine_->Delay(options_.state_file_access);
+  // Readers wait while the file is being written — and also until it has
+  // been produced at all (the data dependency that lets a consumer launch
+  // before its producer).
+  while (record.state == FileState::kWriting || record.state == FileState::kIdle) {
+    co_await WaitForChange(record);
+    co_await engine_->Delay(options_.state_file_access);
+  }
+  ++record.readers;
+  if (record.state != FileState::kFlushing) record.state = FileState::kReading;
+}
+
+sim::Task WorkflowManager::ReleaseRead(storage::FileId fid) {
+  if (!options_.enabled) co_return;
+  Record& record = RecordOf(fid);
+  co_await engine_->Delay(options_.state_file_access);
+  if (record.readers > 0) --record.readers;
+  if (record.readers == 0 && record.state == FileState::kReading) {
+    record.state = FileState::kReadDone;
+    NotifyChanged(record);
+  }
+}
+
+sim::Task WorkflowManager::AcquireFlush(storage::FileId fid) {
+  if (!options_.enabled) co_return;
+  Record& record = RecordOf(fid);
+  co_await engine_->Delay(options_.state_file_access);
+  while (record.state == FileState::kWriting) {
+    co_await WaitForChange(record);
+    co_await engine_->Delay(options_.state_file_access);
+  }
+  record.state = FileState::kFlushing;
+}
+
+sim::Task WorkflowManager::ReleaseFlush(storage::FileId fid) {
+  if (!options_.enabled) co_return;
+  Record& record = RecordOf(fid);
+  co_await engine_->Delay(options_.state_file_access);
+  record.state = record.readers > 0 ? FileState::kReading : FileState::kFlushDone;
+  NotifyChanged(record);
+}
+
+FileState WorkflowManager::StateOf(storage::FileId fid) const {
+  auto it = records_.find(fid);
+  return it == records_.end() ? FileState::kIdle : it->second.state;
+}
+
+int WorkflowManager::ActiveReaders(storage::FileId fid) const {
+  auto it = records_.find(fid);
+  return it == records_.end() ? 0 : it->second.readers;
+}
+
+}  // namespace uvs::workflow

@@ -1,0 +1,85 @@
+// Lightweight workflow management (§II-E).
+//
+// Coordinates applications with data dependencies through a shared state
+// file (on the PFS in the real system): each logical file has a state
+// record cycling through WRITING / WRITE_DONE / READING / READ_DONE /
+// FLUSHING / FLUSH_DONE. Lock acquire/release piggybacks on the collective
+// MPI_File_open / MPI_File_close — only the root rank touches the state
+// file, so the extra cost is one state-file round trip per open/close.
+//
+// Rules (as in the paper):
+//  * a writer waits while the file is WRITING, READING, or FLUSHING;
+//  * a reader waits while the file is WRITING or not yet produced
+//    (flushes do not invalidate cached data, so readers may proceed
+//    during FLUSHING);
+//  * the server-side flush waits while the file is WRITING and blocks
+//    subsequent writers until FLUSH_DONE.
+// Concurrent readers share the read lock.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "src/common/units.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/task.hpp"
+#include "src/storage/layer_store.hpp"
+
+namespace uvs::workflow {
+
+enum class FileState : std::uint8_t {
+  kIdle = 0,
+  kWriting,
+  kWriteDone,
+  kReading,
+  kReadDone,
+  kFlushing,
+  kFlushDone,
+};
+
+const char* FileStateName(FileState state);
+
+class WorkflowManager {
+ public:
+  struct Options {
+    /// Disabled (the default, like the ENABLE_WORKFLOW env var being
+    /// unset) turns every acquire/release into a no-op.
+    bool enabled = false;
+    /// Cost of one state-file access (a small PFS I/O).
+    Time state_file_access = 4_ms;
+  };
+
+  WorkflowManager(sim::Engine& engine, Options options);
+
+  bool enabled() const { return options_.enabled; }
+
+  /// Root-rank lock operations, awaited inside collective open/close.
+  sim::Task AcquireWrite(storage::FileId fid);
+  sim::Task ReleaseWrite(storage::FileId fid);
+  sim::Task AcquireRead(storage::FileId fid);
+  sim::Task ReleaseRead(storage::FileId fid);
+  sim::Task AcquireFlush(storage::FileId fid);
+  sim::Task ReleaseFlush(storage::FileId fid);
+
+  FileState StateOf(storage::FileId fid) const;
+  int ActiveReaders(storage::FileId fid) const;
+
+ private:
+  struct Record {
+    FileState state = FileState::kIdle;
+    int readers = 0;
+    std::unique_ptr<sim::Event> changed;
+  };
+
+  Record& RecordOf(storage::FileId fid);
+  /// Wakes everyone blocked on this file's state and re-arms the event.
+  void NotifyChanged(Record& record);
+  sim::Task WaitForChange(Record& record);
+
+  sim::Engine* engine_;
+  Options options_;
+  std::map<storage::FileId, Record> records_;
+};
+
+}  // namespace uvs::workflow

@@ -1,0 +1,59 @@
+// BD-CATS-IO kernel (§III-A, §III-D): a parallel clustering analysis that
+// reads every property of every particle written by VPIC-IO. Reader ranks
+// split each dataset of each time-step file into contiguous shares.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/event.hpp"
+#include "src/vmpi/file.hpp"
+#include "src/workload/scenario.hpp"
+#include "src/workload/vpic.hpp"
+
+namespace uvs::workload {
+
+struct BdcatsParams {
+  /// Layout of the producer's files (must match the VPIC run).
+  VpicParams producer;
+  int producer_ranks = 0;
+};
+
+struct BdcatsResult {
+  Time read_time = 0;  // sum over steps of the slowest rank's open+read+close
+  Time elapsed = 0;
+  Bytes bytes = 0;
+};
+
+class BdcatsRun {
+ public:
+  BdcatsRun(Scenario& scenario, vmpi::ProgramId program, vmpi::AdioDriver& driver,
+            BdcatsParams params);
+
+  void Start();
+  sim::Event& done() { return *done_; }
+  bool finished() const { return finished_; }
+  const BdcatsResult& result() const { return result_; }
+
+ private:
+  sim::Task RankLoop(int rank);
+  sim::Task Coordinator(std::vector<sim::Process> ranks);
+
+  Scenario* scenario_;
+  vmpi::ProgramId program_;
+  vmpi::AdioDriver* driver_;
+  BdcatsParams params_;
+  std::vector<std::unique_ptr<vmpi::File>> files_;  // one per step
+  std::vector<Time> step_start_;
+  std::vector<Time> step_end_;
+  Time start_time_ = 0;
+  BdcatsResult result_;
+  bool finished_ = false;
+  std::unique_ptr<sim::Event> done_;
+};
+
+BdcatsResult RunBdcats(Scenario& scenario, vmpi::ProgramId program, vmpi::AdioDriver& driver,
+                       const BdcatsParams& params);
+
+}  // namespace uvs::workload

@@ -1,0 +1,76 @@
+#include "src/workload/hdf_micro.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/h5lite/h5file.hpp"
+
+namespace uvs::workload {
+
+namespace {
+
+struct Times {
+  Time open = 0, io = 0, close = 0;
+};
+
+sim::Task RankTask(h5lite::H5File& h5, int rank, bool read, Times& times,
+                   sim::Engine& engine) {
+  const Time start = engine.Now();
+  co_await h5.Open(rank);
+  times.open = engine.Now() - start;
+  const Time io_start = engine.Now();
+  if (read) {
+    co_await h5.ReadSlice(rank, 0);
+  } else {
+    co_await h5.WriteSlice(rank, 0);
+  }
+  times.io = engine.Now() - io_start;
+  const Time close_start = engine.Now();
+  co_await h5.Close(rank);
+  times.close = engine.Now() - close_start;
+}
+
+}  // namespace
+
+IoTiming RunHdfMicro(Scenario& scenario, vmpi::ProgramId program, vmpi::AdioDriver& driver,
+                     const MicroParams& params) {
+  auto& runtime = scenario.runtime();
+  const int procs = runtime.ProgramSize(program);
+
+  h5lite::H5File h5(runtime, program, params.file_name,
+                    params.read ? vmpi::FileMode::kReadOnly : vmpi::FileMode::kWriteOnly,
+                    driver, {h5lite::DatasetSpec{"block", 1, params.bytes_per_proc}});
+
+  std::vector<Times> times(static_cast<std::size_t>(procs));
+  const Time start = scenario.engine().Now();
+  std::vector<sim::Process> ranks;
+  ranks.reserve(static_cast<std::size_t>(procs));
+  for (int r = 0; r < procs; ++r) {
+    ranks.push_back(scenario.engine().Spawn(
+        RankTask(h5, r, params.read, times[static_cast<std::size_t>(r)],
+                 scenario.engine())));
+  }
+  // Watch for rank completion before the engine fully drains (flushes may
+  // run long after).
+  Time last_done = start;
+  scenario.engine().Spawn([](std::vector<sim::Process> procs_list, sim::Engine& engine,
+                             Time& done) -> sim::Task {
+    for (auto& proc : procs_list) co_await proc.Done().Wait();
+    done = engine.Now();
+  }(std::move(ranks), scenario.engine(), last_done));
+
+  scenario.engine().Run();
+
+  IoTiming result;
+  for (const auto& t : times) {
+    result.open = std::max(result.open, t.open);
+    result.io = std::max(result.io, t.io);
+    result.close = std::max(result.close, t.close);
+  }
+  result.elapsed = last_done - start;
+  result.bytes = params.bytes_per_proc * static_cast<Bytes>(procs);
+  return result;
+}
+
+}  // namespace uvs::workload

@@ -1,0 +1,36 @@
+// HDF5-source micro-benchmark (§III-A): every rank writes/reads an
+// independent but overall contiguous block of one shared HDF5 file.
+#pragma once
+
+#include <string>
+
+#include "src/common/units.hpp"
+#include "src/vmpi/file.hpp"
+#include "src/workload/scenario.hpp"
+
+namespace uvs::workload {
+
+struct MicroParams {
+  Bytes bytes_per_proc = 256_MiB;
+  bool read = false;
+  std::string file_name = "micro.h5";
+};
+
+struct IoTiming {
+  Time open = 0;   // slowest rank's open
+  Time io = 0;     // write/read phase
+  Time close = 0;  // close phase
+  Time elapsed = 0;
+  Bytes bytes = 0;
+
+  /// The paper's "I/O rate": data size over open+io+close time.
+  double rate() const { return elapsed > 0 ? static_cast<double>(bytes) / elapsed : 0; }
+};
+
+/// Runs the benchmark to completion (drains the engine, including any
+/// asynchronous flush the close triggered). `program` must already be
+/// launched with the desired rank count.
+IoTiming RunHdfMicro(Scenario& scenario, vmpi::ProgramId program, vmpi::AdioDriver& driver,
+                     const MicroParams& params);
+
+}  // namespace uvs::workload

@@ -1,0 +1,15 @@
+#include "src/workload/scenario.hpp"
+
+namespace uvs::workload {
+
+Scenario::Scenario(const ScenarioOptions& options) : options_(options) {
+  hw::ClusterParams params = options.cluster_params;
+  if (params.nodes == 0) params = hw::CoriPreset(options.procs);
+  cluster_ = std::make_unique<hw::Cluster>(engine_, params);
+  runtime_ = std::make_unique<vmpi::Runtime>(*cluster_, options.policy);
+  pfs_ = std::make_unique<storage::Pfs>(*cluster_);
+  workflow_ = std::make_unique<workflow::WorkflowManager>(
+      engine_, workflow::WorkflowManager::Options{.enabled = options.workflow_enabled});
+}
+
+}  // namespace uvs::workload

@@ -1,0 +1,160 @@
+// Tests for two-phase collective buffering over the ADIO layer.
+#include <gtest/gtest.h>
+
+#include "src/baselines/lustre_driver.hpp"
+#include "src/vmpi/collective.hpp"
+#include "src/workload/scenario.hpp"
+
+namespace uvs::vmpi {
+namespace {
+
+using workload::Scenario;
+using workload::ScenarioOptions;
+
+ScenarioOptions SmallOptions(int procs) {
+  ScenarioOptions options;
+  options.procs = procs;
+  options.policy = sched::PlacementPolicy::kInterferenceAware;
+  options.cluster_params = hw::CoriPreset(procs, /*procs_per_node=*/4);
+  options.cluster_params.node.cores = 8;
+  return options;
+}
+
+struct Fixture {
+  explicit Fixture(int procs = 8)
+      : scenario(SmallOptions(procs)),
+        driver(scenario.runtime(), scenario.pfs()),
+        app(scenario.runtime().LaunchProgram("app", procs)),
+        procs_(procs) {}
+
+  Time RunCollective(Bytes block, CollectiveConfig config) {
+    File file(scenario.runtime(), app, {"col.h5", FileMode::kWriteOnly}, driver);
+    CollectiveIo collective(file, config);
+    const Time start = scenario.engine().Now();
+    for (int r = 0; r < procs_; ++r) {
+      scenario.engine().Spawn([](File& f, CollectiveIo& c, int rank, Bytes b) -> sim::Task {
+        co_await f.Open(rank);
+        co_await c.WriteAll(rank, static_cast<Bytes>(rank) * b, b);
+        co_await f.Close(rank);
+      }(file, collective, r, block));
+    }
+    scenario.engine().Run();
+    return scenario.engine().Now() - start;
+  }
+
+  Time RunIndependent(Bytes block) {
+    File file(scenario.runtime(), app, {"ind.h5", FileMode::kWriteOnly}, driver);
+    const Time start = scenario.engine().Now();
+    for (int r = 0; r < procs_; ++r) {
+      scenario.engine().Spawn([](File& f, int rank, Bytes b) -> sim::Task {
+        co_await f.Open(rank);
+        co_await f.WriteAt(rank, static_cast<Bytes>(rank) * b, b);
+        co_await f.Close(rank);
+      }(file, r, block));
+    }
+    scenario.engine().Run();
+    return scenario.engine().Now() - start;
+  }
+
+  Scenario scenario;
+  baselines::LustreDriver driver;
+  ProgramId app;
+  int procs_;
+};
+
+TEST(CollectiveIo, OneAggregatorPerNodeByDefault) {
+  Fixture f(8);  // 2 nodes
+  File file(f.scenario.runtime(), f.app, {"x", FileMode::kWriteOnly}, f.driver);
+  CollectiveIo collective(file, {});
+  EXPECT_EQ(collective.aggregator_count(), 2);
+}
+
+TEST(CollectiveIo, AggregatorCountCappedByRanks) {
+  Fixture f(8);
+  File file(f.scenario.runtime(), f.app, {"x", FileMode::kWriteOnly}, f.driver);
+  CollectiveIo collective(file, {.aggregators_per_node = 16});
+  EXPECT_EQ(collective.aggregator_count(), 8);
+}
+
+TEST(CollectiveIo, WriteCoversTheWholeRange) {
+  Fixture f(8);
+  const Time elapsed = f.RunCollective(8_MiB, {});
+  EXPECT_GT(elapsed, 0.0);
+  auto handle = f.scenario.pfs().Lookup("col.h5");
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(f.scenario.pfs().FileSize(*handle), 8_MiB * 8);
+}
+
+TEST(CollectiveIo, FewerWritersReachTheFileSystem) {
+  // 8 ranks but only 2 aggregators ever write: both the call count and the
+  // peak concurrent writer count on the shared file drop to the
+  // aggregator count — the whole point of collective buffering.
+  Fixture collective_f(8);
+  collective_f.RunCollective(8_MiB, {});
+  auto col = collective_f.scenario.pfs().Lookup("col.h5");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(collective_f.scenario.pfs().WriteCalls(*col), 2);
+  EXPECT_LE(collective_f.scenario.pfs().PeakWriters(*col), 2);
+
+  Fixture independent_f(8);
+  independent_f.RunIndependent(8_MiB);
+  auto ind = independent_f.scenario.pfs().Lookup("ind.h5");
+  ASSERT_TRUE(ind.ok());
+  EXPECT_EQ(independent_f.scenario.pfs().WriteCalls(*ind), 8);
+  EXPECT_GT(independent_f.scenario.pfs().PeakWriters(*ind), 2);
+}
+
+TEST(CollectiveIo, LockInflationLowerForAggregatedWrites) {
+  // The lock-contention model that collective buffering sidesteps: 2
+  // concurrent writers pay far less than 64.
+  Fixture f(8);
+  EXPECT_LT(f.scenario.pfs().LockInflation(storage::AccessLayout::kSharedInterleaved, 2,
+                                           false),
+            f.scenario.pfs().LockInflation(storage::AccessLayout::kSharedInterleaved, 64,
+                                           false));
+}
+
+TEST(CollectiveIo, ReadAllRoundTrips) {
+  Fixture f(8);
+  f.RunCollective(8_MiB, {});
+  File file(f.scenario.runtime(), f.app, {"col.h5", FileMode::kReadOnly}, f.driver);
+  CollectiveIo collective(file, {});
+  std::vector<Time> done(8, -1);
+  for (int r = 0; r < 8; ++r) {
+    f.scenario.engine().Spawn([](File& fl, CollectiveIo& c, int rank, Time& at,
+                                 sim::Engine& engine) -> sim::Task {
+      co_await fl.Open(rank);
+      co_await c.ReadAll(rank, static_cast<Bytes>(rank) * 8_MiB, 8_MiB);
+      co_await fl.Close(rank);
+      at = engine.Now();
+    }(file, collective, r, done[static_cast<std::size_t>(r)], f.scenario.engine()));
+  }
+  f.scenario.engine().Run();
+  for (Time t : done) EXPECT_GT(t, 0.0);
+}
+
+TEST(CollectiveIo, ReusableAcrossRounds) {
+  Fixture f(8);
+  File file(f.scenario.runtime(), f.app, {"rounds.h5", FileMode::kWriteOnly}, f.driver);
+  CollectiveIo collective(file, {});
+  int completions = 0;
+  for (int r = 0; r < 8; ++r) {
+    f.scenario.engine().Spawn([](File& fl, CollectiveIo& c, int rank, int& count) -> sim::Task {
+      co_await fl.Open(rank);
+      for (int round = 0; round < 3; ++round) {
+        const Bytes base = static_cast<Bytes>(round) * 64_MiB;
+        co_await c.WriteAll(rank, base + static_cast<Bytes>(rank) * 8_MiB, 8_MiB);
+      }
+      co_await fl.Close(rank);
+      ++count;
+    }(file, collective, r, completions));
+  }
+  f.scenario.engine().Run();
+  EXPECT_EQ(completions, 8);
+  auto handle = f.scenario.pfs().Lookup("rounds.h5");
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(f.scenario.pfs().FileSize(*handle), 64_MiB * 2 + 8_MiB * 8);
+}
+
+}  // namespace
+}  // namespace uvs::vmpi

@@ -1,0 +1,65 @@
+// Tests for the HDF5-like container layout over MPI-IO.
+#include <gtest/gtest.h>
+
+#include "src/h5lite/h5file.hpp"
+#include "src/univistor/driver.hpp"
+#include "src/univistor/system.hpp"
+#include "src/workload/scenario.hpp"
+
+namespace uvs::h5lite {
+namespace {
+
+struct Fixture {
+  workload::Scenario scenario{workload::ScenarioOptions{.procs = 8}};
+  univistor::UniviStor system{scenario.runtime(), scenario.pfs(), scenario.workflow(),
+                              univistor::Config{}};
+  univistor::UniviStorDriver driver{system};
+  vmpi::ProgramId app{scenario.runtime().LaunchProgram("app", 8)};
+};
+
+TEST(H5File, LayoutOffsetsAreContiguous) {
+  Fixture f;
+  H5File h5(f.scenario.runtime(), f.app, "t.h5", vmpi::FileMode::kWriteOnly, f.driver,
+            {DatasetSpec{"a", 8, 1000}, DatasetSpec{"b", 4, 500}});
+  EXPECT_EQ(h5.dataset_count(), 2);
+  EXPECT_EQ(h5.DatasetOffset(0), H5File::kHeaderBytes);
+  // Dataset a: 8000 bytes per rank x 8 ranks.
+  EXPECT_EQ(h5.DatasetOffset(1), H5File::kHeaderBytes + 8000u * 8);
+  EXPECT_EQ(h5.SliceOffset(0, 3), H5File::kHeaderBytes + 3u * 8000);
+  EXPECT_EQ(h5.TotalBytes(), H5File::kHeaderBytes + 8000u * 8 + 2000u * 8);
+}
+
+TEST(H5File, DatasetSpecBytes) {
+  DatasetSpec spec{"x", 32, 1 << 20};
+  EXPECT_EQ(spec.bytes_per_rank(), 32u << 20);
+}
+
+TEST(H5File, WriteSlicesLandAtDatasetOffsets) {
+  Fixture f;
+  H5File h5(f.scenario.runtime(), f.app, "w.h5", vmpi::FileMode::kWriteOnly, f.driver,
+            {DatasetSpec{"a", 1, 1_MiB}, DatasetSpec{"b", 1, 1_MiB}});
+  for (int r = 0; r < 8; ++r) {
+    f.scenario.engine().Spawn([](H5File& file, int rank) -> sim::Task {
+      co_await file.Open(rank);
+      co_await file.WriteSlice(rank, 0);
+      co_await file.WriteSlice(rank, 1);
+      co_await file.Close(rank);
+    }(h5, r));
+  }
+  f.scenario.engine().Run();
+  const auto fid = f.system.OpenOrCreate("w.h5");
+  EXPECT_EQ(f.system.LogicalSize(fid), h5.TotalBytes());
+  EXPECT_EQ(f.system.CachedOn(fid, hw::Layer::kDram), 16_MiB);
+}
+
+TEST(H5File, VpicShapedFile) {
+  // Eight 32 MiB variables, as in the paper's VPIC-IO description.
+  Fixture f;
+  std::vector<DatasetSpec> vars(8, DatasetSpec{"var", 1, 32_MiB});
+  H5File h5(f.scenario.runtime(), f.app, "v.h5", vmpi::FileMode::kWriteOnly, f.driver,
+            vars);
+  EXPECT_EQ(h5.TotalBytes(), H5File::kHeaderBytes + 8u * 32_MiB * 8);
+}
+
+}  // namespace
+}  // namespace uvs::h5lite

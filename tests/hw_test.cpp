@@ -1,0 +1,143 @@
+// Tests for the hardware models: topology building, network hose model,
+// burst-buffer and OST device access.
+#include <gtest/gtest.h>
+
+#include "src/hw/cluster.hpp"
+#include "src/sim/engine.hpp"
+
+namespace uvs::hw {
+namespace {
+
+TEST(CoriPreset, ScalesNodesWithProcesses) {
+  EXPECT_EQ(CoriPreset(64).nodes, 2);
+  EXPECT_EQ(CoriPreset(8192).nodes, 256);
+  EXPECT_EQ(CoriPreset(100).nodes, 4);  // rounds up
+  EXPECT_EQ(CoriPreset(1).nodes, 1);
+}
+
+TEST(CoriPreset, BurstBufferNodesClamped) {
+  EXPECT_EQ(CoriPreset(64).bb.bb_nodes, 2);     // floor of 2
+  EXPECT_EQ(CoriPreset(8192).bb.bb_nodes, 86);  // 256/2 clamped
+  EXPECT_EQ(CoriPreset(4096).bb.bb_nodes, 64);   // 128/2
+}
+
+TEST(Cluster, BuildsTopologyFromParams) {
+  sim::Engine engine;
+  ClusterParams params = CoriPreset(128);
+  Cluster cluster(engine, params);
+  EXPECT_EQ(cluster.node_count(), 4);
+  EXPECT_EQ(cluster.node(0).cores(), 32);
+  EXPECT_EQ(cluster.node(0).sockets(), 2);
+  EXPECT_EQ(cluster.burst_buffer().node_count(), 2);
+  EXPECT_EQ(cluster.pfs().ost_count(), 248);
+}
+
+TEST(Node, SocketOfCoreSplitsContiguously) {
+  sim::Engine engine;
+  Node node(engine, 0, NodeParams{});
+  EXPECT_EQ(node.SocketOfCore(0), 0);
+  EXPECT_EQ(node.SocketOfCore(15), 0);
+  EXPECT_EQ(node.SocketOfCore(16), 1);
+  EXPECT_EQ(node.SocketOfCore(31), 1);
+}
+
+TEST(LayerName, AllLayersNamed) {
+  EXPECT_STREQ(LayerName(Layer::kDram), "DRAM");
+  EXPECT_STREQ(LayerName(Layer::kNodeLocalSsd), "NodeSSD");
+  EXPECT_STREQ(LayerName(Layer::kSharedBurstBuffer), "BB");
+  EXPECT_STREQ(LayerName(Layer::kPfs), "PFS");
+}
+
+sim::Task TimedTransfer(Network& net, int src, int dst, Bytes bytes, double* done_at,
+                        sim::Engine& engine) {
+  co_await net.Transfer(src, dst, bytes);
+  *done_at = engine.Now();
+}
+
+TEST(Network, TransferBoundByNicBandwidth) {
+  sim::Engine engine;
+  ClusterParams params = CoriPreset(64);
+  Cluster cluster(engine, params);
+  double done = -1;
+  // 10 GB over a 10 GB/s NIC => ~1 s (plus tiny latency).
+  engine.Spawn(TimedTransfer(cluster.network(), 0, 1, 10'000'000'000ull, &done, engine));
+  engine.Run();
+  EXPECT_NEAR(done, 1.0, 0.01);
+}
+
+TEST(Network, IntraNodeTransferIsFree) {
+  sim::Engine engine;
+  Cluster cluster(engine, CoriPreset(64));
+  double done = -1;
+  engine.Spawn(TimedTransfer(cluster.network(), 0, 0, 1_GiB, &done, engine));
+  engine.Run();
+  EXPECT_NEAR(done, 0.0, 1e-9);
+}
+
+TEST(Network, ReceiverNicIsTheBottleneckForFanIn) {
+  sim::Engine engine;
+  Cluster cluster(engine, CoriPreset(128));
+  // Three senders target node 0; its rx pool serializes the aggregate.
+  std::vector<double> done(3, -1);
+  for (int s = 1; s <= 3; ++s)
+    engine.Spawn(
+        TimedTransfer(cluster.network(), s, 0, 10'000'000'000ull, &done[s - 1], engine));
+  engine.Run();
+  for (double d : done) EXPECT_NEAR(d, 3.0, 0.05);  // 30 GB over 10 GB/s rx
+}
+
+sim::Task TimedBbAccess(BurstBuffer& bb, int node, Bytes bytes, double inflation,
+                        double* done_at, sim::Engine& engine) {
+  co_await bb.Access(node, bytes, inflation);
+  *done_at = engine.Now();
+}
+
+TEST(BurstBuffer, AccessChargesPoolWithInflation) {
+  sim::Engine engine;
+  ClusterParams params = CoriPreset(64);
+  params.bb.bw_per_bb_node = 1.0_GBps;
+  params.bb.latency = 0.0;
+  Cluster cluster(engine, params);
+  double plain = -1, inflated = -1;
+  engine.Spawn(TimedBbAccess(cluster.burst_buffer(), 0, 1'000'000'000ull, 1.0, &plain, engine));
+  engine.Run();
+  sim::Engine engine2;
+  Cluster cluster2(engine2, params);
+  engine2.Spawn(
+      TimedBbAccess(cluster2.burst_buffer(), 0, 1'000'000'000ull, 2.0, &inflated, engine2));
+  engine2.Run();
+  EXPECT_NEAR(plain, 1.0, 1e-6);
+  EXPECT_NEAR(inflated, 2.0, 1e-6);
+}
+
+TEST(BurstBuffer, TotalCapacitySumsNodes) {
+  sim::Engine engine;
+  ClusterParams params = CoriPreset(64);
+  Cluster cluster(engine, params);
+  EXPECT_EQ(cluster.burst_buffer().total_capacity(),
+            params.bb.capacity_per_bb_node * static_cast<Bytes>(params.bb.bb_nodes));
+}
+
+TEST(PfsDevice, IndependentOstPools) {
+  sim::Engine engine;
+  ClusterParams params = CoriPreset(64);
+  params.pfs.bw_per_ost = 1.0_GBps;
+  params.pfs.latency = 0.0;
+  Cluster cluster(engine, params);
+  double a = -1, b = -1;
+  engine.Spawn([](Cluster& c, double* at, sim::Engine& e) -> sim::Task {
+    co_await c.pfs().Access(0, 1'000'000'000ull);
+    *at = e.Now();
+  }(cluster, &a, engine));
+  engine.Spawn([](Cluster& c, double* at, sim::Engine& e) -> sim::Task {
+    co_await c.pfs().Access(1, 1'000'000'000ull);
+    *at = e.Now();
+  }(cluster, &b, engine));
+  engine.Run();
+  // Different OSTs do not share bandwidth.
+  EXPECT_NEAR(a, 1.0, 1e-6);
+  EXPECT_NEAR(b, 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace uvs::hw

@@ -1,0 +1,142 @@
+// Tests for the distributed metadata service (§II-B3).
+#include <gtest/gtest.h>
+
+#include "src/meta/record_index.hpp"
+#include "src/meta/service.hpp"
+
+namespace uvs::meta {
+namespace {
+
+TEST(RecordIndex, ExactQueryReturnsRecord) {
+  RecordIndex index;
+  index.Insert({1, 100, 50, 7, 1000});
+  auto hits = index.Query(1, 100, 50);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], (MetadataRecord{1, 100, 50, 7, 1000}));
+}
+
+TEST(RecordIndex, QueryClipsHead) {
+  RecordIndex index;
+  index.Insert({1, 100, 50, 7, 1000});
+  auto hits = index.Query(1, 120, 100);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].offset, 120u);
+  EXPECT_EQ(hits[0].len, 30u);
+  EXPECT_EQ(hits[0].va, 1020u) << "VA advances with the clip";
+}
+
+TEST(RecordIndex, QueryClipsTail) {
+  RecordIndex index;
+  index.Insert({1, 100, 50, 7, 1000});
+  auto hits = index.Query(1, 80, 40);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].offset, 100u);
+  EXPECT_EQ(hits[0].len, 20u);
+  EXPECT_EQ(hits[0].va, 1000u);
+}
+
+TEST(RecordIndex, QueryIgnoresOtherFiles) {
+  RecordIndex index;
+  index.Insert({1, 100, 50, 7, 1000});
+  EXPECT_TRUE(index.Query(2, 100, 50).empty());
+}
+
+TEST(RecordIndex, MultipleRecordsReturnedInOffsetOrder) {
+  RecordIndex index;
+  index.Insert({1, 200, 100, 2, 0});
+  index.Insert({1, 0, 100, 1, 0});
+  index.Insert({1, 100, 100, 3, 0});
+  auto hits = index.Query(1, 0, 300);
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].producer, 1);
+  EXPECT_EQ(hits[1].producer, 3);
+  EXPECT_EQ(hits[2].producer, 2);
+}
+
+TEST(RecordIndex, CoveredBytesReportsHoles) {
+  RecordIndex index;
+  index.Insert({1, 0, 100, 1, 0});
+  index.Insert({1, 200, 100, 1, 0});
+  EXPECT_EQ(index.CoveredBytes(1, 0, 300), 200u);
+  EXPECT_EQ(index.CoveredBytes(1, 100, 100), 0u);
+}
+
+TEST(RecordIndex, ReinsertSameOffsetReplaces) {
+  RecordIndex index;
+  index.Insert({1, 0, 100, 1, 0});
+  index.Insert({1, 0, 100, 2, 555});
+  auto hits = index.Query(1, 0, 100);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].producer, 2);
+}
+
+TEST(MetadataService, InsertSplitsAtRangeBoundaries) {
+  DistributedMetadataService service(2, 100);
+  // Record [50, 250) spans ranges 0,1,2 owned by servers 0,1,0.
+  auto touched = service.Insert({1, 50, 200, 9, 5000});
+  EXPECT_EQ(touched, (std::vector<int>{0, 1}));
+  EXPECT_EQ(service.RecordCount(0), 2u);
+  EXPECT_EQ(service.RecordCount(1), 1u);
+  EXPECT_EQ(service.TotalRecords(), 3u);
+}
+
+TEST(MetadataService, QueryReassemblesSplitRecord) {
+  DistributedMetadataService service(2, 100);
+  service.Insert({1, 50, 200, 9, 5000});
+  auto hits = service.Query(1, 50, 200);
+  ASSERT_EQ(hits.size(), 3u);
+  Bytes expected_offset = 50, expected_va = 5000;
+  for (const auto& rec : hits) {
+    EXPECT_EQ(rec.offset, expected_offset);
+    EXPECT_EQ(rec.va, expected_va);
+    EXPECT_EQ(rec.producer, 9);
+    expected_offset += rec.len;
+    expected_va += rec.len;
+  }
+  EXPECT_EQ(expected_offset, 250u);
+}
+
+TEST(MetadataService, Fig3StyleDistribution) {
+  // 16 unit segments, range size 4, 2 servers: ranges 1-4 alternate
+  // between the two servers, so each holds 8 records.
+  DistributedMetadataService service(2, 4);
+  for (Bytes off = 0; off < 16; ++off) service.Insert({1, off, 1, static_cast<int>(off) / 8, off});
+  EXPECT_EQ(service.RecordCount(0), 8u);
+  EXPECT_EQ(service.RecordCount(1), 8u);
+  // D12 (offset 11, produced by rank 1) is found via the range owner.
+  const int owner = service.ServerOf(11);
+  auto hits = service.QueryPartition(owner, 1, 11, 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].producer, 1);
+}
+
+TEST(MetadataService, QueryPartitionSeesOnlyItsRanges) {
+  DistributedMetadataService service(2, 100);
+  service.Insert({1, 0, 400, 5, 0});
+  // Server 1 owns [100,200) and [300,400).
+  auto hits = service.QueryPartition(1, 1, 0, 400);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].offset, 100u);
+  EXPECT_EQ(hits[1].offset, 300u);
+}
+
+class ServiceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ServiceSweep, QueryAlwaysCoversInsertedBytes) {
+  const int servers = GetParam();
+  DistributedMetadataService service(servers, 64);
+  // Interleaved producers writing 1000-byte segments.
+  for (int p = 0; p < 8; ++p)
+    service.Insert({1, static_cast<Bytes>(p) * 1000, 1000, p, static_cast<Bytes>(p) * 7});
+  for (Bytes off = 0; off < 8000; off += 512) {
+    const Bytes len = std::min<Bytes>(512, 8000 - off);
+    Bytes covered = 0;
+    for (const auto& rec : service.Query(1, off, len)) covered += rec.len;
+    EXPECT_EQ(covered, len) << "offset " << off;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ServerCounts, ServiceSweep, ::testing::Values(1, 2, 3, 5, 16));
+
+}  // namespace
+}  // namespace uvs::meta

@@ -1,0 +1,104 @@
+// Tests for the netCDF-like (classic CDF) layout over MPI-IO.
+#include <gtest/gtest.h>
+
+#include "src/nclite/ncfile.hpp"
+#include "src/univistor/driver.hpp"
+#include "src/univistor/system.hpp"
+#include "src/workload/scenario.hpp"
+
+namespace uvs::nclite {
+namespace {
+
+struct Fixture {
+  workload::Scenario scenario{workload::ScenarioOptions{.procs = 8}};
+  univistor::UniviStor system{scenario.runtime(), scenario.pfs(), scenario.workflow(),
+                              univistor::Config{}};
+  univistor::UniviStorDriver driver{system};
+  vmpi::ProgramId app{scenario.runtime().LaunchProgram("app", 8)};
+
+  NcFile Make(std::vector<VarSpec> vars, const std::string& name = "t.nc") {
+    return NcFile(scenario.runtime(), app, name, vmpi::FileMode::kWriteOnly, driver,
+                  std::move(vars));
+  }
+};
+
+TEST(NcFile, FixedSectionPrecedesRecordSection) {
+  Fixture f;
+  auto nc = f.Make({VarSpec{"grid", 8, 100, false}, VarSpec{"temp", 4, 50, true},
+                    VarSpec{"mask", 1, 200, false}});
+  EXPECT_EQ(nc.FixedVarOffset(0), NcFile::kHeaderBytes);
+  // grid: 800 B/rank x 8 ranks.
+  EXPECT_EQ(nc.FixedVarOffset(2), NcFile::kHeaderBytes + 800u * 8);
+  EXPECT_EQ(nc.RecordSectionOffset(), NcFile::kHeaderBytes + 800u * 8 + 200u * 8);
+}
+
+TEST(NcFile, RecordBytesSumRecordVarsOnly) {
+  Fixture f;
+  auto nc = f.Make({VarSpec{"fixed", 8, 100, false}, VarSpec{"a", 4, 50, true},
+                    VarSpec{"b", 8, 25, true}});
+  EXPECT_EQ(nc.RecordBytes(), (4u * 50 + 8u * 25) * 8);
+}
+
+TEST(NcFile, RecordsInterleaveVariables) {
+  // Classic CDF: record r's variables are contiguous, records repeat.
+  Fixture f;
+  auto nc = f.Make({VarSpec{"a", 4, 50, true}, VarSpec{"b", 8, 25, true}});
+  const Bytes record = nc.RecordBytes();
+  EXPECT_EQ(nc.RecordSlabOffset(0, 0, 0), nc.RecordSectionOffset());
+  EXPECT_EQ(nc.RecordSlabOffset(0, 0, 1), nc.RecordSectionOffset() + record);
+  // b's slabs sit after all of a's slabs within the same record.
+  EXPECT_EQ(nc.RecordSlabOffset(1, 0, 0), nc.RecordSectionOffset() + 200u * 8);
+  // Consecutive ranks are adjacent within one variable's slab region.
+  EXPECT_EQ(nc.RecordSlabOffset(0, 3, 0) - nc.RecordSlabOffset(0, 2, 0), 200u);
+}
+
+TEST(NcFile, TotalBytesGrowsPerRecord) {
+  Fixture f;
+  auto nc = f.Make({VarSpec{"a", 4, 50, true}});
+  EXPECT_EQ(nc.TotalBytes(0), nc.RecordSectionOffset());
+  EXPECT_EQ(nc.TotalBytes(3), nc.RecordSectionOffset() + 3 * nc.RecordBytes());
+}
+
+TEST(NcFile, WholeRecordWritesLandInUniviStor) {
+  Fixture f;
+  auto nc = f.Make({VarSpec{"e", 8, 1 << 17, true}, VarSpec{"b", 8, 1 << 17, true}},
+                   "sim.nc");
+  for (int r = 0; r < 8; ++r) {
+    f.scenario.engine().Spawn([](NcFile& file, int rank) -> sim::Task {
+      co_await file.Open(rank);
+      for (std::uint64_t rec = 0; rec < 3; ++rec)
+        co_await file.WriteWholeRecord(rank, rec);
+      co_await file.Close(rank);
+    }(nc, r));
+  }
+  f.scenario.engine().Run();
+  const auto fid = f.system.OpenOrCreate("sim.nc");
+  // 2 record vars x 1 MiB/rank x 8 ranks x 3 records, all cached.
+  EXPECT_EQ(f.system.CachedOn(fid, hw::Layer::kDram), 2u * 1_MiB * 8 * 3);
+  EXPECT_EQ(f.system.LogicalSize(fid), nc.TotalBytes(3));
+}
+
+TEST(NcFile, StridedRecordReadBack) {
+  Fixture f;
+  auto nc = f.Make({VarSpec{"e", 8, 1 << 17, true}}, "r.nc");
+  bool done = false;
+  for (int r = 0; r < 8; ++r) {
+    f.scenario.engine().Spawn([](NcFile& file, int rank, bool& flag) -> sim::Task {
+      co_await file.Open(rank);
+      for (std::uint64_t rec = 0; rec < 4; ++rec)
+        co_await file.WriteRecord(rank, 0, rec);
+      co_await file.Close(rank);
+      // Strided read back: every record's slab for this rank.
+      co_await file.Open(rank);
+      for (std::uint64_t rec = 0; rec < 4; ++rec)
+        co_await file.ReadRecord(rank, 0, rec);
+      co_await file.Close(rank);
+      flag = true;
+    }(nc, r, done));
+  }
+  f.scenario.engine().Run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace uvs::nclite

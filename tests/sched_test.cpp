@@ -1,0 +1,188 @@
+// Tests for interference-aware vs CFS-like placement (§II-C, Fig. 4).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/hw/node.hpp"
+#include "src/sched/node_scheduler.hpp"
+#include "src/sim/engine.hpp"
+
+namespace uvs::sched {
+namespace {
+
+struct Fixture {
+  sim::Engine engine;
+  hw::NodeParams params;
+  hw::Node node{engine, 0, hw::NodeParams{}};
+
+  NodeScheduler Make(PlacementPolicy policy) {
+    return NodeScheduler(engine, node,
+                         NodeScheduler::Options{.policy = policy,
+                                                .context_switch_penalty = 0.85},
+                         Rng(42));
+  }
+};
+
+TEST(InterferenceAware, SpreadsProgramAcrossSockets) {
+  Fixture f;
+  auto sched = f.Make(PlacementPolicy::kInterferenceAware);
+  for (int i = 0; i < 8; ++i) sched.AddProcess(/*program=*/1, /*is_server=*/false);
+  EXPECT_EQ(sched.ProgramProcsOnSocket(1, 0), 4);
+  EXPECT_EQ(sched.ProgramProcsOnSocket(1, 1), 4);
+}
+
+TEST(InterferenceAware, EachProgramSpreadIndependently) {
+  // Fig. 4b: servers, app1 and app2 processes each spread over both sockets.
+  Fixture f;
+  auto sched = f.Make(PlacementPolicy::kInterferenceAware);
+  for (int i = 0; i < 2; ++i) sched.AddProcess(0, true);    // servers
+  for (int i = 0; i < 2; ++i) sched.AddProcess(1, false);   // app 1
+  for (int i = 0; i < 2; ++i) sched.AddProcess(2, false);   // app 2
+  for (int prog = 0; prog <= 2; ++prog) {
+    EXPECT_EQ(sched.ProgramProcsOnSocket(prog, 0), 1) << "program " << prog;
+    EXPECT_EQ(sched.ProgramProcsOnSocket(prog, 1), 1) << "program " << prog;
+  }
+}
+
+TEST(InterferenceAware, NoStackingBelowCoreCount) {
+  Fixture f;
+  auto sched = f.Make(PlacementPolicy::kInterferenceAware);
+  for (int i = 0; i < 32; ++i) sched.AddProcess(1, false);
+  for (int c = 0; c < 32; ++c) EXPECT_EQ(sched.ProcsOnCore(c), 1);
+  for (int i = 0; i < 32; ++i) EXPECT_DOUBLE_EQ(sched.CpuShare(i), 1.0);
+}
+
+TEST(InterferenceAware, RemainderGoesToLessLoadedSocket) {
+  Fixture f;
+  auto sched = f.Make(PlacementPolicy::kInterferenceAware);
+  // Program 1 has 1 proc on socket 0; program 2's odd proc should prefer
+  // socket 1 (less loaded overall).
+  sched.AddProcess(1, false);
+  sched.AddProcess(2, false);
+  EXPECT_EQ(sched.ProcsOnSocket(0) + sched.ProcsOnSocket(1), 2);
+  EXPECT_EQ(sched.ProcsOnSocket(0), 1);
+  EXPECT_EQ(sched.ProcsOnSocket(1), 1);
+}
+
+TEST(InterferenceAware, OversubscriptionUsesIdleServerCores) {
+  // Fig. 4d: 2 servers + 32 clients => the last 2 clients land on the
+  // server cores rather than stacking on client cores.
+  Fixture f;
+  auto sched = f.Make(PlacementPolicy::kInterferenceAware);
+  std::vector<int> servers;
+  for (int i = 0; i < 2; ++i) servers.push_back(sched.AddProcess(0, true));
+  std::vector<int> clients;
+  for (int i = 0; i < 32; ++i) clients.push_back(sched.AddProcess(1, false));
+  // Every core has at most 2 processes, and doubled cores host a server.
+  int doubled = 0;
+  for (int c = 0; c < 32; ++c) {
+    ASSERT_LE(sched.ProcsOnCore(c), 2);
+    if (sched.ProcsOnCore(c) == 2) ++doubled;
+  }
+  EXPECT_EQ(doubled, 2);
+  for (int s : servers) EXPECT_EQ(sched.ProcsOnCore(sched.CoreOf(s)), 2);
+}
+
+TEST(InterferenceAware, FlushMigrationMovesClientsOffServerCores) {
+  Fixture f;
+  auto sched = f.Make(PlacementPolicy::kInterferenceAware);
+  std::vector<int> servers;
+  for (int i = 0; i < 2; ++i) servers.push_back(sched.AddProcess(0, true));
+  for (int i = 0; i < 32; ++i) sched.AddProcess(1, false);
+  sched.BeginServerFlush();
+  for (int s : servers) {
+    EXPECT_EQ(sched.ProcsOnCore(sched.CoreOf(s)), 1)
+        << "server core should be exclusive during flush";
+    EXPECT_DOUBLE_EQ(sched.CpuShare(s), 1.0);
+  }
+  sched.EndServerFlush();
+  int doubled = 0;
+  for (int c = 0; c < 32; ++c)
+    if (sched.ProcsOnCore(c) == 2) ++doubled;
+  EXPECT_EQ(doubled, 2) << "clients should return to their home cores";
+}
+
+TEST(Cfs, PlacementIgnoresProgramsAndStacks) {
+  Fixture f;
+  auto sched = f.Make(PlacementPolicy::kCfs);
+  for (int i = 0; i < 34; ++i) sched.AddProcess(i < 2 ? 0 : 1, i < 2);
+  // With 34 random placements on 32 cores, stacking is essentially
+  // certain (probability of a perfect spread is ~0).
+  int stacked_cores = 0;
+  for (int c = 0; c < 32; ++c)
+    if (sched.ProcsOnCore(c) >= 2) ++stacked_cores;
+  EXPECT_GE(stacked_cores, 1);
+}
+
+TEST(CpuShare, SharedCorePaysContextSwitchPenalty) {
+  Fixture f;
+  auto sched = f.Make(PlacementPolicy::kInterferenceAware);
+  for (int i = 0; i < 2; ++i) sched.AddProcess(0, true);
+  std::vector<int> clients;
+  for (int i = 0; i < 32; ++i) clients.push_back(sched.AddProcess(1, false));
+  // Find a client sharing a core with a server.
+  for (int c : clients) {
+    if (sched.ProcsOnCore(sched.CoreOf(c)) == 2) {
+      EXPECT_DOUBLE_EQ(sched.CpuShare(c), 0.85 / 2.0);
+      return;
+    }
+  }
+  FAIL() << "expected an oversubscribed client";
+}
+
+TEST(CpuShare, IdleNeighborDoesNotStealCpu) {
+  Fixture f;
+  auto sched = f.Make(PlacementPolicy::kInterferenceAware);
+  std::vector<int> servers{sched.AddProcess(0, true), sched.AddProcess(0, true)};
+  std::vector<int> clients;
+  for (int i = 0; i < 32; ++i) clients.push_back(sched.AddProcess(1, false));
+  // Servers idle between flushes (the paper's checkpoint cycle).
+  for (int s : servers) sched.SetBusy(s, false);
+  for (int c : clients) EXPECT_DOUBLE_EQ(sched.CpuShare(c), 1.0);
+  // Server wakes: its core mate drops to a shared slice again.
+  for (int s : servers) sched.SetBusy(s, true);
+  int shared = 0;
+  for (int c : clients)
+    if (sched.CpuShare(c) < 1.0) ++shared;
+  EXPECT_EQ(shared, 2);
+}
+
+TEST(CpuShare, PoolCapacityTracksShare) {
+  Fixture f;
+  auto sched = f.Make(PlacementPolicy::kInterferenceAware);
+  int a = sched.AddProcess(1, false);
+  const Bandwidth full = f.node.params().per_core_client_io_bw;
+  EXPECT_DOUBLE_EQ(sched.cpu(a).capacity(), full);
+}
+
+TEST(Dram, ProcessUsesItsSocketPool) {
+  Fixture f;
+  auto sched = f.Make(PlacementPolicy::kInterferenceAware);
+  int a = sched.AddProcess(1, false);
+  int b = sched.AddProcess(1, false);
+  EXPECT_NE(&sched.dram(a), &sched.dram(b));  // spread across sockets
+}
+
+class OversubscriptionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OversubscriptionSweep, AllCoresBounded) {
+  const int clients = GetParam();
+  Fixture f;
+  auto sched = f.Make(PlacementPolicy::kInterferenceAware);
+  for (int i = 0; i < 2; ++i) sched.AddProcess(0, true);
+  for (int i = 0; i < clients; ++i) sched.AddProcess(1, false);
+  const int total = clients + 2;
+  const int max_expected = (total + 31) / 32 + 1;
+  int observed_max = 0;
+  for (int c = 0; c < 32; ++c) observed_max = std::max(observed_max, sched.ProcsOnCore(c));
+  EXPECT_LE(observed_max, max_expected);
+  int placed = 0;
+  for (int c = 0; c < 32; ++c) placed += sched.ProcsOnCore(c);
+  EXPECT_EQ(placed, total);
+}
+
+INSTANTIATE_TEST_SUITE_P(ClientCounts, OversubscriptionSweep,
+                         ::testing::Values(1, 16, 30, 32, 62, 64, 96));
+
+}  // namespace
+}  // namespace uvs::sched

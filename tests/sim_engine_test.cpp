@@ -1,0 +1,251 @@
+// Tests for the DES engine: clocking, ordering, processes, events, channels.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/sim/channel.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/event.hpp"
+#include "src/sim/task.hpp"
+
+namespace uvs::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine engine;
+  EXPECT_DOUBLE_EQ(engine.Now(), 0.0);
+}
+
+TEST(Engine, ScheduledCallbacksFireInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.Schedule(2.0, [&] { order.push_back(2); });
+  engine.Schedule(1.0, [&] { order.push_back(1); });
+  engine.Schedule(3.0, [&] { order.push_back(3); });
+  engine.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.Now(), 3.0);
+}
+
+TEST(Engine, SameTimeFiresInInsertionOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) engine.Schedule(1.0, [&, i] { order.push_back(i); });
+  engine.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  Engine engine;
+  int fired = 0;
+  engine.Schedule(1.0, [&] { ++fired; });
+  engine.Schedule(5.0, [&] { ++fired; });
+  bool more = engine.RunUntil(2.0);
+  EXPECT_TRUE(more);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(engine.Now(), 2.0);
+  engine.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+Task Sleeper(Engine& engine, Time dt, std::vector<double>& wakeups) {
+  co_await engine.Delay(dt);
+  wakeups.push_back(engine.Now());
+}
+
+TEST(Engine, SpawnedProcessRunsAndCompletes) {
+  Engine engine;
+  std::vector<double> wakeups;
+  Process p = engine.Spawn(Sleeper(engine, 1.5, wakeups), "sleeper");
+  EXPECT_FALSE(p.finished());
+  engine.Run();
+  EXPECT_TRUE(p.finished());
+  ASSERT_EQ(wakeups.size(), 1u);
+  EXPECT_DOUBLE_EQ(wakeups[0], 1.5);
+}
+
+TEST(Engine, ManyProcessesInterleaveDeterministically) {
+  Engine engine;
+  std::vector<double> wakeups;
+  for (int i = 0; i < 100; ++i)
+    engine.Spawn(Sleeper(engine, static_cast<double>(100 - i), wakeups));
+  engine.Run();
+  ASSERT_EQ(wakeups.size(), 100u);
+  for (std::size_t i = 1; i < wakeups.size(); ++i) EXPECT_LT(wakeups[i - 1], wakeups[i]);
+}
+
+Task Parent(Engine& engine, std::vector<std::string>& log) {
+  log.push_back("parent-start");
+  co_await [](Engine& e, std::vector<std::string>& l) -> Task {
+    l.push_back("child-start");
+    co_await e.Delay(1.0);
+    l.push_back("child-end");
+  }(engine, log);
+  log.push_back("parent-end");
+}
+
+TEST(Task, AwaitedChildRunsToCompletionBeforeParentResumes) {
+  Engine engine;
+  std::vector<std::string> log;
+  engine.Spawn(Parent(engine, log));
+  engine.Run();
+  EXPECT_EQ(log, (std::vector<std::string>{"parent-start", "child-start", "child-end",
+                                           "parent-end"}));
+  EXPECT_DOUBLE_EQ(engine.Now(), 1.0);
+}
+
+Task Thrower(Engine& engine) {
+  co_await engine.Delay(0.5);
+  throw std::runtime_error("boom");
+}
+
+Task CatchingParent(Engine& engine, bool& caught) {
+  try {
+    co_await Thrower(engine);
+  } catch (const std::runtime_error&) {
+    caught = true;
+  }
+}
+
+TEST(Task, ChildExceptionRethrowsAtAwaitPoint) {
+  Engine engine;
+  bool caught = false;
+  engine.Spawn(CatchingParent(engine, caught));
+  engine.Run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Task, TopLevelExceptionAbortsRun) {
+  Engine engine;
+  engine.Spawn(Thrower(engine));
+  EXPECT_THROW(engine.Run(), std::runtime_error);
+}
+
+Task WaitForEvent(Engine& engine, Event& event, std::vector<double>& at) {
+  co_await event.Wait();
+  at.push_back(engine.Now());
+}
+
+TEST(Event, WakesAllWaitersAtTriggerTime) {
+  Engine engine;
+  Event event(engine);
+  std::vector<double> at;
+  for (int i = 0; i < 3; ++i) engine.Spawn(WaitForEvent(engine, event, at));
+  engine.Schedule(4.0, [&] { event.Trigger(); });
+  engine.Run();
+  ASSERT_EQ(at.size(), 3u);
+  for (double t : at) EXPECT_DOUBLE_EQ(t, 4.0);
+}
+
+TEST(Event, AwaitAfterTriggerCompletesImmediately) {
+  Engine engine;
+  Event event(engine);
+  event.Trigger();
+  std::vector<double> at;
+  engine.Spawn(WaitForEvent(engine, event, at));
+  engine.Run();
+  ASSERT_EQ(at.size(), 1u);
+  EXPECT_DOUBLE_EQ(at[0], 0.0);
+}
+
+TEST(Event, TriggerIsIdempotent) {
+  Engine engine;
+  Event event(engine);
+  std::vector<double> at;
+  engine.Spawn(WaitForEvent(engine, event, at));
+  engine.Schedule(1.0, [&] {
+    event.Trigger();
+    event.Trigger();
+  });
+  engine.Run();
+  EXPECT_EQ(at.size(), 1u);
+}
+
+TEST(Process, DoneEventJoins) {
+  Engine engine;
+  std::vector<double> wakeups;
+  Process worker = engine.Spawn(Sleeper(engine, 2.0, wakeups));
+  std::vector<double> join_time;
+  engine.Spawn([](Engine& e, Process w, std::vector<double>& jt) -> Task {
+    co_await w.Done().Wait();
+    jt.push_back(e.Now());
+  }(engine, worker, join_time));
+  engine.Run();
+  ASSERT_EQ(join_time.size(), 1u);
+  EXPECT_DOUBLE_EQ(join_time[0], 2.0);
+}
+
+Task Producer(Engine& engine, Channel<int>& chan, int count) {
+  for (int i = 0; i < count; ++i) {
+    co_await engine.Delay(1.0);
+    chan.Send(i);
+  }
+}
+
+Task Consumer(Engine& engine, Channel<int>& chan, int count, std::vector<int>& got) {
+  (void)engine;
+  for (int i = 0; i < count; ++i) {
+    int v = co_await chan.Recv();
+    got.push_back(v);
+  }
+}
+
+TEST(Channel, DeliversInFifoOrder) {
+  Engine engine;
+  Channel<int> chan(engine);
+  std::vector<int> got;
+  engine.Spawn(Consumer(engine, chan, 5, got));
+  engine.Spawn(Producer(engine, chan, 5));
+  engine.Run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_DOUBLE_EQ(engine.Now(), 5.0);
+}
+
+TEST(Channel, BufferedSendsConsumedLater) {
+  Engine engine;
+  Channel<int> chan(engine);
+  chan.Send(7);
+  chan.Send(8);
+  EXPECT_EQ(chan.size(), 2u);
+  std::vector<int> got;
+  engine.Spawn(Consumer(engine, chan, 2, got));
+  engine.Run();
+  EXPECT_EQ(got, (std::vector<int>{7, 8}));
+}
+
+TEST(Channel, MultipleReceiversEachGetOneValue) {
+  Engine engine;
+  Channel<int> chan(engine);
+  std::vector<int> got;
+  for (int i = 0; i < 3; ++i) engine.Spawn(Consumer(engine, chan, 1, got));
+  engine.Schedule(1.0, [&] {
+    chan.Send(10);
+    chan.Send(20);
+    chan.Send(30);
+  });
+  engine.Run();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0] + got[1] + got[2], 60);
+}
+
+TEST(Engine, DelayZeroDoesNotSuspend) {
+  Engine engine;
+  std::vector<double> wakeups;
+  engine.Spawn(Sleeper(engine, 0.0, wakeups));
+  engine.Run();
+  ASSERT_EQ(wakeups.size(), 1u);
+  EXPECT_DOUBLE_EQ(wakeups[0], 0.0);
+}
+
+TEST(Engine, ProcessedEventCountAdvances) {
+  Engine engine;
+  engine.Schedule(1.0, [] {});
+  engine.Schedule(2.0, [] {});
+  engine.Run();
+  EXPECT_EQ(engine.processed_events(), 2u);
+}
+
+}  // namespace
+}  // namespace uvs::sim

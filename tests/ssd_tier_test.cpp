@@ -1,0 +1,99 @@
+// Tests for the node-local SSD tier: Cori's Haswell partition had none,
+// but the DHP design (§II-B1) supports the full four-layer cascade
+// DRAM -> node SSD -> shared BB -> PFS. These tests run a hypothetical
+// SSD-equipped machine through it.
+#include <gtest/gtest.h>
+
+#include "src/univistor/driver.hpp"
+#include "src/univistor/system.hpp"
+#include "src/workload/hdf_micro.hpp"
+#include "src/workload/scenario.hpp"
+
+namespace uvs::univistor {
+namespace {
+
+using workload::MicroParams;
+using workload::RunHdfMicro;
+using workload::Scenario;
+using workload::ScenarioOptions;
+
+ScenarioOptions SsdOptions(Bytes dram_cache, Bytes ssd_capacity) {
+  ScenarioOptions options;
+  options.procs = 8;
+  options.cluster_params = hw::CoriPreset(8, /*procs_per_node=*/4);
+  options.cluster_params.node.cores = 8;
+  options.cluster_params.node.dram_cache_capacity = dram_cache;
+  options.cluster_params.node.has_local_ssd = true;
+  options.cluster_params.node.ssd_capacity = ssd_capacity;
+  return options;
+}
+
+Config SmallConfig() {
+  Config config;
+  config.chunk_size = 8_MiB;
+  config.metadata_range_size = 4_MiB;
+  config.flush_on_close = false;
+  return config;
+}
+
+TEST(SsdTier, SpillPrefersLocalSsdOverBurstBuffer) {
+  Scenario scenario(SsdOptions(/*dram=*/64_MiB, /*ssd=*/10_GiB));
+  UniviStor system(scenario.runtime(), scenario.pfs(), scenario.workflow(), SmallConfig());
+  UniviStorDriver driver(system);
+  auto app = scenario.runtime().LaunchProgram("app", 8);
+  RunHdfMicro(scenario, app, driver,
+              MicroParams{.bytes_per_proc = 48_MiB, .file_name = "s.h5"});
+  const auto fid = system.OpenOrCreate("s.h5");
+  EXPECT_GT(system.CachedOn(fid, hw::Layer::kDram), 0u);
+  EXPECT_GT(system.CachedOn(fid, hw::Layer::kNodeLocalSsd), 0u);
+  EXPECT_EQ(system.CachedOn(fid, hw::Layer::kSharedBurstBuffer), 0u)
+      << "BB untouched while the node SSD has room";
+}
+
+TEST(SsdTier, FourLayerCascade) {
+  Scenario scenario(SsdOptions(/*dram=*/32_MiB, /*ssd=*/64_MiB));
+  UniviStor system(scenario.runtime(), scenario.pfs(), scenario.workflow(), SmallConfig());
+  UniviStorDriver driver(system);
+  auto app = scenario.runtime().LaunchProgram("app", 8);
+  RunHdfMicro(scenario, app, driver,
+              MicroParams{.bytes_per_proc = 64_MiB, .file_name = "c.h5"});
+  const auto fid = system.OpenOrCreate("c.h5");
+  const Bytes dram = system.CachedOn(fid, hw::Layer::kDram);
+  const Bytes ssd = system.CachedOn(fid, hw::Layer::kNodeLocalSsd);
+  const Bytes bb = system.CachedOn(fid, hw::Layer::kSharedBurstBuffer);
+  EXPECT_GT(dram, 0u);
+  EXPECT_GT(ssd, 0u);
+  EXPECT_GT(bb, 0u);
+  EXPECT_EQ(dram + ssd + bb, 64_MiB * 8) << "everything cached across three tiers";
+}
+
+TEST(SsdTier, ReadBackAcrossAllTiers) {
+  Scenario scenario(SsdOptions(/*dram=*/32_MiB, /*ssd=*/64_MiB));
+  UniviStor system(scenario.runtime(), scenario.pfs(), scenario.workflow(), SmallConfig());
+  UniviStorDriver driver(system);
+  auto app = scenario.runtime().LaunchProgram("app", 8);
+  RunHdfMicro(scenario, app, driver,
+              MicroParams{.bytes_per_proc = 64_MiB, .file_name = "r.h5"});
+  auto read = RunHdfMicro(
+      scenario, app, driver,
+      MicroParams{.bytes_per_proc = 64_MiB, .read = true, .file_name = "r.h5"});
+  EXPECT_GT(read.io, 0.0);
+  EXPECT_GT(scenario.cluster().node(0).local_ssd().total_bytes(), 0u);
+}
+
+TEST(SsdTier, VirtualAddressesRemainUniquePerLayer) {
+  Scenario scenario(SsdOptions(/*dram=*/32_MiB, /*ssd=*/64_MiB));
+  UniviStor system(scenario.runtime(), scenario.pfs(), scenario.workflow(), SmallConfig());
+  UniviStorDriver driver(system);
+  auto app = scenario.runtime().LaunchProgram("app", 8);
+  RunHdfMicro(scenario, app, driver,
+              MicroParams{.bytes_per_proc = 64_MiB, .file_name = "va.h5"});
+  // Flush everything and check totals: the flush walks DRAM + SSD + BB.
+  const auto fid = system.OpenOrCreate("va.h5");
+  system.TriggerFlush(fid);
+  scenario.engine().Run();
+  EXPECT_EQ(system.flush_stats().bytes_flushed, 64_MiB * 8);
+}
+
+}  // namespace
+}  // namespace uvs::univistor

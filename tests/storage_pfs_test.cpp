@@ -1,0 +1,236 @@
+// Tests for the Lustre-like PFS: stripe planning, lock inflation,
+// coordinated vs uncoordinated OST load, and timing behaviour.
+#include <gtest/gtest.h>
+
+#include "src/hw/cluster.hpp"
+#include "src/sim/engine.hpp"
+#include "src/storage/pfs.hpp"
+
+namespace uvs::storage {
+namespace {
+
+hw::ClusterParams SmallParams() {
+  hw::ClusterParams params = hw::CoriPreset(64);
+  params.pfs.osts = 8;
+  params.pfs.bw_per_ost = 1.0_GBps;
+  params.pfs.latency = 0.0;
+  params.pfs.per_ost_sync_overhead = 0.0;
+  return params;
+}
+
+TEST(PfsCreate, ClampsStripeCountAndPicksOffset) {
+  sim::Engine engine;
+  hw::Cluster cluster(engine, SmallParams());
+  Pfs pfs(cluster);
+  auto f = pfs.Create("a", StripeConfig{.stripe_size = 1_MiB, .stripe_count = 99});
+  EXPECT_EQ(pfs.Stripe(f).stripe_count, 8);
+  EXPECT_GE(pfs.Stripe(f).ost_offset, 0);
+  EXPECT_LT(pfs.Stripe(f).ost_offset, 8);
+}
+
+TEST(PfsLookup, FindsByNameOrFails) {
+  sim::Engine engine;
+  hw::Cluster cluster(engine, SmallParams());
+  Pfs pfs(cluster);
+  auto f = pfs.Create("checkpoint.h5", StripeConfig{});
+  auto found = pfs.Lookup("checkpoint.h5");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, f);
+  EXPECT_FALSE(pfs.Lookup("missing").ok());
+}
+
+TEST(LockInflation, FilePerProcessIsFree) {
+  sim::Engine engine;
+  hw::Cluster cluster(engine, SmallParams());
+  Pfs pfs(cluster);
+  EXPECT_DOUBLE_EQ(pfs.LockInflation(AccessLayout::kFilePerProcess, 1000, false), 1.0);
+}
+
+TEST(LockInflation, GrowsWithWriters) {
+  sim::Engine engine;
+  hw::Cluster cluster(engine, SmallParams());
+  Pfs pfs(cluster);
+  const double two = pfs.LockInflation(AccessLayout::kSharedInterleaved, 2, false);
+  const double many = pfs.LockInflation(AccessLayout::kSharedInterleaved, 1024, false);
+  EXPECT_GT(two, 1.0);
+  EXPECT_GT(many, two);
+}
+
+TEST(LockInflation, AlignedRangesMuchCheaperThanInterleaved) {
+  sim::Engine engine;
+  hw::Cluster cluster(engine, SmallParams());
+  Pfs pfs(cluster);
+  const double inter = pfs.LockInflation(AccessLayout::kSharedInterleaved, 256, false);
+  const double aligned = pfs.LockInflation(AccessLayout::kAlignedRanges, 256, false);
+  EXPECT_LT(aligned - 1.0, (inter - 1.0) * 0.25);
+}
+
+TEST(LockInflation, ReadsCheaperThanWrites) {
+  sim::Engine engine;
+  hw::Cluster cluster(engine, SmallParams());
+  Pfs pfs(cluster);
+  EXPECT_LT(pfs.LockInflation(AccessLayout::kSharedInterleaved, 64, true),
+            pfs.LockInflation(AccessLayout::kSharedInterleaved, 64, false));
+}
+
+sim::Task TimedWrite(Pfs& pfs, Pfs::FileHandle f, Bytes offset, Bytes len, int node,
+                     Pfs::AccessOptions opts, double* done, sim::Engine& engine) {
+  co_await pfs.Write(f, offset, len, node, opts);
+  *done = engine.Now();
+}
+
+TEST(PfsWrite, SingleWriterUsesAllStripeTargets) {
+  sim::Engine engine;
+  hw::Cluster cluster(engine, SmallParams());
+  Pfs pfs(cluster);
+  auto f = pfs.Create("a", StripeConfig{.stripe_size = 1_MiB, .stripe_count = 8,
+                                        .ost_offset = 0});
+  double done = -1;
+  // 8 GB over 8 OSTs at 1 GB/s each => ~1 s (NIC is 10 GB/s => 0.8 s floor,
+  // so OSTs dominate).
+  engine.Spawn(TimedWrite(pfs, f, 0, 8'000'000'000ull, 0,
+                          {.layout = AccessLayout::kFilePerProcess}, &done, engine));
+  engine.Run();
+  EXPECT_NEAR(done, 1.0, 0.05);
+  EXPECT_EQ(pfs.FileSize(f), 8'000'000'000ull);
+}
+
+TEST(PfsWrite, StripeCountOneSerializesOnOneOst) {
+  sim::Engine engine;
+  hw::Cluster cluster(engine, SmallParams());
+  Pfs pfs(cluster);
+  auto f = pfs.Create("a", StripeConfig{.stripe_size = 1_MiB, .stripe_count = 1,
+                                        .ost_offset = 0});
+  double done = -1;
+  engine.Spawn(TimedWrite(pfs, f, 0, 4'000'000'000ull, 0,
+                          {.layout = AccessLayout::kFilePerProcess}, &done, engine));
+  engine.Run();
+  EXPECT_NEAR(done, 4.0, 0.05);
+}
+
+TEST(PfsWrite, SyncOverheadChargedPerTargetOst) {
+  sim::Engine engine;
+  auto params = SmallParams();
+  params.pfs.per_ost_sync_overhead = 0.1;
+  hw::Cluster cluster(engine, params);
+  Pfs pfs(cluster);
+  auto f = pfs.Create("a", StripeConfig{.stripe_size = 1_MiB, .stripe_count = 8,
+                                        .ost_offset = 0});
+  double done = -1;
+  engine.Spawn(TimedWrite(pfs, f, 0, 8_MiB, 0, {.layout = AccessLayout::kFilePerProcess},
+                          &done, engine));
+  engine.Run();
+  // 8 targets * 0.1 s sync dominates the tiny payload.
+  EXPECT_GT(done, 0.8);
+  EXPECT_LT(done, 0.9);
+}
+
+TEST(PfsWrite, ExplicitTargetsRestrictOsts) {
+  sim::Engine engine;
+  hw::Cluster cluster(engine, SmallParams());
+  Pfs pfs(cluster);
+  auto f = pfs.Create("a", StripeConfig{.stripe_size = 1_MiB, .stripe_count = 8,
+                                        .ost_offset = 0});
+  double done = -1;
+  engine.Spawn(TimedWrite(pfs, f, 0, 2'000'000'000ull, 0,
+                          {.layout = AccessLayout::kFilePerProcess, .target_osts = {3, 5}},
+                          &done, engine));
+  engine.Run();
+  EXPECT_NEAR(done, 1.0, 0.05);  // 2 GB over 2 OSTs
+  EXPECT_GT(cluster.pfs().ost(3).total_bytes(), 0u);
+  EXPECT_GT(cluster.pfs().ost(5).total_bytes(), 0u);
+  EXPECT_EQ(cluster.pfs().ost(0).total_bytes(), 0u);
+}
+
+TEST(PfsWrite, SharedInterleavedSlowerThanFilePerProcess) {
+  auto run = [](AccessLayout layout) {
+    sim::Engine engine;
+    hw::Cluster cluster(engine, SmallParams());
+    Pfs pfs(cluster);
+    std::vector<Pfs::FileHandle> files;
+    const int writers = 16;
+    if (layout == AccessLayout::kFilePerProcess) {
+      for (int w = 0; w < writers; ++w)
+        files.push_back(pfs.Create("f" + std::to_string(w),
+                                   StripeConfig{.stripe_size = 1_MiB, .stripe_count = 8,
+                                                .ost_offset = w % 8}));
+    } else {
+      files.assign(static_cast<std::size_t>(writers),
+                   pfs.Create("shared", StripeConfig{.stripe_size = 1_MiB,
+                                                     .stripe_count = 8, .ost_offset = 0}));
+    }
+    std::vector<double> done(static_cast<std::size_t>(writers), -1);
+    for (int w = 0; w < writers; ++w) {
+      engine.Spawn(TimedWrite(pfs, files[static_cast<std::size_t>(w)],
+                              static_cast<Bytes>(w) * 256_MiB, 256_MiB, w % 2,
+                              {.layout = layout}, &done[static_cast<std::size_t>(w)], engine));
+    }
+    engine.Run();
+    double last = 0;
+    for (double d : done) last = std::max(last, d);
+    return last;
+  };
+  const double shared = run(AccessLayout::kSharedInterleaved);
+  const double fpp = run(AccessLayout::kFilePerProcess);
+  EXPECT_GT(shared, fpp * 1.5) << "lock contention should penalize the shared layout";
+}
+
+TEST(PfsWrite, UncoordinatedModeIsNoFasterThanCoordinated) {
+  auto run = [](bool coordinated) {
+    sim::Engine engine;
+    hw::Cluster cluster(engine, SmallParams());
+    Pfs pfs(cluster);
+    auto f = pfs.Create("shared", StripeConfig{.stripe_size = 1_MiB, .stripe_count = 8,
+                                               .ost_offset = 0});
+    const int writers = 8;
+    std::vector<double> done(static_cast<std::size_t>(writers), -1);
+    for (int w = 0; w < writers; ++w) {
+      engine.Spawn(TimedWrite(pfs, f, static_cast<Bytes>(w) * 1'000'000'000ull,
+                              1'000'000'000ull, 0,
+                              {.layout = AccessLayout::kFilePerProcess,
+                               .coordinated = coordinated},
+                              &done[static_cast<std::size_t>(w)], engine));
+    }
+    engine.Run();
+    double last = 0;
+    for (double d : done) last = std::max(last, d);
+    return last;
+  };
+  // Coordinated placement balances 8 writers' streams over 8 OSTs exactly;
+  // random direction leaves some OSTs overloaded.
+  EXPECT_GE(run(false), run(true) * 1.05);
+}
+
+TEST(PfsWrite, ActiveWriterCountReturnsToZero) {
+  sim::Engine engine;
+  hw::Cluster cluster(engine, SmallParams());
+  Pfs pfs(cluster);
+  auto f = pfs.Create("a", StripeConfig{.stripe_size = 1_MiB, .stripe_count = 4,
+                                        .ost_offset = 0});
+  double done = -1;
+  engine.Spawn(TimedWrite(pfs, f, 0, 100_MiB, 0, {}, &done, engine));
+  engine.Run();
+  EXPECT_EQ(pfs.ActiveWriters(f), 0);
+}
+
+TEST(PfsRead, ReadMovesThroughRxNic) {
+  sim::Engine engine;
+  hw::Cluster cluster(engine, SmallParams());
+  Pfs pfs(cluster);
+  auto f = pfs.Create("a", StripeConfig{.stripe_size = 1_MiB, .stripe_count = 8,
+                                        .ost_offset = 0});
+  double wrote = -1, read = -1;
+  engine.Spawn([](Pfs& p, Pfs::FileHandle h, double* w, double* r,
+                  sim::Engine& e) -> sim::Task {
+    co_await p.Write(h, 0, 1'000'000'000ull, 0, {.layout = AccessLayout::kFilePerProcess});
+    *w = e.Now();
+    co_await p.Read(h, 0, 1'000'000'000ull, 1, {.layout = AccessLayout::kFilePerProcess});
+    *r = e.Now();
+  }(pfs, f, &wrote, &read, engine));
+  engine.Run();
+  EXPECT_GT(read, wrote);
+  EXPECT_GT(cluster.node(1).nic_rx().total_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace uvs::storage

@@ -1,0 +1,212 @@
+// Tests for the lightweight workflow manager (§II-E).
+#include <gtest/gtest.h>
+
+#include "src/sim/engine.hpp"
+#include "src/workflow/manager.hpp"
+
+namespace uvs::workflow {
+namespace {
+
+WorkflowManager::Options Enabled() {
+  return {.enabled = true, .state_file_access = 0.001};
+}
+
+TEST(Workflow, DisabledIsNoOp) {
+  sim::Engine engine;
+  WorkflowManager manager(engine, {.enabled = false, .state_file_access = 1.0});
+  bool done = false;
+  engine.Spawn([](WorkflowManager& m, bool& d) -> sim::Task {
+    co_await m.AcquireWrite(1);
+    co_await m.AcquireWrite(1);  // would deadlock if locks were real
+    d = true;
+  }(manager, done));
+  engine.Run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(engine.Now(), 0.0);
+  EXPECT_EQ(manager.StateOf(1), FileState::kIdle);
+}
+
+TEST(Workflow, WriteLockTransitions) {
+  sim::Engine engine;
+  WorkflowManager manager(engine, Enabled());
+  engine.Spawn([](WorkflowManager& m) -> sim::Task {
+    co_await m.AcquireWrite(7);
+    EXPECT_EQ(m.StateOf(7), FileState::kWriting);
+    co_await m.ReleaseWrite(7);
+    EXPECT_EQ(m.StateOf(7), FileState::kWriteDone);
+  }(manager));
+  engine.Run();
+}
+
+TEST(Workflow, ReaderWaitsForWriter) {
+  sim::Engine engine;
+  WorkflowManager manager(engine, Enabled());
+  Time read_acquired = -1;
+  engine.Spawn([](sim::Engine& e, WorkflowManager& m) -> sim::Task {
+    co_await m.AcquireWrite(1);
+    co_await e.Delay(10.0);
+    co_await m.ReleaseWrite(1);
+  }(engine, manager));
+  engine.Spawn([](sim::Engine& e, WorkflowManager& m, Time& at) -> sim::Task {
+    co_await e.Delay(1.0);  // writer grabs the lock first
+    co_await m.AcquireRead(1);
+    at = e.Now();
+    co_await m.ReleaseRead(1);
+  }(engine, manager, read_acquired));
+  engine.Run();
+  EXPECT_GE(read_acquired, 10.0);
+}
+
+TEST(Workflow, ReaderWaitsForUnproducedFile) {
+  // A consumer launched before its producer blocks until the first write
+  // completes (the in-situ workflow dependency of SIII-D).
+  sim::Engine engine;
+  WorkflowManager manager(engine, Enabled());
+  Time read_acquired = -1;
+  engine.Spawn([](sim::Engine& e, WorkflowManager& m, Time& at) -> sim::Task {
+    co_await m.AcquireRead(1);  // file not produced yet
+    at = e.Now();
+    co_await m.ReleaseRead(1);
+  }(engine, manager, read_acquired));
+  engine.Spawn([](sim::Engine& e, WorkflowManager& m) -> sim::Task {
+    co_await e.Delay(7.0);
+    co_await m.AcquireWrite(1);
+    co_await m.ReleaseWrite(1);
+  }(engine, manager));
+  engine.Run();
+  EXPECT_GE(read_acquired, 7.0);
+}
+
+TEST(Workflow, WriterWaitsForReader) {
+  sim::Engine engine;
+  WorkflowManager manager(engine, Enabled());
+  Time write_acquired = -1;
+  engine.Spawn([](sim::Engine& e, WorkflowManager& m) -> sim::Task {
+    co_await m.AcquireWrite(1);
+    co_await m.ReleaseWrite(1);
+    co_await m.AcquireRead(1);
+    co_await e.Delay(5.0);
+    co_await m.ReleaseRead(1);
+  }(engine, manager));
+  engine.Spawn([](sim::Engine& e, WorkflowManager& m, Time& at) -> sim::Task {
+    co_await e.Delay(1.0);
+    co_await m.AcquireWrite(1);
+    at = e.Now();
+    co_await m.ReleaseWrite(1);
+  }(engine, manager, write_acquired));
+  engine.Run();
+  EXPECT_GE(write_acquired, 5.0);
+}
+
+TEST(Workflow, ConcurrentReadersShareTheLock) {
+  sim::Engine engine;
+  WorkflowManager manager(engine, Enabled());
+  int concurrent = 0, peak = 0;
+  engine.Spawn([](WorkflowManager& m) -> sim::Task {
+    co_await m.AcquireWrite(1);  // produce the file first
+    co_await m.ReleaseWrite(1);
+  }(manager));
+  for (int i = 0; i < 4; ++i) {
+    engine.Spawn([](sim::Engine& e, WorkflowManager& m, int& c, int& p) -> sim::Task {
+      co_await m.AcquireRead(1);
+      ++c;
+      p = std::max(p, c);
+      co_await e.Delay(1.0);
+      --c;
+      co_await m.ReleaseRead(1);
+    }(engine, manager, concurrent, peak));
+  }
+  engine.Run();
+  EXPECT_EQ(peak, 4);
+  EXPECT_EQ(manager.ActiveReaders(1), 0);
+  EXPECT_EQ(manager.StateOf(1), FileState::kReadDone);
+}
+
+TEST(Workflow, ReadersMayProceedDuringFlush) {
+  sim::Engine engine;
+  WorkflowManager manager(engine, Enabled());
+  Time read_at = -1;
+  engine.Spawn([](sim::Engine& e, WorkflowManager& m, Time& at) -> sim::Task {
+    co_await m.AcquireWrite(1);
+    co_await m.ReleaseWrite(1);
+    co_await m.AcquireFlush(1);
+    // Reader should not be blocked by the flush.
+    co_await e.Delay(0.5);
+    at = -2;  // marker: flush still held
+    co_await e.Delay(9.5);
+    co_await m.ReleaseFlush(1);
+  }(engine, manager, read_at));
+  Time acquired = -1;
+  engine.Spawn([](sim::Engine& e, WorkflowManager& m, Time& at) -> sim::Task {
+    co_await e.Delay(1.0);
+    co_await m.AcquireRead(1);
+    at = e.Now();
+    co_await m.ReleaseRead(1);
+  }(engine, manager, acquired));
+  engine.Run();
+  EXPECT_LT(acquired, 2.0) << "reads allowed during FLUSHING";
+}
+
+TEST(Workflow, WriterBlockedDuringFlush) {
+  sim::Engine engine;
+  WorkflowManager manager(engine, Enabled());
+  Time acquired = -1;
+  engine.Spawn([](sim::Engine& e, WorkflowManager& m) -> sim::Task {
+    co_await m.AcquireFlush(1);
+    co_await e.Delay(10.0);
+    co_await m.ReleaseFlush(1);
+  }(engine, manager));
+  engine.Spawn([](sim::Engine& e, WorkflowManager& m, Time& at) -> sim::Task {
+    co_await e.Delay(1.0);
+    co_await m.AcquireWrite(1);
+    at = e.Now();
+    co_await m.ReleaseWrite(1);
+  }(engine, manager, acquired));
+  engine.Run();
+  EXPECT_GE(acquired, 10.0);
+}
+
+TEST(Workflow, FlushWaitsForWriter) {
+  sim::Engine engine;
+  WorkflowManager manager(engine, Enabled());
+  Time acquired = -1;
+  engine.Spawn([](sim::Engine& e, WorkflowManager& m) -> sim::Task {
+    co_await m.AcquireWrite(1);
+    co_await e.Delay(3.0);
+    co_await m.ReleaseWrite(1);
+  }(engine, manager));
+  engine.Spawn([](sim::Engine& e, WorkflowManager& m, Time& at) -> sim::Task {
+    co_await e.Delay(1.0);
+    co_await m.AcquireFlush(1);
+    at = e.Now();
+    co_await m.ReleaseFlush(1);
+  }(engine, manager, acquired));
+  engine.Run();
+  EXPECT_GE(acquired, 3.0);
+}
+
+TEST(Workflow, IndependentFilesDoNotInterfere) {
+  sim::Engine engine;
+  WorkflowManager manager(engine, Enabled());
+  Time acquired = -1;
+  engine.Spawn([](sim::Engine& e, WorkflowManager& m) -> sim::Task {
+    co_await m.AcquireWrite(1);
+    co_await e.Delay(10.0);
+    co_await m.ReleaseWrite(1);
+  }(engine, manager));
+  engine.Spawn([](sim::Engine& e, WorkflowManager& m, Time& at) -> sim::Task {
+    co_await m.AcquireWrite(2);  // different file
+    at = e.Now();
+    co_await m.ReleaseWrite(2);
+  }(engine, manager, acquired));
+  engine.Run();
+  EXPECT_LT(acquired, 1.0);
+}
+
+TEST(Workflow, StateNamesAreStable) {
+  EXPECT_STREQ(FileStateName(FileState::kWriting), "WRITING");
+  EXPECT_STREQ(FileStateName(FileState::kFlushDone), "FLUSH_DONE");
+}
+
+}  // namespace
+}  // namespace uvs::workflow

@@ -1,0 +1,191 @@
+// uvsim — command-line front end for the UniviStor simulation stack.
+//
+// Runs one storage system against one workload on a Cori-like simulated
+// machine and prints a timing summary. Examples:
+//
+//   uvsim --system=univistor --workload=micro --procs=512 --mb=256
+//   uvsim --system=univistor --layer=bb --workload=vpic --steps=10
+//   uvsim --system=de --workload=workflow --procs=256
+//   uvsim --system=lustre --workload=micro --procs=1024 --read
+//
+// Flags:
+//   --system=univistor|de|lustre    storage system under test
+//   --layer=dram|bb|disk            UniviStor first cache layer
+//   --workload=micro|vpic|workflow  workload to run
+//   --procs=N --mb=N --steps=N --read --report
+//   --no-ia --no-coc --no-adpt --no-la   UniviStor optimization toggles
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/baselines/data_elevator.hpp"
+#include "src/baselines/lustre_driver.hpp"
+#include "src/common/strings.hpp"
+#include "src/hw/utilization.hpp"
+#include "src/univistor/driver.hpp"
+#include "src/univistor/system.hpp"
+#include "src/workload/bdcats.hpp"
+#include "src/workload/hdf_micro.hpp"
+#include "src/workload/scenario.hpp"
+#include "src/workload/vpic.hpp"
+
+using namespace uvs;
+
+namespace {
+
+struct Args {
+  std::string system = "univistor";
+  std::string layer = "dram";
+  std::string workload = "micro";
+  int procs = 256;
+  int mb = 256;
+  int steps = 5;
+  bool read = false;
+  bool report = false;
+  bool ia = true, coc = true, adpt = true, la = true;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  std::string value;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (ParseFlag(arg, "--system", &value)) args.system = value;
+    else if (ParseFlag(arg, "--layer", &value)) args.layer = value;
+    else if (ParseFlag(arg, "--workload", &value)) args.workload = value;
+    else if (ParseFlag(arg, "--procs", &value)) args.procs = std::atoi(value.c_str());
+    else if (ParseFlag(arg, "--mb", &value)) args.mb = std::atoi(value.c_str());
+    else if (ParseFlag(arg, "--steps", &value)) args.steps = std::atoi(value.c_str());
+    else if (std::strcmp(arg, "--read") == 0) args.read = true;
+    else if (std::strcmp(arg, "--report") == 0) args.report = true;
+    else if (std::strcmp(arg, "--no-ia") == 0) args.ia = false;
+    else if (std::strcmp(arg, "--no-coc") == 0) args.coc = false;
+    else if (std::strcmp(arg, "--no-adpt") == 0) args.adpt = false;
+    else if (std::strcmp(arg, "--no-la") == 0) args.la = false;
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+int Run(const Args& args) {
+  workload::ScenarioOptions options;
+  options.procs = args.procs;
+  options.workflow_enabled = args.workload == "workflow";
+  options.policy = (args.system == "univistor" && args.ia)
+                       ? sched::PlacementPolicy::kInterferenceAware
+                       : sched::PlacementPolicy::kCfs;
+  workload::Scenario scenario(options);
+
+  // Assemble the system under test behind the common ADIO interface.
+  std::unique_ptr<univistor::UniviStor> uvs_system;
+  std::unique_ptr<univistor::UniviStorDriver> uvs_driver;
+  std::unique_ptr<baselines::DataElevator> de_system;
+  std::unique_ptr<baselines::DataElevatorDriver> de_driver;
+  std::unique_ptr<baselines::LustreDriver> lustre_driver;
+  vmpi::AdioDriver* driver = nullptr;
+
+  if (args.system == "univistor") {
+    univistor::Config config;
+    config.collective_open_close = args.coc;
+    config.adaptive_striping = args.adpt;
+    config.location_aware_reads = args.la;
+    config.interference_aware_flush = args.ia;
+    config.first_cache_layer = args.layer == "bb"     ? hw::Layer::kSharedBurstBuffer
+                               : args.layer == "disk" ? hw::Layer::kPfs
+                                                      : hw::Layer::kDram;
+    uvs_system = std::make_unique<univistor::UniviStor>(
+        scenario.runtime(), scenario.pfs(), scenario.workflow(), config);
+    uvs_driver = std::make_unique<univistor::UniviStorDriver>(*uvs_system);
+    driver = uvs_driver.get();
+  } else if (args.system == "de") {
+    de_system =
+        std::make_unique<baselines::DataElevator>(scenario.runtime(), scenario.pfs());
+    de_driver = std::make_unique<baselines::DataElevatorDriver>(*de_system);
+    driver = de_driver.get();
+  } else if (args.system == "lustre") {
+    lustre_driver =
+        std::make_unique<baselines::LustreDriver>(scenario.runtime(), scenario.pfs());
+    driver = lustre_driver.get();
+  } else {
+    std::fprintf(stderr, "unknown --system=%s\n", args.system.c_str());
+    return 2;
+  }
+
+  std::printf("uvsim: system=%s layer=%s workload=%s procs=%d\n", args.system.c_str(),
+              args.layer.c_str(), args.workload.c_str(), args.procs);
+
+  if (args.workload == "micro") {
+    const auto app = scenario.runtime().LaunchProgram("app", args.procs);
+    workload::MicroParams params{.bytes_per_proc = static_cast<Bytes>(args.mb) * 1_MiB,
+                                 .file_name = "uvsim.h5"};
+    if (args.read) {
+      workload::RunHdfMicro(scenario, app, *driver, params);
+      params.read = true;
+    }
+    const auto t = workload::RunHdfMicro(scenario, app, *driver, params);
+    std::printf("open %s | io %s | close %s | elapsed %s | rate %s\n",
+                HumanTime(t.open).c_str(), HumanTime(t.io).c_str(),
+                HumanTime(t.close).c_str(), HumanTime(t.elapsed).c_str(),
+                HumanRate(t.rate()).c_str());
+  } else if (args.workload == "vpic") {
+    const auto app = scenario.runtime().LaunchProgram("vpic", args.procs);
+    const workload::VpicParams params{.steps = args.steps,
+                                      .vars = 8,
+                                      .bytes_per_var = static_cast<Bytes>(args.mb) * 1_MiB / 8,
+                                      .compute_time = 60.0};
+    const auto r = workload::RunVpic(scenario, app, *driver, params);
+    std::printf("write %s | final flush wait %s | total I/O %s | elapsed %s\n",
+                HumanTime(r.write_time).c_str(), HumanTime(r.final_flush_wait).c_str(),
+                HumanTime(r.total_io_time).c_str(), HumanTime(r.elapsed).c_str());
+  } else if (args.workload == "workflow") {
+    const auto writer = scenario.runtime().LaunchProgram("vpic", args.procs / 2);
+    const auto reader = scenario.runtime().LaunchProgram("bdcats", args.procs / 2);
+    const workload::VpicParams params{.steps = args.steps,
+                                      .vars = 8,
+                                      .bytes_per_var = static_cast<Bytes>(args.mb) * 1_MiB / 8,
+                                      .compute_time = 0.0};
+    workload::VpicRun vpic(scenario, writer, *driver, params);
+    workload::BdcatsRun bdcats(scenario, reader, *driver,
+                               workload::BdcatsParams{.producer = params,
+                                                      .producer_ranks = args.procs / 2});
+    vpic.Start();
+    bdcats.Start();
+    scenario.engine().Run();
+    std::printf("producer writes %s | consumer reads %s | workflow elapsed %s\n",
+                HumanTime(vpic.result().write_time).c_str(),
+                HumanTime(bdcats.result().read_time).c_str(),
+                HumanTime(scenario.engine().Now()).c_str());
+  } else {
+    std::fprintf(stderr, "unknown --workload=%s\n", args.workload.c_str());
+    return 2;
+  }
+
+  if (uvs_system != nullptr && uvs_system->flush_stats().flushes > 0) {
+    const auto& f = uvs_system->flush_stats();
+    std::printf("flush: %d flushes, %s, last took %s\n", f.flushes,
+                HumanBytes(f.bytes_flushed).c_str(),
+                HumanTime(f.last_flush_duration).c_str());
+  }
+  std::printf("simulated %s in %llu events\n", HumanTime(scenario.engine().Now()).c_str(),
+              static_cast<unsigned long long>(scenario.engine().processed_events()));
+  if (args.report)
+    std::printf("%s", hw::CollectUtilization(scenario.cluster()).ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(Parse(argc, argv)); }
