@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_collective.dir/ablation_collective.cpp.o"
+  "CMakeFiles/ablation_collective.dir/ablation_collective.cpp.o.d"
+  "ablation_collective"
+  "ablation_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

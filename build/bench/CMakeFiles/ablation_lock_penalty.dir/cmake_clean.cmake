@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lock_penalty.dir/ablation_lock_penalty.cpp.o"
+  "CMakeFiles/ablation_lock_penalty.dir/ablation_lock_penalty.cpp.o.d"
+  "ablation_lock_penalty"
+  "ablation_lock_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lock_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_metadata_range.dir/ablation_metadata_range.cpp.o"
+  "CMakeFiles/ablation_metadata_range.dir/ablation_metadata_range.cpp.o.d"
+  "ablation_metadata_range"
+  "ablation_metadata_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_metadata_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

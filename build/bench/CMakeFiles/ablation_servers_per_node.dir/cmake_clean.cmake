@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_servers_per_node.dir/ablation_servers_per_node.cpp.o"
+  "CMakeFiles/ablation_servers_per_node.dir/ablation_servers_per_node.cpp.o.d"
+  "ablation_servers_per_node"
+  "ablation_servers_per_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_servers_per_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

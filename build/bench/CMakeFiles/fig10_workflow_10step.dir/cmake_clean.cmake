@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_workflow_10step.dir/fig10_workflow_10step.cpp.o"
+  "CMakeFiles/fig10_workflow_10step.dir/fig10_workflow_10step.cpp.o.d"
+  "fig10_workflow_10step"
+  "fig10_workflow_10step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_workflow_10step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_read_ia_coc.dir/fig5b_read_ia_coc.cpp.o"
+  "CMakeFiles/fig5b_read_ia_coc.dir/fig5b_read_ia_coc.cpp.o.d"
+  "fig5b_read_ia_coc"
+  "fig5b_read_ia_coc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_read_ia_coc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

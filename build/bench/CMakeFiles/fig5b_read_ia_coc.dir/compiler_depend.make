@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5b_read_ia_coc.
+# This may be replaced when dependencies are built.

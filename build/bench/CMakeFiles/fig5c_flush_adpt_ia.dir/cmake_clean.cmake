@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_flush_adpt_ia.dir/fig5c_flush_adpt_ia.cpp.o"
+  "CMakeFiles/fig5c_flush_adpt_ia.dir/fig5c_flush_adpt_ia.cpp.o.d"
+  "fig5c_flush_adpt_ia"
+  "fig5c_flush_adpt_ia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_flush_adpt_ia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

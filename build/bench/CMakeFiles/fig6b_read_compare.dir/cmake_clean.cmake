@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_read_compare.dir/fig6b_read_compare.cpp.o"
+  "CMakeFiles/fig6b_read_compare.dir/fig6b_read_compare.cpp.o.d"
+  "fig6b_read_compare"
+  "fig6b_read_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_read_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6b_read_compare.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6c_flush_compare.dir/fig6c_flush_compare.cpp.o"
+  "CMakeFiles/fig6c_flush_compare.dir/fig6c_flush_compare.cpp.o.d"
+  "fig6c_flush_compare"
+  "fig6c_flush_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6c_flush_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

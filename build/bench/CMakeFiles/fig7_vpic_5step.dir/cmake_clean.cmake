@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_vpic_5step.dir/fig7_vpic_5step.cpp.o"
+  "CMakeFiles/fig7_vpic_5step.dir/fig7_vpic_5step.cpp.o.d"
+  "fig7_vpic_5step"
+  "fig7_vpic_5step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_vpic_5step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

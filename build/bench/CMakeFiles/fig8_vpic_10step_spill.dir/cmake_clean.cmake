@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_vpic_10step_spill.dir/fig8_vpic_10step_spill.cpp.o"
+  "CMakeFiles/fig8_vpic_10step_spill.dir/fig8_vpic_10step_spill.cpp.o.d"
+  "fig8_vpic_10step_spill"
+  "fig8_vpic_10step_spill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_vpic_10step_spill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

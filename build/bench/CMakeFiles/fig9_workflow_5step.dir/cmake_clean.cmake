@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_workflow_5step.dir/fig9_workflow_5step.cpp.o"
+  "CMakeFiles/fig9_workflow_5step.dir/fig9_workflow_5step.cpp.o.d"
+  "fig9_workflow_5step"
+  "fig9_workflow_5step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_workflow_5step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

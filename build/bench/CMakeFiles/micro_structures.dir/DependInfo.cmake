@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_structures.cpp" "bench/CMakeFiles/micro_structures.dir/micro_structures.cpp.o" "gcc" "bench/CMakeFiles/micro_structures.dir/micro_structures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/uvs_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/uvs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/h5lite/CMakeFiles/uvs_h5lite.dir/DependInfo.cmake"
+  "/root/repo/build/src/univistor/CMakeFiles/uvs_univistor.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/uvs_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/uvs_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/uvs_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/uvs_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/uvs_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/uvs_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/uvs_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/uvs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/uvs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uvs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/uvs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

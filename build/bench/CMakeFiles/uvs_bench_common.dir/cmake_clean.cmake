@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvs_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/uvs_bench_common.dir/bench_common.cpp.o.d"
+  "libuvs_bench_common.a"
+  "libuvs_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvs_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

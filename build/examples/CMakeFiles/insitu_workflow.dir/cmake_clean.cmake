@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_workflow.dir/insitu_workflow.cpp.o"
+  "CMakeFiles/insitu_workflow.dir/insitu_workflow.cpp.o.d"
+  "insitu_workflow"
+  "insitu_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tier_planner.dir/tier_planner.cpp.o"
+  "CMakeFiles/tier_planner.dir/tier_planner.cpp.o.d"
+  "tier_planner"
+  "tier_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tier_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpic_checkpoint.dir/vpic_checkpoint.cpp.o"
+  "CMakeFiles/vpic_checkpoint.dir/vpic_checkpoint.cpp.o.d"
+  "vpic_checkpoint"
+  "vpic_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpic_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

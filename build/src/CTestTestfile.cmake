@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("hw")
+subdirs("sched")
+subdirs("storage")
+subdirs("kv")
+subdirs("meta")
+subdirs("placement")
+subdirs("workflow")
+subdirs("vmpi")
+subdirs("univistor")
+subdirs("baselines")
+subdirs("h5lite")
+subdirs("nclite")
+subdirs("workload")

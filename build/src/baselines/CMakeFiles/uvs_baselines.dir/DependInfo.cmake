@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/data_elevator.cpp" "src/baselines/CMakeFiles/uvs_baselines.dir/data_elevator.cpp.o" "gcc" "src/baselines/CMakeFiles/uvs_baselines.dir/data_elevator.cpp.o.d"
+  "/root/repo/src/baselines/lustre_driver.cpp" "src/baselines/CMakeFiles/uvs_baselines.dir/lustre_driver.cpp.o" "gcc" "src/baselines/CMakeFiles/uvs_baselines.dir/lustre_driver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vmpi/CMakeFiles/uvs_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/uvs_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/uvs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/uvs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uvs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/uvs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/uvs_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

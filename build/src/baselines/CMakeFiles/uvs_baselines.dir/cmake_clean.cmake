@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvs_baselines.dir/data_elevator.cpp.o"
+  "CMakeFiles/uvs_baselines.dir/data_elevator.cpp.o.d"
+  "CMakeFiles/uvs_baselines.dir/lustre_driver.cpp.o"
+  "CMakeFiles/uvs_baselines.dir/lustre_driver.cpp.o.d"
+  "libuvs_baselines.a"
+  "libuvs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvs_common.dir/log.cpp.o"
+  "CMakeFiles/uvs_common.dir/log.cpp.o.d"
+  "CMakeFiles/uvs_common.dir/stats.cpp.o"
+  "CMakeFiles/uvs_common.dir/stats.cpp.o.d"
+  "CMakeFiles/uvs_common.dir/strings.cpp.o"
+  "CMakeFiles/uvs_common.dir/strings.cpp.o.d"
+  "CMakeFiles/uvs_common.dir/table.cpp.o"
+  "CMakeFiles/uvs_common.dir/table.cpp.o.d"
+  "libuvs_common.a"
+  "libuvs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libuvs_common.a"
+)

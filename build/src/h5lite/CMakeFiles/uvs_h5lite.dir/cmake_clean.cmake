@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvs_h5lite.dir/h5file.cpp.o"
+  "CMakeFiles/uvs_h5lite.dir/h5file.cpp.o.d"
+  "libuvs_h5lite.a"
+  "libuvs_h5lite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvs_h5lite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

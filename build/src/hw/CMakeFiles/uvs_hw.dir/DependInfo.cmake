@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/burst_buffer.cpp" "src/hw/CMakeFiles/uvs_hw.dir/burst_buffer.cpp.o" "gcc" "src/hw/CMakeFiles/uvs_hw.dir/burst_buffer.cpp.o.d"
+  "/root/repo/src/hw/cluster.cpp" "src/hw/CMakeFiles/uvs_hw.dir/cluster.cpp.o" "gcc" "src/hw/CMakeFiles/uvs_hw.dir/cluster.cpp.o.d"
+  "/root/repo/src/hw/network.cpp" "src/hw/CMakeFiles/uvs_hw.dir/network.cpp.o" "gcc" "src/hw/CMakeFiles/uvs_hw.dir/network.cpp.o.d"
+  "/root/repo/src/hw/node.cpp" "src/hw/CMakeFiles/uvs_hw.dir/node.cpp.o" "gcc" "src/hw/CMakeFiles/uvs_hw.dir/node.cpp.o.d"
+  "/root/repo/src/hw/pfs_device.cpp" "src/hw/CMakeFiles/uvs_hw.dir/pfs_device.cpp.o" "gcc" "src/hw/CMakeFiles/uvs_hw.dir/pfs_device.cpp.o.d"
+  "/root/repo/src/hw/utilization.cpp" "src/hw/CMakeFiles/uvs_hw.dir/utilization.cpp.o" "gcc" "src/hw/CMakeFiles/uvs_hw.dir/utilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/uvs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/uvs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

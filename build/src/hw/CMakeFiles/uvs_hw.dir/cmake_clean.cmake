@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvs_hw.dir/burst_buffer.cpp.o"
+  "CMakeFiles/uvs_hw.dir/burst_buffer.cpp.o.d"
+  "CMakeFiles/uvs_hw.dir/cluster.cpp.o"
+  "CMakeFiles/uvs_hw.dir/cluster.cpp.o.d"
+  "CMakeFiles/uvs_hw.dir/network.cpp.o"
+  "CMakeFiles/uvs_hw.dir/network.cpp.o.d"
+  "CMakeFiles/uvs_hw.dir/node.cpp.o"
+  "CMakeFiles/uvs_hw.dir/node.cpp.o.d"
+  "CMakeFiles/uvs_hw.dir/pfs_device.cpp.o"
+  "CMakeFiles/uvs_hw.dir/pfs_device.cpp.o.d"
+  "CMakeFiles/uvs_hw.dir/utilization.cpp.o"
+  "CMakeFiles/uvs_hw.dir/utilization.cpp.o.d"
+  "libuvs_hw.a"
+  "libuvs_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvs_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvs_kv.dir/range_partitioner.cpp.o"
+  "CMakeFiles/uvs_kv.dir/range_partitioner.cpp.o.d"
+  "libuvs_kv.a"
+  "libuvs_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvs_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

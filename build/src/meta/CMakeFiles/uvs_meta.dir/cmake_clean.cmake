@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvs_meta.dir/record_index.cpp.o"
+  "CMakeFiles/uvs_meta.dir/record_index.cpp.o.d"
+  "CMakeFiles/uvs_meta.dir/service.cpp.o"
+  "CMakeFiles/uvs_meta.dir/service.cpp.o.d"
+  "libuvs_meta.a"
+  "libuvs_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvs_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

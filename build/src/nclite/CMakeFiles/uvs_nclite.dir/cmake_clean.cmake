@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvs_nclite.dir/ncfile.cpp.o"
+  "CMakeFiles/uvs_nclite.dir/ncfile.cpp.o.d"
+  "libuvs_nclite.a"
+  "libuvs_nclite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvs_nclite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

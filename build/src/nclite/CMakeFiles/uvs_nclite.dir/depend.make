@@ -1,0 +1,2 @@
+# Empty dependencies file for uvs_nclite.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/placement/dhp.cpp" "src/placement/CMakeFiles/uvs_placement.dir/dhp.cpp.o" "gcc" "src/placement/CMakeFiles/uvs_placement.dir/dhp.cpp.o.d"
+  "/root/repo/src/placement/striping.cpp" "src/placement/CMakeFiles/uvs_placement.dir/striping.cpp.o" "gcc" "src/placement/CMakeFiles/uvs_placement.dir/striping.cpp.o.d"
+  "/root/repo/src/placement/virtual_address.cpp" "src/placement/CMakeFiles/uvs_placement.dir/virtual_address.cpp.o" "gcc" "src/placement/CMakeFiles/uvs_placement.dir/virtual_address.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/uvs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/uvs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/uvs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uvs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

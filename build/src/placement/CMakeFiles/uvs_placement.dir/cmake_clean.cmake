@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvs_placement.dir/dhp.cpp.o"
+  "CMakeFiles/uvs_placement.dir/dhp.cpp.o.d"
+  "CMakeFiles/uvs_placement.dir/striping.cpp.o"
+  "CMakeFiles/uvs_placement.dir/striping.cpp.o.d"
+  "CMakeFiles/uvs_placement.dir/virtual_address.cpp.o"
+  "CMakeFiles/uvs_placement.dir/virtual_address.cpp.o.d"
+  "libuvs_placement.a"
+  "libuvs_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvs_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

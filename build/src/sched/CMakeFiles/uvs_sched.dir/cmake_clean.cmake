@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvs_sched.dir/node_scheduler.cpp.o"
+  "CMakeFiles/uvs_sched.dir/node_scheduler.cpp.o.d"
+  "libuvs_sched.a"
+  "libuvs_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvs_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/uvs_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/uvs_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/event.cpp" "src/sim/CMakeFiles/uvs_sim.dir/event.cpp.o" "gcc" "src/sim/CMakeFiles/uvs_sim.dir/event.cpp.o.d"
+  "/root/repo/src/sim/fair_share.cpp" "src/sim/CMakeFiles/uvs_sim.dir/fair_share.cpp.o" "gcc" "src/sim/CMakeFiles/uvs_sim.dir/fair_share.cpp.o.d"
+  "/root/repo/src/sim/sync.cpp" "src/sim/CMakeFiles/uvs_sim.dir/sync.cpp.o" "gcc" "src/sim/CMakeFiles/uvs_sim.dir/sync.cpp.o.d"
+  "/root/repo/src/sim/task.cpp" "src/sim/CMakeFiles/uvs_sim.dir/task.cpp.o" "gcc" "src/sim/CMakeFiles/uvs_sim.dir/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/uvs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvs_sim.dir/engine.cpp.o"
+  "CMakeFiles/uvs_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/uvs_sim.dir/event.cpp.o"
+  "CMakeFiles/uvs_sim.dir/event.cpp.o.d"
+  "CMakeFiles/uvs_sim.dir/fair_share.cpp.o"
+  "CMakeFiles/uvs_sim.dir/fair_share.cpp.o.d"
+  "CMakeFiles/uvs_sim.dir/sync.cpp.o"
+  "CMakeFiles/uvs_sim.dir/sync.cpp.o.d"
+  "CMakeFiles/uvs_sim.dir/task.cpp.o"
+  "CMakeFiles/uvs_sim.dir/task.cpp.o.d"
+  "libuvs_sim.a"
+  "libuvs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libuvs_sim.a"
+)

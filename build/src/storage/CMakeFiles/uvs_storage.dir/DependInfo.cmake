@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/layer_store.cpp" "src/storage/CMakeFiles/uvs_storage.dir/layer_store.cpp.o" "gcc" "src/storage/CMakeFiles/uvs_storage.dir/layer_store.cpp.o.d"
+  "/root/repo/src/storage/log_file.cpp" "src/storage/CMakeFiles/uvs_storage.dir/log_file.cpp.o" "gcc" "src/storage/CMakeFiles/uvs_storage.dir/log_file.cpp.o.d"
+  "/root/repo/src/storage/pfs.cpp" "src/storage/CMakeFiles/uvs_storage.dir/pfs.cpp.o" "gcc" "src/storage/CMakeFiles/uvs_storage.dir/pfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/uvs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uvs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/uvs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

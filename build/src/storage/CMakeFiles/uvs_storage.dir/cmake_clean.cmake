@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvs_storage.dir/layer_store.cpp.o"
+  "CMakeFiles/uvs_storage.dir/layer_store.cpp.o.d"
+  "CMakeFiles/uvs_storage.dir/log_file.cpp.o"
+  "CMakeFiles/uvs_storage.dir/log_file.cpp.o.d"
+  "CMakeFiles/uvs_storage.dir/pfs.cpp.o"
+  "CMakeFiles/uvs_storage.dir/pfs.cpp.o.d"
+  "libuvs_storage.a"
+  "libuvs_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvs_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

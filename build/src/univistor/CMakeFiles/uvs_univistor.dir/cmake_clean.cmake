@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvs_univistor.dir/driver.cpp.o"
+  "CMakeFiles/uvs_univistor.dir/driver.cpp.o.d"
+  "CMakeFiles/uvs_univistor.dir/system.cpp.o"
+  "CMakeFiles/uvs_univistor.dir/system.cpp.o.d"
+  "libuvs_univistor.a"
+  "libuvs_univistor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvs_univistor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvs_vmpi.dir/collective.cpp.o"
+  "CMakeFiles/uvs_vmpi.dir/collective.cpp.o.d"
+  "CMakeFiles/uvs_vmpi.dir/comm.cpp.o"
+  "CMakeFiles/uvs_vmpi.dir/comm.cpp.o.d"
+  "CMakeFiles/uvs_vmpi.dir/file.cpp.o"
+  "CMakeFiles/uvs_vmpi.dir/file.cpp.o.d"
+  "CMakeFiles/uvs_vmpi.dir/runtime.cpp.o"
+  "CMakeFiles/uvs_vmpi.dir/runtime.cpp.o.d"
+  "libuvs_vmpi.a"
+  "libuvs_vmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvs_vmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

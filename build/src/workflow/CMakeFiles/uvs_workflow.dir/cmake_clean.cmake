@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvs_workflow.dir/manager.cpp.o"
+  "CMakeFiles/uvs_workflow.dir/manager.cpp.o.d"
+  "libuvs_workflow.a"
+  "libuvs_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvs_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvs_workload.dir/bdcats.cpp.o"
+  "CMakeFiles/uvs_workload.dir/bdcats.cpp.o.d"
+  "CMakeFiles/uvs_workload.dir/hdf_micro.cpp.o"
+  "CMakeFiles/uvs_workload.dir/hdf_micro.cpp.o.d"
+  "CMakeFiles/uvs_workload.dir/scenario.cpp.o"
+  "CMakeFiles/uvs_workload.dir/scenario.cpp.o.d"
+  "CMakeFiles/uvs_workload.dir/vpic.cpp.o"
+  "CMakeFiles/uvs_workload.dir/vpic.cpp.o.d"
+  "libuvs_workload.a"
+  "libuvs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nclite_test.dir/nclite_test.cpp.o"
+  "CMakeFiles/nclite_test.dir/nclite_test.cpp.o.d"
+  "nclite_test"
+  "nclite_test.pdb"
+  "nclite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nclite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

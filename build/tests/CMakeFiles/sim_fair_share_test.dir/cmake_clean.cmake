@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_fair_share_test.dir/sim_fair_share_test.cpp.o"
+  "CMakeFiles/sim_fair_share_test.dir/sim_fair_share_test.cpp.o.d"
+  "sim_fair_share_test"
+  "sim_fair_share_test.pdb"
+  "sim_fair_share_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_fair_share_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

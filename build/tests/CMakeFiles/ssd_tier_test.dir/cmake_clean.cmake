@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssd_tier_test.dir/ssd_tier_test.cpp.o"
+  "CMakeFiles/ssd_tier_test.dir/ssd_tier_test.cpp.o.d"
+  "ssd_tier_test"
+  "ssd_tier_test.pdb"
+  "ssd_tier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssd_tier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

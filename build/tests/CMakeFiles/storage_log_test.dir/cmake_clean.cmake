@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_log_test.dir/storage_log_test.cpp.o"
+  "CMakeFiles/storage_log_test.dir/storage_log_test.cpp.o.d"
+  "storage_log_test"
+  "storage_log_test.pdb"
+  "storage_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

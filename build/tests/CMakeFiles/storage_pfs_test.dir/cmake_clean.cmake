@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_pfs_test.dir/storage_pfs_test.cpp.o"
+  "CMakeFiles/storage_pfs_test.dir/storage_pfs_test.cpp.o.d"
+  "storage_pfs_test"
+  "storage_pfs_test.pdb"
+  "storage_pfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_pfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

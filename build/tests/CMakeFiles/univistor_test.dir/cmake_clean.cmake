@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/univistor_test.dir/univistor_test.cpp.o"
+  "CMakeFiles/univistor_test.dir/univistor_test.cpp.o.d"
+  "univistor_test"
+  "univistor_test.pdb"
+  "univistor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/univistor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvsim.dir/uvsim.cpp.o"
+  "CMakeFiles/uvsim.dir/uvsim.cpp.o.d"
+  "uvsim"
+  "uvsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
