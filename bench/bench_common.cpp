@@ -3,7 +3,56 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/common/log.hpp"
+#include "src/hw/probes.hpp"
+
 namespace uvs::bench {
+
+namespace {
+void InitBenchEnvOnce() {
+  static const bool done = [] {
+    InitLogLevelFromEnv();
+    return true;
+  }();
+  (void)done;
+}
+
+int NextObsRun() {
+  static int run = 0;
+  return run++;
+}
+}  // namespace
+
+void ObsHook::Attach(workload::Scenario& scenario, univistor::UniviStor* system) {
+  const char* dir = std::getenv("UVS_OBS_DIR");
+  if (dir == nullptr || obs::Enabled()) return;
+  recorder_ = std::make_unique<obs::Recorder>();
+  recorder_->Install();
+  double interval = 1.0;
+  if (const char* env = std::getenv("UVS_SAMPLE_INTERVAL")) interval = std::atof(env);
+  engine_ = &scenario.engine();
+  sampler_ = std::make_unique<obs::Sampler>(*engine_, *recorder_, interval);
+  hw::RegisterClusterGauges(*sampler_, scenario.cluster());
+  if (system != nullptr) system->RegisterGauges(*sampler_);
+  char run[32];
+  std::snprintf(run, sizeof run, "run-%03d", NextObsRun());
+  trace_path_ = std::string(dir) + "/" + run + ".trace.json";
+  metrics_path_ = std::string(dir) + "/" + run + ".metrics.json";
+  Kick();
+}
+
+void ObsHook::Kick() {
+  if (sampler_ != nullptr) sampler_->Kick();
+}
+
+ObsHook::~ObsHook() {
+  if (recorder_ == nullptr) return;
+  if (Status s = recorder_->WriteChromeTrace(trace_path_); !s.ok())
+    UVS_WARN("bench: writing " << trace_path_ << ": " << s.ToString());
+  if (Status s = recorder_->WriteMetricsJson(metrics_path_, engine_->Now()); !s.ok())
+    UVS_WARN("bench: writing " << metrics_path_ << ": " << s.ToString());
+  recorder_->Uninstall();
+}
 
 std::vector<int> ScaleSweep() {
   int max_procs = 8192;
@@ -36,6 +85,7 @@ workload::ScenarioOptions Options(int procs, sched::PlacementPolicy policy, bool
 
 UvsSetup MakeUniviStor(int procs, const univistor::Config& config, bool cfs, bool workflow,
                        int client_programs) {
+  InitBenchEnvOnce();
   UvsSetup setup;
   setup.scenario = std::make_unique<workload::Scenario>(
       Options(procs, cfs ? sched::PlacementPolicy::kCfs
@@ -45,10 +95,12 @@ UvsSetup MakeUniviStor(int procs, const univistor::Config& config, bool cfs, boo
       setup.scenario->runtime(), setup.scenario->pfs(), setup.scenario->workflow(), config);
   setup.driver = std::make_unique<univistor::UniviStorDriver>(*setup.system);
   setup.app = setup.scenario->runtime().LaunchProgram("app", procs / client_programs);
+  setup.obs.Attach(*setup.scenario, setup.system.get());
   return setup;
 }
 
 DeSetup MakeDataElevator(int procs, int client_programs) {
+  InitBenchEnvOnce();
   DeSetup setup;
   setup.scenario = std::make_unique<workload::Scenario>(
       Options(procs, sched::PlacementPolicy::kCfs, false));
@@ -56,16 +108,19 @@ DeSetup MakeDataElevator(int procs, int client_programs) {
                                                            setup.scenario->pfs());
   setup.driver = std::make_unique<baselines::DataElevatorDriver>(*setup.system);
   setup.app = setup.scenario->runtime().LaunchProgram("app", procs / client_programs);
+  setup.obs.Attach(*setup.scenario, nullptr);
   return setup;
 }
 
 LustreSetup MakeLustre(int procs, int client_programs) {
+  InitBenchEnvOnce();
   LustreSetup setup;
   setup.scenario = std::make_unique<workload::Scenario>(
       Options(procs, sched::PlacementPolicy::kCfs, false));
   setup.driver = std::make_unique<baselines::LustreDriver>(setup.scenario->runtime(),
                                                            setup.scenario->pfs());
   setup.app = setup.scenario->runtime().LaunchProgram("app", procs / client_programs);
+  setup.obs.Attach(*setup.scenario, nullptr);
   return setup;
 }
 

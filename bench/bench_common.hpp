@@ -4,9 +4,15 @@
 // ranks in 2x increments).
 //
 // Environment knobs:
-//   UVS_MAX_PROCS  — cap the sweep (default 8192; set e.g. 1024 for a
-//                    quick pass).
-//   UVS_CSV        — also print tables as CSV.
+//   UVS_MAX_PROCS        — cap the sweep (default 8192; set e.g. 1024 for
+//                          a quick pass).
+//   UVS_CSV              — also print tables as CSV.
+//   UVS_LOG_LEVEL        — logger threshold (trace..off).
+//   UVS_OBS_DIR          — record a Chrome trace + metrics report per
+//                          machine setup into this directory (see
+//                          docs/OBSERVABILITY.md).
+//   UVS_SAMPLE_INTERVAL  — gauge sampling period in simulated seconds
+//                          (default 1; used with UVS_OBS_DIR).
 #pragma once
 
 #include <memory>
@@ -16,6 +22,8 @@
 #include "src/baselines/data_elevator.hpp"
 #include "src/baselines/lustre_driver.hpp"
 #include "src/common/table.hpp"
+#include "src/obs/recorder.hpp"
+#include "src/obs/sampler.hpp"
 #include "src/univistor/driver.hpp"
 #include "src/univistor/system.hpp"
 #include "src/workload/bdcats.hpp"
@@ -24,6 +32,31 @@
 #include "src/workload/vpic.hpp"
 
 namespace uvs::bench {
+
+/// Env-gated observability for the benches. Inactive (one getenv) unless
+/// UVS_OBS_DIR is set and no other recorder is installed; when active it
+/// records the setup's run and writes <dir>/run-NNN.trace.json plus
+/// run-NNN.metrics.json as the setup is destroyed.
+class ObsHook {
+ public:
+  ObsHook() = default;
+  ObsHook(ObsHook&&) = default;
+  ObsHook& operator=(ObsHook&&) = default;
+  ~ObsHook();
+
+  /// Installs the recorder and registers cluster (and, when `system` is
+  /// non-null, UniviStor layer-occupancy) gauges.
+  void Attach(workload::Scenario& scenario, univistor::UniviStor* system);
+  /// Re-arms the periodic sampler; call before re-running the engine.
+  void Kick();
+
+ private:
+  std::unique_ptr<obs::Recorder> recorder_;
+  std::unique_ptr<obs::Sampler> sampler_;
+  sim::Engine* engine_ = nullptr;
+  std::string trace_path_;
+  std::string metrics_path_;
+};
 
 /// 64, 128, ..., UVS_MAX_PROCS (default 8192).
 std::vector<int> ScaleSweep();
@@ -40,6 +73,7 @@ struct UvsSetup {
   std::unique_ptr<univistor::UniviStor> system;
   std::unique_ptr<univistor::UniviStorDriver> driver;
   vmpi::ProgramId app = -1;
+  ObsHook obs;  // last member: exports its files while the engine is alive
 };
 
 /// Builds the machine with the paper's defaults (IA placement unless the
@@ -54,6 +88,7 @@ struct DeSetup {
   std::unique_ptr<baselines::DataElevator> system;
   std::unique_ptr<baselines::DataElevatorDriver> driver;
   vmpi::ProgramId app = -1;
+  ObsHook obs;  // last member: exports its files while the engine is alive
 };
 DeSetup MakeDataElevator(int procs, int client_programs = 1);
 
@@ -61,6 +96,7 @@ struct LustreSetup {
   std::unique_ptr<workload::Scenario> scenario;
   std::unique_ptr<baselines::LustreDriver> driver;
   vmpi::ProgramId app = -1;
+  ObsHook obs;  // last member: exports its files while the engine is alive
 };
 LustreSetup MakeLustre(int procs, int client_programs = 1);
 

@@ -1,7 +1,10 @@
 #include "src/common/log.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "src/common/status.hpp"
 
@@ -25,6 +28,20 @@ const char* LevelName(LogLevel level) {
 
 LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+void InitLogLevelFromEnv() {
+  const char* raw = std::getenv("UVS_LOG_LEVEL");
+  if (raw == nullptr) return;
+  std::string value(raw);
+  for (char& c : value) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (value == "trace") SetLogLevel(LogLevel::kTrace);
+  else if (value == "debug") SetLogLevel(LogLevel::kDebug);
+  else if (value == "info") SetLogLevel(LogLevel::kInfo);
+  else if (value == "warn" || value == "warning") SetLogLevel(LogLevel::kWarn);
+  else if (value == "error") SetLogLevel(LogLevel::kError);
+  else if (value == "off" || value == "none") SetLogLevel(LogLevel::kOff);
+  else UVS_WARN("log: unrecognized UVS_LOG_LEVEL '" << raw << "' ignored");
+}
 
 namespace internal {
 void LogLine(LogLevel level, const std::string& msg) {

@@ -13,6 +13,11 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
+/// Reads UVS_LOG_LEVEL (trace|debug|info|warn|error|off, case-insensitive)
+/// and applies it; leaves the level untouched when the variable is unset or
+/// unrecognized. Entry points call this once at startup.
+void InitLogLevelFromEnv();
+
 namespace internal {
 void LogLine(LogLevel level, const std::string& msg);
 }

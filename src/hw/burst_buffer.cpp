@@ -4,6 +4,8 @@
 #include <cmath>
 #include <string>
 
+#include "src/obs/recorder.hpp"
+
 namespace uvs::hw {
 
 BurstBuffer::BurstBuffer(sim::Engine& engine, const BurstBufferParams& params)
@@ -22,6 +24,9 @@ Bytes BurstBuffer::total_capacity() const {
 
 sim::Task BurstBuffer::Access(int bb_node, Bytes bytes, double inflation) {
   assert(inflation >= 1.0);
+  obs::SpanTimer span(*engine_, "hw", "bb.access", obs::Track::BbNode(bb_node), bytes);
+  obs::Count("hw.bb.accesses");
+  obs::Count("hw.bb.bytes", bytes);
   co_await engine_->Delay(params_.latency);
   const auto effective = static_cast<Bytes>(std::llround(static_cast<double>(bytes) * inflation));
   co_await pool(bb_node).Transfer(effective);

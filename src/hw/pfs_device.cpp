@@ -4,6 +4,8 @@
 #include <cmath>
 #include <string>
 
+#include "src/obs/recorder.hpp"
+
 namespace uvs::hw {
 
 PfsDevice::PfsDevice(sim::Engine& engine, const PfsParams& params)
@@ -18,6 +20,9 @@ PfsDevice::PfsDevice(sim::Engine& engine, const PfsParams& params)
 
 sim::Task PfsDevice::Access(int ost, Bytes bytes, double inflation) {
   assert(inflation >= 1.0);
+  obs::SpanTimer span(*engine_, "hw", "ost.access", obs::Track::Ost(ost), bytes);
+  obs::Count("hw.ost.accesses");
+  obs::Count("hw.ost.bytes", bytes);
   co_await engine_->Delay(params_.latency);
   const auto effective = static_cast<Bytes>(std::llround(static_cast<double>(bytes) * inflation));
   co_await this->ost(ost).Transfer(effective);

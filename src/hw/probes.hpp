@@ -1,0 +1,17 @@
+// Bridges hardware-device state into the obs:: sampling layer: a sampler
+// source that publishes per-device-class gauges (bytes moved, busy time,
+// utilization, queue depths) every sampling interval.
+#pragma once
+
+#include "src/hw/cluster.hpp"
+#include "src/obs/sampler.hpp"
+
+namespace uvs::hw {
+
+/// Registers a source on `sampler` that snapshots `cluster`'s device
+/// counters into gauges named `hw.<class>.{bytes,busy_seconds,utilization}`
+/// plus `hw.{ost,bb}.active_flows` / `hw.ost.max_queue_depth`. The cluster
+/// must outlive the sampler.
+void RegisterClusterGauges(obs::Sampler& sampler, Cluster& cluster);
+
+}  // namespace uvs::hw

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/recorder.hpp"
+
 namespace uvs::meta {
 
 DistributedMetadataService::DistributedMetadataService(int servers, Bytes range_size)
@@ -14,6 +16,7 @@ std::vector<int> DistributedMetadataService::Insert(const MetadataRecord& record
   Bytes offset = record.offset;
   Bytes remaining = record.len;
   Bytes va = record.va;
+  std::uint64_t pieces = 0;
   while (remaining > 0) {
     const Bytes range_end = (offset / range_size + 1) * range_size;
     const Bytes piece = std::min(remaining, range_end - offset);
@@ -25,7 +28,11 @@ std::vector<int> DistributedMetadataService::Insert(const MetadataRecord& record
     offset += piece;
     va += piece;
     remaining -= piece;
+    ++pieces;
   }
+  obs::Count("meta.insert.calls");
+  obs::Count("meta.insert.records", pieces);
+  if (pieces > 1) obs::Count("meta.insert.range_splits", pieces - 1);
   return touched;
 }
 
@@ -38,6 +45,8 @@ std::vector<MetadataRecord> DistributedMetadataService::Query(storage::FileId fi
   }
   std::sort(out.begin(), out.end(),
             [](const MetadataRecord& a, const MetadataRecord& b) { return a.offset < b.offset; });
+  obs::Count("meta.query.calls");
+  obs::Count("meta.query.records", out.size());
   return out;
 }
 

@@ -1,0 +1,77 @@
+// Named metrics registry: counters (monotonic totals), gauges (last-set
+// values, snapshotted by the sampler), and distributions (RunningStats
+// moments plus an optional fixed-bucket Histogram for quantiles).
+//
+// Metric objects live as long as the registry; handles returned by the
+// Get* accessors stay valid, so hot paths can cache them. Iteration order
+// is the name's lexicographic order, which keeps every export
+// deterministic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/common/stats.hpp"
+
+namespace uvs::obs {
+
+class Counter {
+ public:
+  void Add(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Distribution {
+ public:
+  void Observe(double x) {
+    stats_.Add(x);
+    if (buckets_ != nullptr) buckets_->Add(x);
+  }
+
+  /// Enables bucket-granular quantiles over [lo, hi); no-op if already
+  /// attached (the first caller's bounds win).
+  void AttachBuckets(double lo, double hi, std::size_t buckets) {
+    if (buckets_ == nullptr) buckets_ = std::make_unique<Histogram>(lo, hi, buckets);
+  }
+
+  const RunningStats& stats() const { return stats_; }
+  const Histogram* buckets() const { return buckets_.get(); }
+
+ private:
+  RunningStats stats_;
+  std::unique_ptr<Histogram> buckets_;
+};
+
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(const std::string& name) { return counters_[name]; }
+  Gauge& GetGauge(const std::string& name) { return gauges_[name]; }
+  Distribution& GetDistribution(const std::string& name) { return distributions_[name]; }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Distribution>& distributions() const { return distributions_; }
+
+ private:
+  // std::map for stable node addresses (cached handles) and sorted export.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Distribution> distributions_;
+};
+
+}  // namespace uvs::obs

@@ -1,0 +1,207 @@
+// Process-wide tracing and metrics recorder.
+//
+// A Recorder collects three coordinated surfaces from one simulation run:
+//   * spans — scoped begin/end intervals (rank I/O calls, metadata RPC
+//     service, flush passes, per-OST transfers) exported as Chrome
+//     trace-event JSON, loadable in chrome://tracing and Perfetto;
+//   * metrics — a registry of named counters/gauges/distributions;
+//   * a time series — periodic snapshots of every counter and gauge taken
+//     by an obs::Sampler, exported as JSON and CSV (and as Chrome "C"
+//     counter events inside the trace).
+//
+// Instrumented code guards every call on `Recorder::Current()`: when no
+// recorder is installed (the default) instrumentation is a single inlined
+// null-pointer test — no heap traffic, no string work, no virtual calls.
+// Recording only *observes* the simulation (it never schedules events,
+// touches the RNG, or charges devices), so simulated results are
+// bit-identical with tracing on and off.
+//
+// Lifetime: the installed recorder must outlive the sim::Engine whose
+// processes it observes (construct it before the Scenario).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.hpp"
+#include "src/common/units.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/sim/engine.hpp"
+
+namespace uvs::obs {
+
+/// Sentinel for spans that carry no byte payload.
+constexpr Bytes kNoBytes = static_cast<Bytes>(-1);
+
+/// Trace-track identity, mapped onto Chrome trace (pid, tid). Processes
+/// are physical locations (compute node, BB node, OST); threads are lanes
+/// within them (a rank, a metadata server, a flush pass). The encoding is
+/// self-describing so the trace writer can emit human-readable track names
+/// without callers registering anything.
+struct Track {
+  std::int32_t pid = 0;
+  std::int32_t tid = 0;
+
+  // -- pid encodings ------------------------------------------------------
+  static constexpr std::int32_t kSimPid = 0;           // simulator-global lane
+  static constexpr std::int32_t kNodePidBase = 1;      // compute node n -> 1 + n
+  static constexpr std::int32_t kBbPidBase = 100000;   // BB node b -> base + b
+  static constexpr std::int32_t kOstPidBase = 200000;  // OST o -> base + o
+
+  // -- tid encodings (within a compute-node pid) --------------------------
+  static constexpr std::int32_t kDeviceTid = 1;             // device pids
+  static constexpr std::int32_t kMetaTidBase = 1000000;     // + server index
+  static constexpr std::int32_t kFlushTidBase = 2000000;    // + file id
+  static constexpr std::int32_t kPfsIoTidBase = 3000000;    // + PFS file handle
+  static constexpr std::int32_t kRankTidBase = 10000000;    // + program*100000 + rank
+
+  static Track Rank(int node, int program, int rank) {
+    return {kNodePidBase + node, kRankTidBase + program * 100000 + rank};
+  }
+  static Track MetaServer(int node, int server_idx) {
+    return {kNodePidBase + node, kMetaTidBase + server_idx};
+  }
+  static Track Flush(std::uint64_t fid) {
+    return {kSimPid, kFlushTidBase + static_cast<std::int32_t>(fid)};
+  }
+  static Track PfsIo(int node, int file_handle) {
+    return {kNodePidBase + node, kPfsIoTidBase + file_handle};
+  }
+  static Track BbNode(int bb_node) { return {kBbPidBase + bb_node, kDeviceTid}; }
+  static Track Ost(int ost) { return {kOstPidBase + ost, kDeviceTid}; }
+
+  std::string PidName() const;
+  std::string TidName() const;
+
+  friend bool operator==(const Track&, const Track&) = default;
+};
+
+class Recorder {
+ public:
+  Recorder() = default;
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+  ~Recorder();
+
+  /// The process-wide recorder instrumentation publishes into; nullptr
+  /// (the default) disables all recording.
+  static Recorder* Current() { return current_; }
+
+  /// Makes this the process-wide recorder. At most one may be installed.
+  void Install();
+  /// Detaches this recorder (no-op if it is not the installed one).
+  void Uninstall();
+  bool installed() const { return current_ == this; }
+
+  // --- span tracing ------------------------------------------------------
+  void AddSpan(const char* category, const char* name, Track track, Time start, Time end,
+               Bytes bytes = kNoBytes) {
+    spans_.push_back(SpanEvent{start, end, category, name, track, bytes});
+  }
+  /// Zero-duration marker.
+  void AddInstant(const char* category, const char* name, Track track, Time at,
+                  Bytes bytes = kNoBytes) {
+    AddSpan(category, name, track, at, at, bytes);
+  }
+  std::size_t span_count() const { return spans_.size(); }
+
+  // --- metrics -----------------------------------------------------------
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  // --- time series -------------------------------------------------------
+  /// Appends the current value of every counter and gauge at time `now`
+  /// (called by obs::Sampler every sampling interval).
+  void Sample(Time now);
+  std::size_t sample_count() const { return samples_taken_; }
+
+  // --- export ------------------------------------------------------------
+  /// Chrome trace-event JSON (spans + track names + sampled counters).
+  std::string ChromeTraceJson() const;
+  /// Machine-readable run report: counters, gauges, distributions, series.
+  std::string MetricsJson(Time sim_elapsed) const;
+  /// The sampled time series as "t,metric,value" CSV.
+  std::string SeriesCsv() const;
+
+  Status WriteChromeTrace(const std::string& path) const;
+  Status WriteMetricsJson(const std::string& path, Time sim_elapsed) const;
+  Status WriteSeriesCsv(const std::string& path) const;
+
+ private:
+  struct SpanEvent {
+    Time start;
+    Time end;
+    const char* category;  // static-string literal
+    const char* name;      // static-string literal
+    Track track;
+    Bytes bytes;
+  };
+  struct SeriesPoint {
+    Time t;
+    const std::string* name;  // points into the registry's stable keys
+    double value;
+  };
+
+  static inline Recorder* current_ = nullptr;
+
+  std::vector<SpanEvent> spans_;
+  MetricsRegistry metrics_;
+  std::vector<SeriesPoint> series_;
+  std::size_t samples_taken_ = 0;
+};
+
+/// True when a recorder is installed; the one guard hot paths pay.
+inline bool Enabled() { return Recorder::Current() != nullptr; }
+
+// Convenience helpers; all no-ops (one pointer test) when disabled.
+inline void Count(const char* name, std::uint64_t delta = 1) {
+  if (Recorder* r = Recorder::Current()) r->metrics().GetCounter(name).Add(delta);
+}
+inline void SetGauge(const char* name, double value) {
+  if (Recorder* r = Recorder::Current()) r->metrics().GetGauge(name).Set(value);
+}
+inline void Observe(const char* name, double x) {
+  if (Recorder* r = Recorder::Current()) r->metrics().GetDistribution(name).Observe(x);
+}
+
+/// RAII span: captures the sim time at construction and emits a complete
+/// span at destruction. Safe to hold across co_await — the span then
+/// covers the coroutine section's full simulated duration. A default-
+/// constructed or disabled timer does nothing.
+class SpanTimer {
+ public:
+  SpanTimer() = default;
+  SpanTimer(sim::Engine& engine, const char* category, const char* name, Track track,
+            Bytes bytes = kNoBytes)
+      : recorder_(Recorder::Current()) {
+    if (recorder_ != nullptr) {
+      engine_ = &engine;
+      category_ = category;
+      name_ = name;
+      track_ = track;
+      bytes_ = bytes;
+      start_ = engine.Now();
+    }
+  }
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+  ~SpanTimer() {
+    // The Current() check drops spans that close after their recorder was
+    // uninstalled (e.g. coroutine frames torn down with the engine after a
+    // bench hook exported its files).
+    if (recorder_ != nullptr && recorder_ == Recorder::Current())
+      recorder_->AddSpan(category_, name_, track_, start_, engine_->Now(), bytes_);
+  }
+
+ private:
+  Recorder* recorder_ = nullptr;
+  sim::Engine* engine_ = nullptr;
+  const char* category_ = nullptr;
+  const char* name_ = nullptr;
+  Track track_;
+  Bytes bytes_ = kNoBytes;
+  Time start_ = 0;
+};
+
+}  // namespace uvs::obs

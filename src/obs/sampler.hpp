@@ -1,0 +1,64 @@
+// Periodic gauge sampling driven by the simulation clock.
+//
+// A Sampler ticks every `interval` simulated seconds: it runs its
+// registered sources (callbacks that read simulator state and set gauges),
+// then snapshots every counter and gauge into the recorder's time series.
+// Ticks are ordinary engine events that only *read* state, so sampling
+// never changes simulated timing (it does add engine events, so
+// processed-event counts differ from an unsampled run).
+//
+// A tick re-arms itself only while other events remain in the queue, so
+// the engine still drains; call Kick() before each Engine::Run() to start
+// (or restart) the cadence. The sampler must outlive the last Run().
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/obs/recorder.hpp"
+#include "src/sim/engine.hpp"
+
+namespace uvs::obs {
+
+class Sampler {
+ public:
+  /// `interval` <= 0 disables sampling entirely.
+  Sampler(sim::Engine& engine, Recorder& recorder, Time interval)
+      : engine_(&engine), recorder_(&recorder), interval_(interval) {}
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  Time interval() const { return interval_; }
+
+  /// Registers a callback run at every tick before the snapshot; sources
+  /// must only read simulation state (and set gauges/counters).
+  void AddSource(std::function<void()> source) { sources_.push_back(std::move(source)); }
+
+  /// Arms the next tick if none is pending. Idempotent.
+  void Kick() {
+    if (armed_ || interval_ <= 0) return;
+    armed_ = true;
+    engine_->Schedule(engine_->Now() + interval_, [this] { Tick(); });
+  }
+
+ private:
+  void Tick() {
+    for (auto& source : sources_) source();
+    recorder_->Sample(engine_->Now());
+    if (engine_->pending_events() > 0) {
+      engine_->Schedule(engine_->Now() + interval_, [this] { Tick(); });
+    } else {
+      // Queue drained: the simulation is over (or paused); stop so Run()
+      // can return. A later Kick() restarts the cadence.
+      armed_ = false;
+    }
+  }
+
+  sim::Engine* engine_;
+  Recorder* recorder_;
+  Time interval_;
+  bool armed_ = false;
+  std::vector<std::function<void()>> sources_;
+};
+
+}  // namespace uvs::obs

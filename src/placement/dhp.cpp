@@ -2,7 +2,21 @@
 
 #include <cassert>
 
+#include "src/obs/recorder.hpp"
+
 namespace uvs::placement {
+
+namespace {
+const char* LayerBytesCounter(hw::Layer layer) {
+  switch (layer) {
+    case hw::Layer::kDram: return "placement.dram.bytes";
+    case hw::Layer::kNodeLocalSsd: return "placement.ssd.bytes";
+    case hw::Layer::kSharedBurstBuffer: return "placement.bb.bytes";
+    case hw::Layer::kPfs: return "placement.pfs.bytes";
+  }
+  return "placement.unknown.bytes";
+}
+}  // namespace
 
 Bytes DefaultLogCapacity(Bytes layer_capacity, int sharers) {
   assert(sharers > 0);
@@ -65,6 +79,15 @@ std::vector<Placement> DhpWriterChain::Append(Bytes len) {
     out.push_back(Placement{hw::Layer::kPfs, storage::Extent{pfs_cursor_, remaining}, *va});
     placed_[kLast] += remaining;
     pfs_cursor_ += remaining;
+  }
+  if (obs::Enabled()) {
+    obs::Count("placement.appends");
+    for (const auto& placement : out)
+      obs::Count(LayerBytesCounter(placement.layer), placement.extent.len);
+    // A chain hop = the append could not be satisfied by the first layer
+    // alone (DHP spilled down the hierarchy, §II-B1).
+    if (out.size() > 1 || (!out.empty() && out.front().layer != stores_.front()->layer()))
+      obs::Count("placement.spills");
   }
   return out;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/obs/recorder.hpp"
+
 namespace uvs::placement {
 
 std::vector<int> StripePlan::TargetsFor(int server) const {
@@ -63,6 +65,12 @@ StripePlan PlanAdaptiveStriping(Bytes file_size, int servers, int osts,
     plan.stripe_size =
         std::max<Bytes>(1, file_size / static_cast<Bytes>(plan.dummy_servers));
     plan.stripe_count = osts;
+  }
+  if (obs::Enabled()) {
+    obs::Count("placement.stripe.plans");
+    obs::Observe("placement.stripe.osts_per_server",
+                 static_cast<double>(plan.osts_per_server));
+    obs::Observe("placement.stripe.size_bytes", static_cast<double>(plan.stripe_size));
   }
   return plan;
 }

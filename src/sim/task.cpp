@@ -1,8 +1,21 @@
 #include "src/sim/task.hpp"
 
+#include "src/common/log.hpp"
 #include "src/sim/engine.hpp"
 
 namespace uvs::sim {
+
+namespace {
+void LogEscapedException(const std::string& name, const std::exception_ptr& ex) noexcept {
+  try {
+    std::rethrow_exception(ex);
+  } catch (const std::exception& e) {
+    UVS_ERROR("sim: process '" << name << "' exited with exception: " << e.what());
+  } catch (...) {
+    UVS_ERROR("sim: process '" << name << "' exited with a non-std exception");
+  }
+}
+}  // namespace
 
 std::coroutine_handle<> Task::promise_type::FinalAwaiter::await_suspend(Handle h) noexcept {
   promise_type& p = h.promise();
@@ -10,6 +23,7 @@ std::coroutine_handle<> Task::promise_type::FinalAwaiter::await_suspend(Handle h
   if (p.ctl != nullptr) {
     p.ctl->finished = true;
     if (p.exception) {
+      LogEscapedException(p.ctl->name, p.exception);
       // Surface the failure out of Engine::Run after this event completes.
       p.ctl->exception = p.exception;
       // Note: Dispatch() rethrows; record it there via the ctl's engine.

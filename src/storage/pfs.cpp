@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/common/log.hpp"
+#include "src/obs/recorder.hpp"
 #include "src/sim/combinators.hpp"
 
 namespace uvs::storage {
@@ -120,11 +122,27 @@ sim::Task Pfs::Access(FileHandle file, Bytes offset, Bytes len, int node,
   auto& engine = cluster_->engine();
   if (len == 0) co_return;
 
+  obs::SpanTimer span(engine, "storage", read ? "pfs.read" : "pfs.write",
+                      obs::Track::PfsIo(node, file), len);
+  obs::Count(read ? "storage.pfs.read.calls" : "storage.pfs.write.calls");
+  obs::Count(read ? "storage.pfs.read.bytes" : "storage.pfs.write.bytes", len);
+
   int& active = read ? info.active_readers : info.active_writers;
   ++active;
   if (!read) {
     ++info.write_calls;
+    const int previous_peak = info.peak_writers;
     info.peak_writers = std::max(info.peak_writers, info.active_writers);
+    // Overload: more concurrent writers than OSTs means every device is
+    // oversubscribed and the extent-lock inflation grows without bound.
+    // Warn once per file as the threshold is first crossed.
+    if (info.active_writers > ost_count() && previous_peak <= ost_count()) {
+      UVS_WARN("pfs: file '" << info.name << "' has " << info.active_writers
+                             << " concurrent writers over " << ost_count()
+                             << " OSTs (lock inflation "
+                             << LockInflation(options.layout, info.active_writers, false)
+                             << "x)");
+    }
   }
   const double inflation = LockInflation(options.layout, active, read);
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <functional>
 
+#include "src/obs/recorder.hpp"
+#include "src/obs/sampler.hpp"
 #include "src/sim/combinators.hpp"
 
 namespace uvs::univistor {
@@ -135,10 +137,20 @@ placement::DhpWriterChain& UniviStor::Chain(FileInfo& info, vmpi::ProgramId prog
 
 sim::Task UniviStor::MetadataRpc(int client_node, int server_idx, int ops) {
   hw::Cluster& cluster = runtime_->cluster();
+  const Time start = cluster.engine().Now();
+  obs::Count("meta.rpc.calls");
+  obs::Count("meta.rpc.ops", static_cast<std::uint64_t>(ops));
   co_await cluster.network().RoundTrip(client_node, ServerNode(server_idx));
   auto guard = co_await md_queue_[static_cast<std::size_t>(server_idx)]->Lock();
-  co_await cluster.engine().Delay(static_cast<double>(ops) *
-                                  cluster.params().rpc_service_time);
+  {
+    // Span covers only the serialized service section so spans on one
+    // server's lane never overlap.
+    obs::SpanTimer span(cluster.engine(), "meta", "rpc.service",
+                        obs::Track::MetaServer(ServerNode(server_idx), server_idx));
+    co_await cluster.engine().Delay(static_cast<double>(ops) *
+                                    cluster.params().rpc_service_time);
+  }
+  obs::Observe("meta.rpc.latency", cluster.engine().Now() - start);
 }
 
 sim::Task UniviStor::OpenMetadata(vmpi::ProgramId program, int rank, storage::FileId fid) {
@@ -456,6 +468,8 @@ sim::Task UniviStor::ServerFlushShare(FileInfo& info, int server_idx, Bytes rang
   runtime_->SetRankBusy(server_program_, server_idx, true);
 
   const Bytes total = dram_bytes + bb_bytes;
+  obs::SpanTimer span(cluster.engine(), "univistor", "flush.share",
+                      obs::Track::Rank(node, server_program_, server_idx), total);
   std::vector<sim::Task> legs;
   if (dram_bytes > 0) {
     legs.push_back(PoolLeg(runtime_->RankCpu(server_program_, server_idx), dram_bytes));
@@ -538,6 +552,15 @@ sim::Task UniviStor::FlushTask(storage::FileId fid) {
   flush_stats_.bytes_flushed += total;
   flush_stats_.last_flush_duration = duration;
   flush_stats_.total_flush_time += duration;
+  if (obs::Recorder* rec = obs::Recorder::Current()) {
+    // Mirrors flush_stats_ so the metrics file agrees with the timing
+    // summary printed by the tools.
+    rec->AddSpan("univistor", "flush", obs::Track::Flush(fid), start,
+                 cluster.engine().Now(), total);
+    obs::Count("flush.count");
+    obs::Count("flush.bytes", total);
+    obs::Observe("flush.duration", duration);
+  }
   info.flush_in_flight = false;
 }
 
@@ -560,6 +583,23 @@ sim::Task UniviStor::WaitAllFlushes() {
     if (info->flush_process.valid() && !info->flush_process.finished())
       co_await info->flush_process.Done().Wait();
   }
+}
+
+void UniviStor::RegisterGauges(obs::Sampler& sampler) {
+  sampler.AddSource([this] {
+    Bytes dram = 0, ssd = 0;
+    for (std::size_t n = 0; n < node_dram_.size(); ++n) {
+      dram += node_dram_[n]->used();
+      if (node_ssd_[n] != nullptr) ssd += node_ssd_[n]->used();
+    }
+    Bytes read_cache = 0;
+    for (const auto& cache : read_cache_) read_cache += cache->used();
+    obs::SetGauge("storage.dram.used_bytes", static_cast<double>(dram));
+    obs::SetGauge("storage.ssd.used_bytes", static_cast<double>(ssd));
+    obs::SetGauge("storage.bb.used_bytes", static_cast<double>(bb_store_->used()));
+    obs::SetGauge("storage.read_cache.used_bytes", static_cast<double>(read_cache));
+    obs::SetGauge("univistor.flushed_bytes", static_cast<double>(flush_stats_.bytes_flushed));
+  });
 }
 
 Bytes UniviStor::CachedOn(storage::FileId fid, hw::Layer layer) const {

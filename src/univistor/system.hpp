@@ -25,6 +25,10 @@
 #include "src/vmpi/runtime.hpp"
 #include "src/workflow/manager.hpp"
 
+namespace uvs::obs {
+class Sampler;
+}
+
 namespace uvs::univistor {
 
 /// Globally unique producer id for a (program, rank) pair.
@@ -94,6 +98,10 @@ class UniviStor {
   const FlushStats& flush_stats() const { return flush_stats_; }
   /// Bytes of `fid` currently cached per layer (summed over producers).
   Bytes CachedOn(storage::FileId fid, hw::Layer layer) const;
+
+  /// Registers layer-occupancy gauges (DRAM/SSD/BB/read-cache used bytes)
+  /// with a periodic sampler.
+  void RegisterGauges(obs::Sampler& sampler);
 
   // --- Resilience extension (§V future work). ---
   /// Marks a compute node's volatile layers (DRAM/SSD) as lost. Reads of

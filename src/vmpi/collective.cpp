@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/obs/recorder.hpp"
 #include "src/sim/combinators.hpp"
 
 namespace uvs::vmpi {
@@ -54,46 +55,66 @@ sim::Task CollectiveIo::Run(int rank, Bytes offset, Bytes len, bool read) {
   const int naggs = aggregator_count();
   const int my_node = runtime.Rank(file_->program(), rank).node;
 
+  const obs::Track my_track = obs::Track::Rank(my_node, file_->program(), rank);
+
   if (!read) {
     // Phase 1: shuffle this rank's bytes to the owning aggregators.
-    std::vector<sim::Task> shuffles;
-    for (int agg = 0; agg < naggs; ++agg) {
-      const auto [dlo, dhi] = Domain(round_, agg);
-      const Bytes lo = std::max(offset, dlo);
-      const Bytes hi = std::min(offset + len, dhi);
-      if (hi <= lo) continue;
-      const int agg_node = runtime.Rank(file_->program(), AggregatorRank(agg)).node;
-      shuffles.push_back(runtime.cluster().network().Transfer(my_node, agg_node, hi - lo));
+    {
+      std::vector<sim::Task> shuffles;
+      Bytes shuffle_bytes = 0;
+      for (int agg = 0; agg < naggs; ++agg) {
+        const auto [dlo, dhi] = Domain(round_, agg);
+        const Bytes lo = std::max(offset, dlo);
+        const Bytes hi = std::min(offset + len, dhi);
+        if (hi <= lo) continue;
+        const int agg_node = runtime.Rank(file_->program(), AggregatorRank(agg)).node;
+        shuffles.push_back(runtime.cluster().network().Transfer(my_node, agg_node, hi - lo));
+        shuffle_bytes += hi - lo;
+      }
+      obs::Count("vmpi.collective.shuffle_bytes", shuffle_bytes);
+      obs::SpanTimer span(runtime.engine(), "vmpi", "cb.shuffle", my_track, shuffle_bytes);
+      co_await sim::WhenAll(runtime.engine(), std::move(shuffles));
     }
-    co_await sim::WhenAll(runtime.engine(), std::move(shuffles));
     co_await comm.Barrier(rank);  // exchange complete
 
     // Phase 2: aggregators write their (contiguous) file domains.
     for (int agg = 0; agg < naggs; ++agg) {
       if (AggregatorRank(agg) != rank) continue;
       const auto [dlo, dhi] = Domain(round_, agg);
-      if (dhi > dlo) co_await file_->WriteAt(rank, dlo, dhi - dlo);
+      if (dhi > dlo) {
+        obs::SpanTimer span(runtime.engine(), "vmpi", "cb.write", my_track, dhi - dlo);
+        co_await file_->WriteAt(rank, dlo, dhi - dlo);
+      }
     }
   } else {
     // Phase 1: aggregators read their file domains.
     for (int agg = 0; agg < naggs; ++agg) {
       if (AggregatorRank(agg) != rank) continue;
       const auto [dlo, dhi] = Domain(round_, agg);
-      if (dhi > dlo) co_await file_->ReadAt(rank, dlo, dhi - dlo);
+      if (dhi > dlo) {
+        obs::SpanTimer span(runtime.engine(), "vmpi", "cb.read", my_track, dhi - dlo);
+        co_await file_->ReadAt(rank, dlo, dhi - dlo);
+      }
     }
     co_await comm.Barrier(rank);  // domains resident at the aggregators
 
     // Phase 2: scatter to the requesting ranks.
-    std::vector<sim::Task> shuffles;
-    for (int agg = 0; agg < naggs; ++agg) {
-      const auto [dlo, dhi] = Domain(round_, agg);
-      const Bytes lo = std::max(offset, dlo);
-      const Bytes hi = std::min(offset + len, dhi);
-      if (hi <= lo) continue;
-      const int agg_node = runtime.Rank(file_->program(), AggregatorRank(agg)).node;
-      shuffles.push_back(runtime.cluster().network().Transfer(agg_node, my_node, hi - lo));
+    {
+      std::vector<sim::Task> shuffles;
+      Bytes shuffle_bytes = 0;
+      for (int agg = 0; agg < naggs; ++agg) {
+        const auto [dlo, dhi] = Domain(round_, agg);
+        const Bytes lo = std::max(offset, dlo);
+        const Bytes hi = std::min(offset + len, dhi);
+        if (hi <= lo) continue;
+        const int agg_node = runtime.Rank(file_->program(), AggregatorRank(agg)).node;
+        shuffles.push_back(runtime.cluster().network().Transfer(agg_node, my_node, hi - lo));
+        shuffle_bytes += hi - lo;
+      }
+      obs::Count("vmpi.collective.shuffle_bytes", shuffle_bytes);
+      obs::SpanTimer span(runtime.engine(), "vmpi", "cb.shuffle", my_track, shuffle_bytes);
+      co_await sim::WhenAll(runtime.engine(), std::move(shuffles));
     }
-    co_await sim::WhenAll(runtime.engine(), std::move(shuffles));
   }
 
   // Collective completion; reset the round for reuse.

@@ -1,10 +1,57 @@
 #include "src/vmpi/file.hpp"
 
+#include <utility>
+
+#include "src/common/log.hpp"
+#include "src/obs/recorder.hpp"
+
 namespace uvs::vmpi {
 
 sim::Task AdioDriver::WaitFlush(File& file) {
   (void)file;
   co_return;
+}
+
+namespace {
+sim::Task TracedOp(sim::Engine& engine, const char* name, obs::Track track, Bytes bytes,
+                   sim::Task inner) {
+  obs::SpanTimer span(engine, "vmpi", name, track, bytes);
+  co_await std::move(inner);
+}
+}  // namespace
+
+sim::Task File::Open(int rank) {
+  if (!obs::Enabled()) return driver_->Open(*this, rank);
+  obs::Count("vmpi.open.calls");
+  const RankInfo& info = runtime_->Rank(program_, rank);
+  return TracedOp(runtime_->engine(), "open", obs::Track::Rank(info.node, program_, rank),
+                  obs::kNoBytes, driver_->Open(*this, rank));
+}
+
+sim::Task File::WriteAt(int rank, Bytes offset, Bytes len) {
+  if (!obs::Enabled()) return driver_->WriteAt(*this, rank, offset, len);
+  obs::Count("vmpi.write.calls");
+  obs::Count("vmpi.write.bytes", len);
+  const RankInfo& info = runtime_->Rank(program_, rank);
+  return TracedOp(runtime_->engine(), "write", obs::Track::Rank(info.node, program_, rank),
+                  len, driver_->WriteAt(*this, rank, offset, len));
+}
+
+sim::Task File::ReadAt(int rank, Bytes offset, Bytes len) {
+  if (!obs::Enabled()) return driver_->ReadAt(*this, rank, offset, len);
+  obs::Count("vmpi.read.calls");
+  obs::Count("vmpi.read.bytes", len);
+  const RankInfo& info = runtime_->Rank(program_, rank);
+  return TracedOp(runtime_->engine(), "read", obs::Track::Rank(info.node, program_, rank),
+                  len, driver_->ReadAt(*this, rank, offset, len));
+}
+
+sim::Task File::Close(int rank) {
+  if (!obs::Enabled()) return driver_->Close(*this, rank);
+  obs::Count("vmpi.close.calls");
+  const RankInfo& info = runtime_->Rank(program_, rank);
+  return TracedOp(runtime_->engine(), "close", obs::Track::Rank(info.node, program_, rank),
+                  obs::kNoBytes, driver_->Close(*this, rank));
 }
 
 Status DriverRegistry::Register(AdioDriver& driver) {
@@ -16,7 +63,17 @@ Status DriverRegistry::Register(AdioDriver& driver) {
 
 Result<AdioDriver*> DriverRegistry::Resolve(const std::string& forced_fs_type) const {
   auto it = drivers_.find(forced_fs_type);
-  if (it == drivers_.end()) return NotFoundError("no ADIO driver for " + forced_fs_type);
+  if (it == drivers_.end()) {
+    std::string known;
+    for (const auto& [name, driver] : drivers_) {
+      (void)driver;
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    UVS_WARN("vmpi: no ADIO driver registered for fs type '" << forced_fs_type
+                                                             << "' (registered: " << known << ")");
+    return NotFoundError("no ADIO driver for " + forced_fs_type);
+  }
   return it->second;
 }
 

@@ -66,14 +66,14 @@ class File {
   const FileOptions& options() const { return options_; }
   AdioDriver& driver() { return *driver_; }
 
-  sim::Task Open(int rank) { return driver_->Open(*this, rank); }
-  sim::Task WriteAt(int rank, Bytes offset, Bytes len) {
-    return driver_->WriteAt(*this, rank, offset, len);
-  }
-  sim::Task ReadAt(int rank, Bytes offset, Bytes len) {
-    return driver_->ReadAt(*this, rank, offset, len);
-  }
-  sim::Task Close(int rank) { return driver_->Close(*this, rank); }
+  /// The four MPI-IO verbs. Each delegates to the driver; when an
+  /// obs::Recorder is installed the driver task is wrapped in a span on
+  /// the calling rank's timeline (pure observation — the wrapper resumes
+  /// the driver by symmetric transfer and schedules no engine events).
+  sim::Task Open(int rank);
+  sim::Task WriteAt(int rank, Bytes offset, Bytes len);
+  sim::Task ReadAt(int rank, Bytes offset, Bytes len);
+  sim::Task Close(int rank);
 
   /// Driver-private per-open state (e.g. the UniviStor fid binding).
   template <typename T, typename... Args>

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "src/common/rng.hpp"
@@ -115,6 +116,17 @@ TEST(RunningStats, EmptyIsZero) {
   EXPECT_EQ(s.variance(), 0.0);
 }
 
+TEST(RunningStats, VarianceNeedsTwoSamples) {
+  RunningStats s;
+  s.Add(3.0);
+  EXPECT_EQ(s.variance(), 0.0) << "one sample has no spread";
+  EXPECT_EQ(s.stddev(), 0.0);
+  s.Add(5.0);
+  // Sample variance (n-1 denominator): ((3-4)^2 + (5-4)^2) / 1 = 2.
+  EXPECT_NEAR(s.variance(), 2.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.0), 1e-12);
+}
+
 TEST(Histogram, BucketsAndQuantile) {
   Histogram h(0.0, 10.0, 10);
   for (int i = 0; i < 10; ++i) h.Add(static_cast<double>(i) + 0.5);
@@ -129,6 +141,31 @@ TEST(Histogram, ClampsOutOfRange) {
   h.Add(99.0);
   EXPECT_EQ(h.bucket(0), 1u);
   EXPECT_EQ(h.bucket(3), 1u);
+}
+
+TEST(Histogram, EmptyQuantileIsLowerBound) {
+  Histogram h(2.0, 10.0, 8);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 2.0);
+}
+
+TEST(Histogram, QuantileExtremes) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.Add(static_cast<double>(i) + 0.5);
+  // q=0 targets zero mass, satisfied by the first bucket's upper edge.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 10.0);
+}
+
+TEST(Histogram, QuantileOfClampedSamplesStaysInRange) {
+  Histogram h(0.0, 1.0, 4);
+  for (int i = 0; i < 8; ++i) h.Add(-100.0);  // all land in the first bucket
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.25);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 0.25);
+  for (int i = 0; i < 8; ++i) h.Add(100.0);  // and the last
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1.0);
 }
 
 TEST(Strings, HumanBytes) {

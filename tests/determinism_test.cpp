@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "src/hw/utilization.hpp"
+#include "src/obs/recorder.hpp"
 #include "src/univistor/driver.hpp"
 #include "src/univistor/system.hpp"
 #include "src/workload/hdf_micro.hpp"
@@ -59,6 +60,21 @@ TEST(Determinism, SameSeedSameTraceUnderCfs) {
   const auto b = RunOnce(7, sched::PlacementPolicy::kCfs);
   EXPECT_EQ(a.elapsed, b.elapsed);
   EXPECT_EQ(a.events, b.events);
+}
+
+TEST(Determinism, TracingDoesNotPerturbTheSimulation) {
+  const auto untraced = RunOnce(42, sched::PlacementPolicy::kInterferenceAware);
+
+  obs::Recorder recorder;
+  recorder.Install();
+  const auto traced = RunOnce(42, sched::PlacementPolicy::kInterferenceAware);
+  recorder.Uninstall();
+
+  EXPECT_GT(recorder.span_count(), 0u) << "recorder saw the run";
+  EXPECT_EQ(traced.elapsed, untraced.elapsed) << "tracing must not change timing";
+  EXPECT_EQ(traced.rate, untraced.rate);
+  EXPECT_EQ(traced.nic_bytes, untraced.nic_bytes);
+  EXPECT_EQ(traced.events, untraced.events) << "tracing must not add engine events";
 }
 
 TEST(Determinism, DifferentSeedsDifferUnderCfs) {

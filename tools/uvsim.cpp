@@ -9,11 +9,9 @@
 //   uvsim --system=lustre --workload=micro --procs=1024 --read
 //
 // Flags:
-//   --system=univistor|de|lustre    storage system under test
-//   --layer=dram|bb|disk            UniviStor first cache layer
-//   --workload=micro|vpic|workflow  workload to run
-//   --procs=N --mb=N --steps=N --read --report
-//   --no-ia --no-coc --no-adpt --no-la   UniviStor optimization toggles
+// Run `uvsim --help` for the full flag list; `--trace` / `--metrics`
+// additionally produce a Chrome trace-event timeline and a machine-readable
+// run report (see docs/OBSERVABILITY.md).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,8 +19,12 @@
 
 #include "src/baselines/data_elevator.hpp"
 #include "src/baselines/lustre_driver.hpp"
+#include "src/common/log.hpp"
 #include "src/common/strings.hpp"
+#include "src/hw/probes.hpp"
 #include "src/hw/utilization.hpp"
+#include "src/obs/recorder.hpp"
+#include "src/obs/sampler.hpp"
 #include "src/univistor/driver.hpp"
 #include "src/univistor/system.hpp"
 #include "src/workload/bdcats.hpp"
@@ -44,7 +46,34 @@ struct Args {
   bool read = false;
   bool report = false;
   bool ia = true, coc = true, adpt = true, la = true;
+  std::string trace;    // Chrome trace-event JSON output path
+  std::string metrics;  // metrics JSON (or series CSV) output path
+  double sample_interval = -1;  // simulated seconds; <0 = default
 };
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: uvsim [flags]\n"
+               "  --system=univistor|de|lustre    storage system under test\n"
+               "  --layer=dram|bb|disk            UniviStor first cache layer\n"
+               "  --workload=micro|vpic|workflow  workload to run\n"
+               "  --procs=N                       client ranks (default 256)\n"
+               "  --mb=N                          MiB written per process (default 256)\n"
+               "  --steps=N                       vpic/workflow timesteps (default 5)\n"
+               "  --read                          micro: read the file back after writing\n"
+               "  --report                        print the device-utilization table\n"
+               "  --no-ia / --no-coc / --no-adpt / --no-la\n"
+               "                                  disable a UniviStor optimization\n"
+               "  --trace=FILE                    write a Chrome trace-event timeline\n"
+               "                                  (load in chrome://tracing or Perfetto)\n"
+               "  --metrics=FILE                  write the metrics run report as JSON\n"
+               "                                  (a .csv path writes the sampled series)\n"
+               "  --sample-interval=S             gauge sampling period in simulated\n"
+               "                                  seconds (default 1 when observability\n"
+               "                                  is on; 0 disables sampling)\n"
+               "  --help                          show this message\n"
+               "Environment: UVS_LOG_LEVEL=trace|debug|info|warn|error|off\n");
+}
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
   const std::size_t len = std::strlen(name);
@@ -66,14 +95,22 @@ Args Parse(int argc, char** argv) {
     else if (ParseFlag(arg, "--procs", &value)) args.procs = std::atoi(value.c_str());
     else if (ParseFlag(arg, "--mb", &value)) args.mb = std::atoi(value.c_str());
     else if (ParseFlag(arg, "--steps", &value)) args.steps = std::atoi(value.c_str());
+    else if (ParseFlag(arg, "--trace", &value)) args.trace = value;
+    else if (ParseFlag(arg, "--metrics", &value)) args.metrics = value;
+    else if (ParseFlag(arg, "--sample-interval", &value))
+      args.sample_interval = std::atof(value.c_str());
     else if (std::strcmp(arg, "--read") == 0) args.read = true;
     else if (std::strcmp(arg, "--report") == 0) args.report = true;
     else if (std::strcmp(arg, "--no-ia") == 0) args.ia = false;
     else if (std::strcmp(arg, "--no-coc") == 0) args.coc = false;
     else if (std::strcmp(arg, "--no-adpt") == 0) args.adpt = false;
     else if (std::strcmp(arg, "--no-la") == 0) args.la = false;
-    else {
-      std::fprintf(stderr, "unknown flag: %s\n", arg);
+    else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      PrintUsage(stdout);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n\n", arg);
+      PrintUsage(stderr);
       std::exit(2);
     }
   }
@@ -81,6 +118,12 @@ Args Parse(int argc, char** argv) {
 }
 
 int Run(const Args& args) {
+  // The recorder outlives the scenario (spans are emitted from coroutine
+  // frames destroyed during engine teardown).
+  obs::Recorder recorder;
+  const bool obs_on = !args.trace.empty() || !args.metrics.empty();
+  if (obs_on) recorder.Install();
+
   workload::ScenarioOptions options;
   options.procs = args.procs;
   options.workflow_enabled = args.workload == "workflow";
@@ -88,6 +131,11 @@ int Run(const Args& args) {
                        ? sched::PlacementPolicy::kInterferenceAware
                        : sched::PlacementPolicy::kCfs;
   workload::Scenario scenario(options);
+
+  const double interval =
+      args.sample_interval >= 0 ? args.sample_interval : (obs_on ? 1.0 : 0.0);
+  obs::Sampler sampler(scenario.engine(), recorder, interval);
+  if (obs_on) hw::RegisterClusterGauges(sampler, scenario.cluster());
 
   // Assemble the system under test behind the common ADIO interface.
   std::unique_ptr<univistor::UniviStor> uvs_system;
@@ -110,6 +158,7 @@ int Run(const Args& args) {
         scenario.runtime(), scenario.pfs(), scenario.workflow(), config);
     uvs_driver = std::make_unique<univistor::UniviStorDriver>(*uvs_system);
     driver = uvs_driver.get();
+    if (obs_on) uvs_system->RegisterGauges(sampler);
   } else if (args.system == "de") {
     de_system =
         std::make_unique<baselines::DataElevator>(scenario.runtime(), scenario.pfs());
@@ -132,9 +181,11 @@ int Run(const Args& args) {
     workload::MicroParams params{.bytes_per_proc = static_cast<Bytes>(args.mb) * 1_MiB,
                                  .file_name = "uvsim.h5"};
     if (args.read) {
+      sampler.Kick();
       workload::RunHdfMicro(scenario, app, *driver, params);
       params.read = true;
     }
+    sampler.Kick();
     const auto t = workload::RunHdfMicro(scenario, app, *driver, params);
     std::printf("open %s | io %s | close %s | elapsed %s | rate %s\n",
                 HumanTime(t.open).c_str(), HumanTime(t.io).c_str(),
@@ -146,6 +197,7 @@ int Run(const Args& args) {
                                       .vars = 8,
                                       .bytes_per_var = static_cast<Bytes>(args.mb) * 1_MiB / 8,
                                       .compute_time = 60.0};
+    sampler.Kick();
     const auto r = workload::RunVpic(scenario, app, *driver, params);
     std::printf("write %s | final flush wait %s | total I/O %s | elapsed %s\n",
                 HumanTime(r.write_time).c_str(), HumanTime(r.final_flush_wait).c_str(),
@@ -163,6 +215,7 @@ int Run(const Args& args) {
                                                       .producer_ranks = args.procs / 2});
     vpic.Start();
     bdcats.Start();
+    sampler.Kick();
     scenario.engine().Run();
     std::printf("producer writes %s | consumer reads %s | workflow elapsed %s\n",
                 HumanTime(vpic.result().write_time).c_str(),
@@ -183,9 +236,34 @@ int Run(const Args& args) {
               static_cast<unsigned long long>(scenario.engine().processed_events()));
   if (args.report)
     std::printf("%s", hw::CollectUtilization(scenario.cluster()).ToString().c_str());
+
+  if (!args.trace.empty()) {
+    if (Status s = recorder.WriteChromeTrace(args.trace); !s.ok()) {
+      std::fprintf(stderr, "uvsim: writing %s: %s\n", args.trace.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace: %s (%zu spans, %zu samples)\n", args.trace.c_str(),
+                recorder.span_count(), recorder.sample_count());
+  }
+  if (!args.metrics.empty()) {
+    const bool csv = args.metrics.size() >= 4 &&
+                     args.metrics.compare(args.metrics.size() - 4, 4, ".csv") == 0;
+    Status s = csv ? recorder.WriteSeriesCsv(args.metrics)
+                   : recorder.WriteMetricsJson(args.metrics, scenario.engine().Now());
+    if (!s.ok()) {
+      std::fprintf(stderr, "uvsim: writing %s: %s\n", args.metrics.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics: %s\n", args.metrics.c_str());
+  }
   return 0;
 }
 
 }  // namespace
 
-int main(int argc, char** argv) { return Run(Parse(argc, argv)); }
+int main(int argc, char** argv) {
+  InitLogLevelFromEnv();
+  return Run(Parse(argc, argv));
+}
