@@ -20,7 +20,16 @@ using namespace uvs;
 
 namespace {
 
-void RunScenario(bool replicate) {
+int g_failures = 0;
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "CHECK FAILED: %s\n", what);
+    ++g_failures;
+  }
+}
+
+int RunScenario(bool replicate) {
   constexpr int kProcs = 64;
   constexpr Bytes kBlock = 64_MiB;
 
@@ -52,14 +61,19 @@ void RunScenario(bool replicate) {
                                               .file_name = "checkpoint.h5"});
   std::printf("%-14s analysis re-read the checkpoint: %d lost reads\n\n", "",
               univistor.lost_reads());
+  Check(replicate == (univistor.replicated_bytes() > 0),
+        "replication writes BB copies exactly when enabled");
+  return univistor.lost_reads();
 }
 
 }  // namespace
 
 int main() {
   std::printf("Failure-recovery demo: 64 ranks checkpoint 4 GiB, node 0 fails.\n\n");
-  RunScenario(/*replicate=*/false);
-  RunScenario(/*replicate=*/true);
+  const int lost_volatile = RunScenario(/*replicate=*/false);
+  const int lost_replicated = RunScenario(/*replicate=*/true);
   std::printf("With replicate_volatile the burst-buffer replicas cover the failure.\n");
-  return 0;
+  Check(lost_volatile > 0, "without replication the failed node's reads are lost");
+  Check(lost_replicated == 0, "with replication every read is served from the BB replica");
+  return g_failures == 0 ? 0 : 1;
 }

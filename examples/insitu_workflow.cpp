@@ -22,6 +22,15 @@ using namespace uvs;
 
 namespace {
 
+int g_failures = 0;
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "CHECK FAILED: %s\n", what);
+    ++g_failures;
+  }
+}
+
 Time RunMode(bool overlap) {
   constexpr int kProcs = 128;  // half to the producer, half to the analysis
   workload::Scenario scenario(
@@ -65,6 +74,10 @@ Time RunMode(bool overlap) {
               overlap ? "overlap:" : "nonoverlap:",
               HumanTime(vpic.result().write_time).c_str(),
               HumanTime(bdcats.result().read_time).c_str(), HumanTime(end - start).c_str());
+  Check(vpic.result().write_time > 0, "producer wrote data");
+  Check(bdcats.result().read_time > 0, "consumer read data");
+  Check(bdcats.result().bytes == vpic.result().bytes,
+        "consumer read back every produced byte");
   return end - start;
 }
 
@@ -75,5 +88,7 @@ int main() {
   const Time overlap = RunMode(true);
   const Time nonoverlap = RunMode(false);
   std::printf("\nworkflow-managed overlap speedup: %.2fx\n", nonoverlap / overlap);
-  return 0;
+  Check(overlap > 0, "overlap mode finished in nonzero simulated time");
+  Check(overlap <= nonoverlap, "overlapping the analysis is never slower");
+  return g_failures == 0 ? 0 : 1;
 }

@@ -19,6 +19,15 @@ using namespace uvs;
 
 namespace {
 
+int g_failures = 0;
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "CHECK FAILED: %s\n", what);
+    ++g_failures;
+  }
+}
+
 // Each rank writes 64 MiB at its own offset, then reads it back.
 sim::Task RankMain(vmpi::File& file, int rank, Bytes block) {
   co_await file.Open(rank);
@@ -74,5 +83,15 @@ int main() {
   std::printf("simulated time    : %s\n", HumanTime(scenario.engine().Now()).c_str());
   std::printf("PFS copy exists   : %s\n",
               scenario.pfs().Lookup("quickstart.h5").ok() ? "yes" : "no");
-  return 0;
+
+  Check(resolved.ok(), "registry resolves the univistor fs type");
+  Check(univistor.LogicalSize(fid) == static_cast<Bytes>(kProcs) * kBlock,
+        "logical size covers every rank's block");
+  Bytes cached = 0;
+  for (int l = 0; l < hw::kLayerCount; ++l)
+    cached += univistor.CachedOn(fid, static_cast<hw::Layer>(l));
+  Check(cached == univistor.BytesWritten(fid), "bytes conserved across the hierarchy");
+  Check(scenario.pfs().Lookup("quickstart.h5").ok(), "close-triggered flush reached the PFS");
+  Check(scenario.engine().Now() > 0, "simulated time advanced");
+  return g_failures == 0 ? 0 : 1;
 }

@@ -17,6 +17,26 @@ using namespace uvs::placement;
 
 namespace {
 
+int g_failures = 0;
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "CHECK FAILED: %s\n", what);
+    ++g_failures;
+  }
+}
+
+void CheckPlan(const StripePlan& plan, Bytes file_size) {
+  Check(plan.stripe_count >= 1, "plan has at least one stripe target per server");
+  Check(plan.dummy_servers >= 0, "dummy server count is non-negative");
+  Bytes covered = 0;
+  for (int s = 0; s < plan.servers; ++s) {
+    covered += plan.RangeBytesFor(s, file_size);
+    Check(!plan.TargetsFor(s).empty(), "every server has OST targets");
+  }
+  Check(covered == file_size, "server ranges cover the file exactly");
+}
+
 void PrintPlan(const char* name, const StripePlan& plan, Bytes file_size) {
   std::printf("%-10s stripe_size=%-10s stripe_count=%-4d mode=%s dummy_servers=%d\n", name,
               HumanBytes(plan.stripe_size).c_str(), plan.stripe_count,
@@ -45,9 +65,12 @@ int main(int argc, char** argv) {
 
   std::printf("== Adaptive striping (Eqs. 2-6): %s over %d servers, %d OSTs ==\n",
               HumanBytes(file_size).c_str(), servers, osts);
-  PrintPlan("ADPT", PlanAdaptiveStriping(file_size, servers, osts, StripingParams{}),
-            file_size);
-  PrintPlan("default", PlanDefaultStriping(file_size, servers, osts), file_size);
+  const StripePlan adaptive = PlanAdaptiveStriping(file_size, servers, osts, StripingParams{});
+  const StripePlan fallback = PlanDefaultStriping(file_size, servers, osts);
+  PrintPlan("ADPT", adaptive, file_size);
+  PrintPlan("default", fallback, file_size);
+  CheckPlan(adaptive, file_size);
+  CheckPlan(fallback, file_size);
 
   std::printf("\n== DHP chain (Eq. 1 virtual addresses) ==\n");
   storage::LayerStore dram(hw::Layer::kDram, 1_GiB, 64_MiB);
@@ -60,13 +83,20 @@ int main(int argc, char** argv) {
 
   for (Bytes write : {384_MiB, 512_MiB, 3_GiB}) {
     std::printf("append %s:\n", HumanBytes(write).c_str());
+    Bytes placed = 0;
     for (const auto& piece : chain.Append(write)) {
       std::printf("    layer=%-8s phys=%-12llu len=%-10s VA=%llu\n",
                   hw::LayerName(piece.layer),
                   static_cast<unsigned long long>(piece.extent.addr),
                   HumanBytes(piece.extent.len).c_str(),
                   static_cast<unsigned long long>(piece.va));
+      placed += piece.extent.len;
+      const auto decoded = chain.codec().Decode(piece.va);
+      Check(decoded.ok() && decoded->layer == piece.layer &&
+                decoded->physical == piece.extent.addr,
+            "virtual address round-trips through the Eq. 1 codec");
     }
+    Check(placed == write, "the DHP chain places every appended byte");
   }
-  return 0;
+  return g_failures == 0 ? 0 : 1;
 }

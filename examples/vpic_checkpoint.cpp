@@ -19,6 +19,19 @@
 
 using namespace uvs;
 
+namespace {
+
+int g_failures = 0;
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "CHECK FAILED: %s\n", what);
+    ++g_failures;
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const int steps = argc > 1 ? std::atoi(argv[1]) : 10;
   constexpr int kProcs = 128;
@@ -61,5 +74,17 @@ int main(int argc, char** argv) {
               HumanBytes(flush.bytes_flushed).c_str(), flush.flushes);
   std::printf("aggregate checkpoint rate : %s\n",
               HumanRate(static_cast<double>(result.bytes) / result.write_time).c_str());
-  return 0;
+
+  const Bytes expected = static_cast<Bytes>(kProcs) * params.vars * params.bytes_per_var *
+                         static_cast<Bytes>(steps);
+  Check(result.bytes == expected, "every checkpoint byte was written");
+  for (int step = 0; step < steps; ++step) {
+    const auto fid = univistor.OpenOrCreate(run.StepFileName(step));
+    Bytes cached = 0;
+    for (int l = 0; l < hw::kLayerCount; ++l)
+      cached += univistor.CachedOn(fid, static_cast<hw::Layer>(l));
+    Check(cached == univistor.BytesWritten(fid), "bytes conserved for each step file");
+  }
+  Check(flush.flushes > 0, "close-triggered flushes reached the PFS");
+  return g_failures == 0 ? 0 : 1;
 }

@@ -73,4 +73,12 @@ std::size_t Engine::live_processes() const {
   return n;
 }
 
+std::vector<std::string> Engine::UnfinishedProcessNames() const {
+  std::vector<std::string> names;
+  for (const auto& rec : processes_)
+    if (rec.ctl && !rec.ctl->finished)
+      names.push_back(rec.ctl->name.empty() ? "<anonymous>" : rec.ctl->name);
+  return names;
+}
+
 }  // namespace uvs::sim

@@ -94,6 +94,12 @@ class Engine {
   std::size_t live_processes() const;
   std::size_t pending_events() const { return queue_.size(); }
 
+  /// Names of spawned processes that have not finished. After Run()
+  /// returns (queue drained), a non-empty result means those processes are
+  /// stranded forever — blocked on an event nobody will trigger (deadlock).
+  /// Unnamed processes report as "<anonymous>".
+  std::vector<std::string> UnfinishedProcessNames() const;
+
  private:
   friend struct Task::promise_type;
 

@@ -11,7 +11,10 @@ constexpr double kResidualEpsilonBytes = 0.5;
 }  // namespace
 
 FairSharePool::FairSharePool(Engine& engine, Options options)
-    : engine_(&engine), options_(std::move(options)), last_update_(engine.Now()) {
+    : engine_(&engine),
+      options_(std::move(options)),
+      peak_capacity_(options_.capacity),
+      last_update_(engine.Now()) {
   assert(options_.capacity > 0 && "pool capacity must be positive");
 }
 
@@ -44,6 +47,7 @@ void FairSharePool::SetCapacity(Bandwidth capacity) {
   assert(capacity > 0);
   AdvanceToNow();
   options_.capacity = capacity;
+  peak_capacity_ = std::max(peak_capacity_, capacity);
   RescheduleTimer();
 }
 

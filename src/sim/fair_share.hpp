@@ -69,6 +69,10 @@ class FairSharePool {
   void SetPerFlowCap(Bandwidth cap);
 
   Bandwidth capacity() const { return options_.capacity; }
+  /// Highest capacity this pool has ever had (capacity changes over time
+  /// when CPU shares are re-assigned); upper-bounds the service rate for
+  /// conservation checks: total_bytes <= peak_capacity * busy_time.
+  Bandwidth peak_capacity() const { return peak_capacity_; }
   const std::string& name() const { return options_.name; }
   std::size_t active_flows() const { return heap_.size(); }
 
@@ -101,6 +105,7 @@ class FairSharePool {
   Options options_;
 
   double vnow_ = 0.0;  // virtual work per flow, in bytes
+  Bandwidth peak_capacity_ = 0.0;
   Time last_update_ = 0.0;
   std::uint64_t next_flow_seq_ = 0;
   std::uint64_t timer_generation_ = 0;

@@ -1,0 +1,74 @@
+// Whole-system invariant checks for fuzzed end-to-end runs.
+//
+// Each checker appends human-readable violations to an InvariantReport;
+// an empty report means the run upheld every checked property:
+//  * byte conservation — every byte accepted by Write() is placed on
+//    exactly one layer of its producer's DHP chain;
+//  * metadata coverage — records tile the written ranges with no overlap
+//    and account for every written byte (write-once workloads);
+//  * VA round-trip — every record's virtual address decodes to a
+//    (layer, physical) pair that re-encodes to the same VA (Eq. 1);
+//  * range partitioning — each metadata partition only holds records of
+//    ranges it owns, no record spans a range boundary, and the partitions
+//    union to the global view;
+//  * pool conservation — no bandwidth pool delivered more bytes than
+//    peak_capacity x busy_time allows;
+//  * quiescence — once the event queue drains, no simulation process is
+//    left stranded (a stranded process is a deadlock).
+//
+// The narrow checkers take plain data so unit tests can feed synthetic
+// violations; the aggregate ones walk a live system.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/units.hpp"
+#include "src/meta/record.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/fair_share.hpp"
+#include "src/univistor/system.hpp"
+#include "src/workload/scenario.hpp"
+
+namespace uvs::testkit {
+
+struct Violation {
+  std::string invariant;  // short id, e.g. "byte-conservation"
+  std::string detail;     // what was expected vs observed
+};
+
+struct InvariantReport {
+  std::vector<Violation> violations;
+
+  bool ok() const { return violations.empty(); }
+  void Add(std::string invariant, std::string detail) {
+    violations.push_back({std::move(invariant), std::move(detail)});
+  }
+  /// One line per violation; "all invariants hold" when empty.
+  std::string ToString() const;
+};
+
+/// Checks that `records` (offset-sorted, as meta::Query returns) are
+/// pairwise disjoint and sum to `expected_bytes`. Valid for write-once
+/// workloads, where coverage equals total bytes written. `label` names the
+/// file in violation messages.
+void CheckRecordCoverage(const std::vector<meta::MetadataRecord>& records, Bytes expected_bytes,
+                         const std::string& label, InvariantReport& report);
+
+/// Checks one bandwidth pool's service against its capacity envelope:
+/// total_bytes <= peak_capacity * busy_time (+ completion rounding slack),
+/// and no flow still queued once the simulation has drained.
+void CheckPool(const sim::FairSharePool& pool, InvariantReport& report);
+
+/// Byte conservation, metadata coverage, VA round-trips, and partition
+/// ownership for every file the system holds.
+void CheckUniviStor(const univistor::UniviStor& system, InvariantReport& report);
+
+/// CheckPool over every pool in the machine: per-node NICs, NUMA DRAM,
+/// local SSDs, per-process CPU pools, BB nodes, and PFS OSTs.
+void CheckPoolConservation(workload::Scenario& scenario, InvariantReport& report);
+
+/// After Run() has drained: no live (stranded) processes remain.
+void CheckQuiescence(const sim::Engine& engine, InvariantReport& report);
+
+}  // namespace uvs::testkit

@@ -1,0 +1,300 @@
+#include "src/testkit/runner.hpp"
+
+#include <exception>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/data_elevator.hpp"
+#include "src/baselines/lustre_driver.hpp"
+#include "src/hw/params.hpp"
+#include "src/univistor/config.hpp"
+#include "src/univistor/driver.hpp"
+#include "src/univistor/system.hpp"
+#include "src/workload/bdcats.hpp"
+#include "src/workload/hdf_micro.hpp"
+#include "src/workload/scenario.hpp"
+#include "src/workload/vpic.hpp"
+
+namespace uvs::testkit {
+
+namespace {
+
+constexpr const char* kMicroFileName = "fuzz.h5";
+constexpr const char* kVpicPrefix = "fuzz_vpic";
+
+hw::ClusterParams BuildClusterParams(const ScenarioSpec& spec) {
+  hw::ClusterParams params = hw::CoriPreset(spec.procs, spec.procs_per_node);
+  // Small cores-per-node so client ranks and the per-node UniviStor servers
+  // genuinely contend; small caches so the DHP cascade actually spills.
+  params.node.cores = 8;
+  params.node.dram_cache_capacity = spec.dram_cache_capacity;
+  params.node.has_local_ssd = spec.has_ssd;
+  params.node.ssd_capacity = spec.ssd_capacity;
+  params.bb.bb_nodes = spec.bb_nodes;
+  params.bb.capacity_per_bb_node = spec.bb_capacity_per_node;
+  params.pfs.osts = spec.osts;
+  params.seed = spec.seed;
+  return params;
+}
+
+univistor::Config BuildConfig(const ScenarioSpec& spec) {
+  univistor::Config config;
+  config.collective_open_close = spec.coc;
+  config.adaptive_striping = spec.adpt;
+  config.location_aware_reads = spec.la;
+  config.interference_aware_flush = spec.ia;
+  config.flush_on_close = spec.flush_on_close;
+  config.first_cache_layer = static_cast<hw::Layer>(spec.first_layer);
+  config.chunk_size = spec.chunk_size;
+  config.metadata_range_size = spec.metadata_range_size;
+  config.replicate_volatile = spec.replicate_volatile;
+  config.promote_hot_reads = spec.promote_hot_reads;
+  config.read_cache_capacity_per_node = 16_MiB;
+  return config;
+}
+
+/// The system under test behind one AdioDriver.
+struct SystemUnderTest {
+  std::unique_ptr<univistor::UniviStor> univistor;
+  std::unique_ptr<univistor::UniviStorDriver> univistor_driver;
+  std::unique_ptr<baselines::LustreDriver> lustre;
+  std::unique_ptr<baselines::DataElevator> data_elevator;
+  std::unique_ptr<baselines::DataElevatorDriver> data_elevator_driver;
+  vmpi::AdioDriver* driver = nullptr;
+};
+
+SystemUnderTest BuildSystem(const ScenarioSpec& spec, workload::Scenario& scenario) {
+  SystemUnderTest sut;
+  switch (spec.system) {
+    case SystemKind::kUniviStor:
+      sut.univistor = std::make_unique<univistor::UniviStor>(
+          scenario.runtime(), scenario.pfs(), scenario.workflow(), BuildConfig(spec));
+      sut.univistor_driver = std::make_unique<univistor::UniviStorDriver>(*sut.univistor);
+      sut.driver = sut.univistor_driver.get();
+      break;
+    case SystemKind::kLustre: {
+      baselines::LustreDriver::Options options;
+      options.stripe.stripe_count = spec.osts;  // the default 248 assumes Cori
+      sut.lustre = std::make_unique<baselines::LustreDriver>(scenario.runtime(), scenario.pfs(),
+                                                             options);
+      sut.driver = sut.lustre.get();
+      break;
+    }
+    case SystemKind::kDataElevator:
+      sut.data_elevator =
+          std::make_unique<baselines::DataElevator>(scenario.runtime(), scenario.pfs());
+      sut.data_elevator_driver =
+          std::make_unique<baselines::DataElevatorDriver>(*sut.data_elevator);
+      sut.driver = sut.data_elevator_driver.get();
+      break;
+  }
+  return sut;
+}
+
+/// Exact lost-byte expectation after FailNode: a read is lost iff its
+/// record sits on a volatile layer (DRAM/SSD) of a failed node, the system
+/// keeps no BB replica, and the file has no PFS fallback copy. Every
+/// workload below reads each written byte at most once, so the expectation
+/// is the sum of the qualifying records' lengths.
+Bytes ExpectedLostBytes(const univistor::UniviStor& system, vmpi::Runtime& runtime) {
+  if (system.config().replicate_volatile) return 0;
+  Bytes lost = 0;
+  for (int f = 0; f < system.file_count(); ++f) {
+    const auto fid = static_cast<storage::FileId>(f);
+    if (system.HasPfsCopy(fid)) continue;
+    for (const auto& rec : system.metadata().Query(fid, 0, system.LogicalSize(fid))) {
+      const placement::DhpWriterChain* chain = system.FindChain(fid, rec.producer);
+      if (chain == nullptr) continue;
+      const auto decoded = chain->codec().Decode(rec.va);
+      if (!decoded.ok()) continue;
+      if (decoded->layer != hw::Layer::kDram && decoded->layer != hw::Layer::kNodeLocalSsd)
+        continue;
+      const auto program = univistor::ProducerProgram(rec.producer);
+      const int rank = univistor::ProducerRank(rec.producer);
+      if (system.NodeFailed(runtime.Rank(program, rank).node)) lost += rec.len;
+    }
+  }
+  return lost;
+}
+
+/// Fails the spec'd node at the spec'd point and records the exact
+/// expected data loss for the read phase that follows.
+void InjectFailure(const ScenarioSpec& spec, workload::Scenario& scenario,
+                   univistor::UniviStor& system, const std::vector<std::string>& names,
+                   RunOutcome& outcome) {
+  if (spec.failure == FailureMode::kDuringFlush) {
+    // Start a fresh flush and fail the node while it is in flight.
+    for (const auto& name : names) system.TriggerFlush(system.OpenOrCreate(name));
+    scenario.engine().RunUntil(scenario.engine().Now() + 1e-4);
+  }
+  system.FailNode(spec.failed_node);
+  scenario.engine().Run();  // drain in-flight flushes and replication
+  outcome.expected_lost_bytes = ExpectedLostBytes(system, scenario.runtime());
+}
+
+/// Drives the spec's workload; returns the names of the files it wrote.
+std::vector<std::string> RunWorkload(const ScenarioSpec& spec, workload::Scenario& scenario,
+                                     SystemUnderTest& sut, RunOutcome& outcome) {
+  const bool inject = spec.failure != FailureMode::kNone && sut.univistor != nullptr;
+
+  switch (spec.workload) {
+    case WorkloadKind::kMicro:
+    case WorkloadKind::kMicroReadBack: {
+      const auto app = scenario.runtime().LaunchProgram("fuzz-app", spec.procs);
+      workload::MicroParams params{
+          .bytes_per_proc = spec.bytes_per_rank, .read = false, .file_name = kMicroFileName};
+      workload::RunHdfMicro(scenario, app, *sut.driver, params);
+      if (spec.workload == WorkloadKind::kMicroReadBack) {
+        if (inject) InjectFailure(spec, scenario, *sut.univistor, {kMicroFileName}, outcome);
+        params.read = true;
+        workload::RunHdfMicro(scenario, app, *sut.driver, params);
+      }
+      return {kMicroFileName};
+    }
+
+    case WorkloadKind::kVpic: {
+      const auto app = scenario.runtime().LaunchProgram("fuzz-vpic", spec.procs);
+      const workload::VpicParams params{.steps = spec.steps,
+                                        .vars = 2,
+                                        .bytes_per_var = spec.bytes_per_rank / 2,
+                                        .compute_time = spec.compute_time,
+                                        .file_prefix = kVpicPrefix};
+      workload::VpicRun vpic(scenario, app, *sut.driver, params);
+      vpic.Start();
+      scenario.engine().Run();
+      std::vector<std::string> names;
+      for (int s = 0; s < params.steps; ++s) names.push_back(vpic.StepFileName(s));
+      if (inject) {
+        InjectFailure(spec, scenario, *sut.univistor, names, outcome);
+        // Read everything back through BD-CATS to exercise the loss path.
+        const auto reader = scenario.runtime().LaunchProgram("fuzz-bdcats", spec.procs);
+        workload::RunBdcats(scenario, reader, *sut.driver,
+                            workload::BdcatsParams{.producer = params,
+                                                   .producer_ranks = spec.procs});
+      }
+      return names;
+    }
+
+    case WorkloadKind::kWorkflow: {
+      const int producers = spec.procs / 2;
+      const int consumers = spec.procs - producers;
+      const auto producer = scenario.runtime().LaunchProgram("fuzz-vpic", producers);
+      const auto consumer = scenario.runtime().LaunchProgram("fuzz-bdcats", consumers);
+      const workload::VpicParams params{.steps = spec.steps,
+                                        .vars = 2,
+                                        .bytes_per_var = spec.bytes_per_rank / 2,
+                                        .compute_time = spec.compute_time,
+                                        .file_prefix = kVpicPrefix};
+      workload::VpicRun vpic(scenario, producer, *sut.driver, params);
+      workload::BdcatsRun bdcats(
+          scenario, consumer, *sut.driver,
+          workload::BdcatsParams{.producer = params, .producer_ranks = producers});
+      vpic.Start();
+      if (sut.univistor != nullptr) {
+        // Workflow locks serialize per-file access; overlap is safe.
+        bdcats.Start();
+      } else {
+        // Baselines have no workflow management: run sequentially so the
+        // consumer never reads a half-written file.
+        scenario.engine().Spawn(
+            [](workload::VpicRun& v, workload::BdcatsRun& b) -> sim::Task {
+              co_await v.done().Wait();
+              b.Start();
+            }(vpic, bdcats),
+            "fuzz-workflow-chain");
+      }
+      scenario.engine().Run();
+      std::vector<std::string> names;
+      for (int s = 0; s < params.steps; ++s) names.push_back(vpic.StepFileName(s));
+      return names;
+    }
+  }
+  return {};
+}
+
+void CollectFileSizes(const std::vector<std::string>& names, SystemUnderTest& sut,
+                      workload::Scenario& scenario, RunOutcome& outcome) {
+  for (const auto& name : names) {
+    if (sut.univistor != nullptr) {
+      outcome.file_sizes[name] = sut.univistor->LogicalSize(sut.univistor->OpenOrCreate(name));
+    } else {
+      const auto handle = scenario.pfs().Lookup(name);
+      if (handle.ok()) outcome.file_sizes[name] = scenario.pfs().FileSize(*handle);
+    }
+  }
+}
+
+/// Replays the workload through the Lustre baseline and compares sizes.
+void RunDifferential(const ScenarioSpec& spec, RunOutcome& outcome) {
+  ScenarioSpec baseline_spec = spec;
+  baseline_spec.system = SystemKind::kLustre;
+  baseline_spec.failure = FailureMode::kNone;
+  RunOptions options;
+  options.differential = false;
+  const RunOutcome baseline = RunScenario(baseline_spec, options);
+  for (const auto& v : baseline.report.violations)
+    outcome.report.Add("differential-baseline:" + v.invariant, v.detail);
+  for (const auto& [name, size] : outcome.file_sizes) {
+    const auto it = baseline.file_sizes.find(name);
+    if (it == baseline.file_sizes.end()) {
+      outcome.report.Add("differential",
+                         "file '" + name + "' exists under UniviStor but not under Lustre");
+    } else if (it->second != size) {
+      outcome.report.Add("differential", "file '" + name + "': UniviStor exposes " +
+                                             std::to_string(size) + " bytes, Lustre " +
+                                             std::to_string(it->second));
+    }
+  }
+  if (baseline.file_sizes.size() != outcome.file_sizes.size()) {
+    outcome.report.Add("differential",
+                       "UniviStor run produced " + std::to_string(outcome.file_sizes.size()) +
+                           " files, Lustre run " + std::to_string(baseline.file_sizes.size()));
+  }
+}
+
+}  // namespace
+
+RunOutcome RunScenario(const ScenarioSpec& spec, const RunOptions& options) {
+  RunOutcome outcome;
+  outcome.spec = spec;
+  try {
+    workload::ScenarioOptions scenario_options{
+        .procs = spec.procs,
+        .policy = spec.ia ? sched::PlacementPolicy::kInterferenceAware
+                          : sched::PlacementPolicy::kCfs,
+        .workflow_enabled = spec.workload == WorkloadKind::kWorkflow,
+        .cluster_params = BuildClusterParams(spec)};
+    workload::Scenario scenario(scenario_options);
+    SystemUnderTest sut = BuildSystem(spec, scenario);
+
+    const auto names = RunWorkload(spec, scenario, sut, outcome);
+    scenario.engine().Run();  // final drain (asynchronous flushes)
+    outcome.sim_time = scenario.engine().Now();
+    CollectFileSizes(names, sut, scenario, outcome);
+    if (sut.univistor != nullptr) outcome.lost_bytes = sut.univistor->lost_bytes();
+
+    if (options.check_invariants) {
+      CheckQuiescence(scenario.engine(), outcome.report);
+      CheckPoolConservation(scenario, outcome.report);
+      if (sut.univistor != nullptr) CheckUniviStor(*sut.univistor, outcome.report);
+      if (outcome.lost_bytes != outcome.expected_lost_bytes) {
+        outcome.report.Add("lost-accounting",
+                           "system reports " + std::to_string(outcome.lost_bytes) +
+                               " lost bytes, metadata-derived expectation is " +
+                               std::to_string(outcome.expected_lost_bytes));
+      }
+    }
+    if (options.differential && spec.system == SystemKind::kUniviStor &&
+        spec.failure == FailureMode::kNone) {
+      RunDifferential(spec, outcome);
+    }
+  } catch (const std::exception& e) {
+    outcome.report.Add("exception", e.what());
+  } catch (...) {
+    outcome.report.Add("exception", "non-standard exception escaped the run");
+  }
+  return outcome;
+}
+
+}  // namespace uvs::testkit

@@ -1,0 +1,231 @@
+#include "src/testkit/scenario_spec.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace uvs::testkit {
+
+const char* SystemKindName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kUniviStor: return "univistor";
+    case SystemKind::kLustre: return "lustre";
+    case SystemKind::kDataElevator: return "data_elevator";
+  }
+  return "?";
+}
+
+const char* WorkloadKindName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kMicro: return "micro";
+    case WorkloadKind::kMicroReadBack: return "micro_read";
+    case WorkloadKind::kVpic: return "vpic";
+    case WorkloadKind::kWorkflow: return "workflow";
+  }
+  return "?";
+}
+
+const char* FailureModeName(FailureMode mode) {
+  switch (mode) {
+    case FailureMode::kNone: return "none";
+    case FailureMode::kAfterWrites: return "after_writes";
+    case FailureMode::kDuringFlush: return "during_flush";
+  }
+  return "?";
+}
+
+namespace {
+
+// Picks one element of `choices` uniformly.
+int Pick(Rng& rng, std::initializer_list<int> choices) {
+  return choices.begin()[rng.NextBelow(choices.size())];
+}
+
+bool Chance(Rng& rng, double p) { return rng.NextDouble() < p; }
+
+}  // namespace
+
+ScenarioSpec SampleScenario(std::uint64_t seed) {
+  Rng rng(seed);
+  ScenarioSpec spec;
+  spec.seed = seed;
+
+  // Cluster shape: small on purpose — the fuzzer's value is breadth of
+  // configurations, not scale, and caches are sized to force DHP spills.
+  spec.procs = Pick(rng, {2, 4, 8, 16});
+  spec.procs_per_node = Pick(rng, {2, 4});
+  spec.has_ssd = Chance(rng, 0.25);
+  spec.ssd_capacity = Pick(rng, {16, 32}) * 1_MiB;
+  spec.dram_cache_capacity = Pick(rng, {8, 32, 128}) * 1_MiB;
+  spec.bb_nodes = Pick(rng, {2, 3, 4});
+  spec.bb_capacity_per_node = Pick(rng, {32, 64, 128}) * 1_MiB;
+  spec.osts = Pick(rng, {4, 8, 16, 32});
+
+  const double system_roll = rng.NextDouble();
+  spec.system = system_roll < 0.70   ? SystemKind::kUniviStor
+                : system_roll < 0.85 ? SystemKind::kLustre
+                                     : SystemKind::kDataElevator;
+
+  spec.ia = Chance(rng, 0.75);
+  spec.coc = Chance(rng, 0.75);
+  spec.adpt = Chance(rng, 0.75);
+  spec.la = Chance(rng, 0.75);
+  spec.replicate_volatile = Chance(rng, 0.30);
+  spec.promote_hot_reads = Chance(rng, 0.30);
+  spec.flush_on_close = Chance(rng, 0.75);
+  const double layer_roll = rng.NextDouble();
+  spec.first_layer = layer_roll < 0.60 ? 0 : layer_roll < 0.80 ? 2 : 3;
+  spec.chunk_size = Pick(rng, {1, 2, 4}) * 1_MiB;
+  spec.metadata_range_size = Pick(rng, {1, 2, 4}) * 1_MiB;
+
+  const double wl_roll = rng.NextDouble();
+  spec.workload = wl_roll < 0.25   ? WorkloadKind::kMicro
+                  : wl_roll < 0.60 ? WorkloadKind::kMicroReadBack
+                  : wl_roll < 0.85 ? WorkloadKind::kVpic
+                                   : WorkloadKind::kWorkflow;
+  spec.bytes_per_rank = Pick(rng, {1, 2, 4, 8}) * 1_MiB;
+  spec.steps = Pick(rng, {1, 2, 3});
+  spec.compute_time = Chance(rng, 0.25) ? 0.001 : 0.0;
+
+  // Failure injection only where the expected outcome is exactly
+  // computable: UniviStor with a deterministic read-back phase.
+  const bool failure_eligible =
+      spec.system == SystemKind::kUniviStor &&
+      (spec.workload == WorkloadKind::kMicroReadBack || spec.workload == WorkloadKind::kVpic);
+  if (failure_eligible && Chance(rng, 0.20)) {
+    spec.failure = Chance(rng, 0.5) ? FailureMode::kAfterWrites : FailureMode::kDuringFlush;
+    spec.failed_node = static_cast<int>(rng.NextBelow(static_cast<std::uint64_t>(spec.Nodes())));
+  }
+  return spec;
+}
+
+std::string ScenarioSpec::ToString() const {
+  std::ostringstream out;
+  out << "seed=" << seed << " procs=" << procs << " ppn=" << procs_per_node
+      << " ssd=" << (has_ssd ? 1 : 0) << " ssd_mb=" << ssd_capacity / 1_MiB
+      << " dram_mb=" << dram_cache_capacity / 1_MiB << " bb_nodes=" << bb_nodes
+      << " bb_mb=" << bb_capacity_per_node / 1_MiB << " osts=" << osts
+      << " system=" << SystemKindName(system) << " ia=" << (ia ? 1 : 0)
+      << " coc=" << (coc ? 1 : 0) << " adpt=" << (adpt ? 1 : 0) << " la=" << (la ? 1 : 0)
+      << " rep=" << (replicate_volatile ? 1 : 0) << " promo=" << (promote_hot_reads ? 1 : 0)
+      << " foc=" << (flush_on_close ? 1 : 0) << " layer=" << first_layer
+      << " chunk_mb=" << chunk_size / 1_MiB << " md_mb=" << metadata_range_size / 1_MiB
+      << " workload=" << WorkloadKindName(workload) << " mb=" << bytes_per_rank / 1_MiB
+      << " steps=" << steps << " compute=" << compute_time
+      << " fail=" << FailureModeName(failure) << " fail_node=" << failed_node;
+  return out.str();
+}
+
+std::string ScenarioSpec::ReproCommand() const {
+  return "uvfuzz --spec='" + ToString() + "'";
+}
+
+namespace {
+
+Result<long long> ParseInt(const std::string& value) {
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0')
+    return InvalidArgumentError("not an integer: '" + value + "'");
+  return parsed;
+}
+
+Result<double> ParseDouble(const std::string& value) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0')
+    return InvalidArgumentError("not a number: '" + value + "'");
+  return parsed;
+}
+
+}  // namespace
+
+Result<ScenarioSpec> ParseScenarioSpec(const std::string& text) {
+  ScenarioSpec spec;
+  std::istringstream in(text);
+  std::string token;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos)
+      return InvalidArgumentError("expected key=value, got '" + token + "'");
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+
+    if (key == "system") {
+      if (value == "univistor") spec.system = SystemKind::kUniviStor;
+      else if (value == "lustre") spec.system = SystemKind::kLustre;
+      else if (value == "data_elevator") spec.system = SystemKind::kDataElevator;
+      else return InvalidArgumentError("unknown system '" + value + "'");
+      continue;
+    }
+    if (key == "workload") {
+      if (value == "micro") spec.workload = WorkloadKind::kMicro;
+      else if (value == "micro_read") spec.workload = WorkloadKind::kMicroReadBack;
+      else if (value == "vpic") spec.workload = WorkloadKind::kVpic;
+      else if (value == "workflow") spec.workload = WorkloadKind::kWorkflow;
+      else return InvalidArgumentError("unknown workload '" + value + "'");
+      continue;
+    }
+    if (key == "fail") {
+      if (value == "none") spec.failure = FailureMode::kNone;
+      else if (value == "after_writes") spec.failure = FailureMode::kAfterWrites;
+      else if (value == "during_flush") spec.failure = FailureMode::kDuringFlush;
+      else return InvalidArgumentError("unknown failure mode '" + value + "'");
+      continue;
+    }
+    if (key == "compute") {
+      auto parsed = ParseDouble(value);
+      if (!parsed.ok()) return parsed.status();
+      spec.compute_time = *parsed;
+      continue;
+    }
+    if (key == "seed") {  // full uint64 range; must not go through strtoll
+      char* end = nullptr;
+      spec.seed = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0')
+        return InvalidArgumentError("not a seed: '" + value + "'");
+      continue;
+    }
+
+    auto parsed = ParseInt(value);
+    if (!parsed.ok()) return parsed.status();
+    const long long n = *parsed;
+    if (key == "procs") spec.procs = static_cast<int>(n);
+    else if (key == "ppn") spec.procs_per_node = static_cast<int>(n);
+    else if (key == "ssd") spec.has_ssd = n != 0;
+    else if (key == "ssd_mb") spec.ssd_capacity = n * 1_MiB;
+    else if (key == "dram_mb") spec.dram_cache_capacity = n * 1_MiB;
+    else if (key == "bb_nodes") spec.bb_nodes = static_cast<int>(n);
+    else if (key == "bb_mb") spec.bb_capacity_per_node = n * 1_MiB;
+    else if (key == "osts") spec.osts = static_cast<int>(n);
+    else if (key == "ia") spec.ia = n != 0;
+    else if (key == "coc") spec.coc = n != 0;
+    else if (key == "adpt") spec.adpt = n != 0;
+    else if (key == "la") spec.la = n != 0;
+    else if (key == "rep") spec.replicate_volatile = n != 0;
+    else if (key == "promo") spec.promote_hot_reads = n != 0;
+    else if (key == "foc") spec.flush_on_close = n != 0;
+    else if (key == "layer") spec.first_layer = static_cast<int>(n);
+    else if (key == "chunk_mb") spec.chunk_size = n * 1_MiB;
+    else if (key == "md_mb") spec.metadata_range_size = n * 1_MiB;
+    else if (key == "mb") spec.bytes_per_rank = n * 1_MiB;
+    else if (key == "steps") spec.steps = static_cast<int>(n);
+    else if (key == "fail_node") spec.failed_node = static_cast<int>(n);
+    else return InvalidArgumentError("unknown key '" + key + "'");
+  }
+
+  if (spec.procs < 1 || spec.procs_per_node < 1)
+    return InvalidArgumentError("procs and ppn must be >= 1");
+  if (spec.steps < 1) return InvalidArgumentError("steps must be >= 1");
+  if (spec.first_layer != 0 && spec.first_layer != 2 && spec.first_layer != 3)
+    return InvalidArgumentError("layer must be 0 (DRAM), 2 (BB), or 3 (PFS)");
+  if (spec.failed_node < 0 || spec.failed_node >= spec.Nodes())
+    return InvalidArgumentError("fail_node out of range");
+  return spec;
+}
+
+}  // namespace uvs::testkit

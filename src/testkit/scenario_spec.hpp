@@ -1,0 +1,84 @@
+// Deterministic scenario generation for the whole-system fuzzer (uvfuzz).
+//
+// A ScenarioSpec is the complete, serializable description of one random
+// end-to-end run: cluster shape, storage system under test, UniviStor
+// config toggles, workload mix, and optional failure injection. Specs are
+// sampled from a single uint64 seed via common/rng, print as a one-line
+// `key=value` string, and parse back — so any fuzzer failure is
+// reproducible from either the seed or the (possibly shrunk) spec string.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.hpp"
+#include "src/common/units.hpp"
+
+namespace uvs::testkit {
+
+enum class SystemKind : std::uint8_t { kUniviStor = 0, kLustre, kDataElevator };
+enum class WorkloadKind : std::uint8_t { kMicro = 0, kMicroReadBack, kVpic, kWorkflow };
+enum class FailureMode : std::uint8_t { kNone = 0, kAfterWrites, kDuringFlush };
+
+const char* SystemKindName(SystemKind kind);
+const char* WorkloadKindName(WorkloadKind kind);
+const char* FailureModeName(FailureMode mode);
+
+struct ScenarioSpec {
+  std::uint64_t seed = 0;
+
+  // --- Cluster shape. ---
+  int procs = 8;
+  int procs_per_node = 4;
+  bool has_ssd = false;
+  Bytes ssd_capacity = 32_MiB;           // per node, when present
+  Bytes dram_cache_capacity = 32_MiB;    // per node
+  int bb_nodes = 2;
+  Bytes bb_capacity_per_node = 64_MiB;
+  int osts = 16;
+
+  // --- System under test. ---
+  SystemKind system = SystemKind::kUniviStor;
+
+  // --- UniviStor config toggles (ignored for the baselines). ---
+  bool ia = true;      // interference-aware flush + placement policy
+  bool coc = true;     // collective open/close
+  bool adpt = true;    // adaptive striping
+  bool la = true;      // location-aware reads
+  bool replicate_volatile = false;
+  bool promote_hot_reads = false;
+  bool flush_on_close = true;
+  int first_layer = 0;  // hw::Layer value: 0 DRAM, 2 shared BB, 3 PFS
+  Bytes chunk_size = 4_MiB;
+  Bytes metadata_range_size = 2_MiB;
+
+  // --- Workload. ---
+  WorkloadKind workload = WorkloadKind::kMicroReadBack;
+  Bytes bytes_per_rank = 4_MiB;  // per step for vpic/workflow
+  int steps = 2;                 // vpic/workflow only
+  double compute_time = 0.0;     // vpic inter-checkpoint sleep (sim seconds)
+
+  // --- Failure injection (§V resilience path). ---
+  FailureMode failure = FailureMode::kNone;
+  int failed_node = 0;
+
+  /// Number of compute nodes this spec's cluster has.
+  int Nodes() const { return (procs + procs_per_node - 1) / procs_per_node; }
+
+  /// One-line `key=value ...` form; ParseScenarioSpec inverts it.
+  std::string ToString() const;
+
+  /// The exact command that replays this spec.
+  std::string ReproCommand() const;
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+};
+
+/// Samples a random but valid spec from `seed` alone (deterministic:
+/// identical seeds produce identical specs on every platform).
+ScenarioSpec SampleScenario(std::uint64_t seed);
+
+/// Parses the ToString() form; unknown keys and malformed values fail.
+Result<ScenarioSpec> ParseScenarioSpec(const std::string& text);
+
+}  // namespace uvs::testkit

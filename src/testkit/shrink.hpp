@@ -1,0 +1,29 @@
+// Greedy scenario shrinking: given a failing ScenarioSpec and a predicate
+// that re-runs it, repeatedly try simplifying transformations (fewer
+// ranks, fewer steps, less data, default toggles, no failure injection,
+// simpler workload) and keep any candidate that still fails. Runs to a
+// fixpoint or an attempt budget; the result is a minimal-ish reproducer
+// whose ReproCommand() is what the fuzzer prints.
+#pragma once
+
+#include <functional>
+
+#include "src/testkit/scenario_spec.hpp"
+
+namespace uvs::testkit {
+
+/// Returns true when `spec` still reproduces the failure under shrink.
+using FailurePredicate = std::function<bool(const ScenarioSpec&)>;
+
+struct ShrinkResult {
+  ScenarioSpec spec;  // the smallest still-failing spec found
+  int attempts = 0;   // predicate evaluations spent
+};
+
+/// `max_attempts` bounds predicate evaluations (each one is a full
+/// simulation run); the original `failing` spec is returned unchanged if
+/// no simplification reproduces the failure.
+ShrinkResult Shrink(const ScenarioSpec& failing, const FailurePredicate& still_fails,
+                    int max_attempts = 64);
+
+}  // namespace uvs::testkit

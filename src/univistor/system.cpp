@@ -97,6 +97,30 @@ Bytes UniviStor::LogicalSize(storage::FileId fid) const {
   return info != nullptr ? info->logical_size : 0;
 }
 
+const std::string& UniviStor::FileName(storage::FileId fid) const {
+  static const std::string kEmpty;
+  const FileInfo* info = FindInfo(fid);
+  return info != nullptr ? info->name : kEmpty;
+}
+
+Bytes UniviStor::BytesWritten(storage::FileId fid) const {
+  const FileInfo* info = FindInfo(fid);
+  return info != nullptr ? info->bytes_written : 0;
+}
+
+const placement::DhpWriterChain* UniviStor::FindChain(storage::FileId fid,
+                                                      ProducerId producer) const {
+  const FileInfo* info = FindInfo(fid);
+  if (info == nullptr) return nullptr;
+  auto it = info->chains.find(producer);
+  return it != info->chains.end() ? it->second.get() : nullptr;
+}
+
+bool UniviStor::HasPfsCopy(storage::FileId fid) const {
+  const FileInfo* info = FindInfo(fid);
+  return info != nullptr && info->pfs_file >= 0;
+}
+
 placement::DhpWriterChain& UniviStor::Chain(FileInfo& info, vmpi::ProgramId program,
                                             int rank) {
   const ProducerId producer = MakeProducer(program, rank);
@@ -237,6 +261,7 @@ sim::Task UniviStor::Write(vmpi::ProgramId program, int rank, storage::FileId fi
     cursor += placement.extent.len;
   }
   info.logical_size = std::max(info.logical_size, offset + len);
+  info.bytes_written += len;
 
   // Data movement and the piggybacked metadata RPCs.
   std::vector<sim::Task> legs;
@@ -326,6 +351,7 @@ sim::Task UniviStor::ReadRecord(vmpi::ProgramId program, int rank, FileInfo& inf
                           {.layout = storage::AccessLayout::kAlignedRanges});
     } else {
       ++lost_reads_;
+      lost_bytes_ += len;
     }
     co_return;
   }

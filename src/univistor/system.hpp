@@ -72,6 +72,8 @@ class UniviStor {
   // --- File namespace. ---
   storage::FileId OpenOrCreate(const std::string& name);
   Bytes LogicalSize(storage::FileId fid) const;
+  int file_count() const { return static_cast<int>(files_.size()); }
+  const std::string& FileName(storage::FileId fid) const;
 
   // --- Client request paths, invoked by the ADIO driver. ---
   /// Metadata open/close traffic for one collective operation.
@@ -99,6 +101,18 @@ class UniviStor {
   /// Bytes of `fid` currently cached per layer (summed over producers).
   Bytes CachedOn(storage::FileId fid, hw::Layer layer) const;
 
+  // --- Invariant accessors (testkit:: whole-system checks). ---
+  /// Total bytes accepted by Write() for `fid` (including overwrites).
+  Bytes BytesWritten(storage::FileId fid) const;
+  /// The distributed metadata partitions (read-only introspection).
+  const meta::DistributedMetadataService& metadata() const { return *metadata_; }
+  /// The DHP chain of (fid, producer), or nullptr if that producer never
+  /// wrote the file. Exposes the VA codec for round-trip verification.
+  const placement::DhpWriterChain* FindChain(storage::FileId fid, ProducerId producer) const;
+  /// True once a PFS destination exists for `fid` (created at first flush
+  /// or first spill) — failure-path reads fall back to it.
+  bool HasPfsCopy(storage::FileId fid) const;
+
   /// Registers layer-occupancy gauges (DRAM/SSD/BB/read-cache used bytes)
   /// with a periodic sampler.
   void RegisterGauges(obs::Sampler& sampler);
@@ -113,6 +127,8 @@ class UniviStor {
   Bytes replicated_bytes() const { return replicated_bytes_; }
   /// Reads that found neither a replica nor a PFS copy after a failure.
   int lost_reads() const { return lost_reads_; }
+  /// Exact byte count of those lost reads (for conservation accounting).
+  Bytes lost_bytes() const { return lost_bytes_; }
 
   // --- Proactive placement extension (§V future work). ---
   /// Bytes promoted into node-local read caches so far.
@@ -123,6 +139,7 @@ class UniviStor {
   struct FileInfo {
     std::string name;
     Bytes logical_size = 0;
+    Bytes bytes_written = 0;  // total accepted by Write(), incl. overwrites
     std::map<ProducerId, std::unique_ptr<placement::DhpWriterChain>> chains;
     storage::Pfs::FileHandle pfs_file = -1;  // destination / spill target
     sim::Process flush_process;
@@ -197,6 +214,7 @@ class UniviStor {
   std::set<int> failed_nodes_;
   Bytes replicated_bytes_ = 0;
   int lost_reads_ = 0;
+  Bytes lost_bytes_ = 0;
   std::vector<std::unique_ptr<storage::LayerStore>> read_cache_;  // per node
   std::vector<meta::RecordIndex> read_cache_index_;               // per node
   Bytes promoted_bytes_ = 0;

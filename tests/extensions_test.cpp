@@ -91,6 +91,89 @@ TEST(Resilience, UnreplicatedDataIsLostOnFailure) {
   EXPECT_GT(f.system.lost_reads(), 0);
 }
 
+// Derives the exact loss expectation the way an auditor would: every
+// metadata record whose bytes sit on a volatile layer of a failed node,
+// with no BB replica and no PFS copy, must be counted in lost_bytes().
+Bytes ExpectedLoss(Fixture& f, storage::FileId fid) {
+  if (f.system.HasPfsCopy(fid)) return 0;
+  Bytes expected = 0;
+  for (const auto& record :
+       f.system.metadata().Query(fid, 0, f.system.LogicalSize(fid))) {
+    const auto* chain = f.system.FindChain(fid, record.producer);
+    if (chain == nullptr) continue;
+    const auto decoded = chain->codec().Decode(record.va);
+    if (!decoded.ok()) continue;
+    if (decoded->layer != hw::Layer::kDram && decoded->layer != hw::Layer::kNodeLocalSsd)
+      continue;
+    const int node = f.scenario.runtime()
+                         .Rank(ProducerProgram(record.producer), ProducerRank(record.producer))
+                         .node;
+    if (f.system.NodeFailed(node)) expected += record.len;
+  }
+  return expected;
+}
+
+TEST(Resilience, LostBytesAccountExactlyForTheFailedNode) {
+  Fixture f(BaseConfig());  // no replication, no flush: DRAM data is volatile
+  RunHdfMicro(f.scenario, f.app, f.driver,
+              MicroParams{.bytes_per_proc = 16_MiB, .file_name = "exact.h5"});
+  f.system.FailNode(0);
+  const auto fid = f.system.OpenOrCreate("exact.h5");
+  const Bytes expected = ExpectedLoss(f, fid);
+  // 8 procs at 4 per node: ranks 0-3 live on node 0, so exactly half the
+  // payload is unrecoverable.
+  EXPECT_EQ(expected, 16_MiB * 4);
+  RunHdfMicro(f.scenario, f.app, f.driver,
+              MicroParams{.bytes_per_proc = 16_MiB, .read = true, .file_name = "exact.h5"});
+  EXPECT_EQ(f.system.lost_bytes(), expected);
+  EXPECT_EQ(f.system.lost_reads(), 4);
+}
+
+TEST(Resilience, FailureDuringInFlightFlushFallsBackToThePfsDestination) {
+  Fixture f(BaseConfig());  // flush_on_close off: we drive the flush by hand
+  RunHdfMicro(f.scenario, f.app, f.driver,
+              MicroParams{.bytes_per_proc = 16_MiB, .file_name = "mid.h5"});
+  const auto fid = f.system.OpenOrCreate("mid.h5");
+  ASSERT_FALSE(f.system.HasPfsCopy(fid));
+
+  // Start an asynchronous flush and fail the node while it is in flight:
+  // the PFS destination already exists, but no flush has completed yet.
+  f.system.TriggerFlush(fid);
+  f.scenario.engine().RunUntil(f.scenario.engine().Now() + 1e-4);
+  EXPECT_EQ(f.system.flush_stats().flushes, 0) << "flush must still be in flight";
+  EXPECT_TRUE(f.system.HasPfsCopy(fid));
+  f.system.FailNode(0);
+  f.scenario.engine().Run();  // the flush drains despite the failed node
+  EXPECT_EQ(f.system.flush_stats().flushes, 1);
+
+  EXPECT_EQ(ExpectedLoss(f, fid), 0u);
+  RunHdfMicro(f.scenario, f.app, f.driver,
+              MicroParams{.bytes_per_proc = 16_MiB, .read = true, .file_name = "mid.h5"});
+  EXPECT_EQ(f.system.lost_bytes(), 0u) << "reads fall back to the flush destination";
+  EXPECT_EQ(f.system.lost_reads(), 0);
+}
+
+TEST(Resilience, FailureBeforeTheFlushStartsLosesTheVolatileBytes) {
+  Fixture f(BaseConfig());
+  RunHdfMicro(f.scenario, f.app, f.driver,
+              MicroParams{.bytes_per_proc = 16_MiB, .file_name = "pre.h5"});
+  const auto fid = f.system.OpenOrCreate("pre.h5");
+  f.system.FailNode(0);  // the node dies before any flush is triggered
+  EXPECT_EQ(ExpectedLoss(f, fid), 16_MiB * 4);
+  RunHdfMicro(f.scenario, f.app, f.driver,
+              MicroParams{.bytes_per_proc = 16_MiB, .read = true, .file_name = "pre.h5"});
+  // Flushing after the loss cannot resurrect the failed node's bytes, but
+  // the accounting must not double-count on a second read pass either.
+  f.system.TriggerFlush(fid);
+  f.scenario.engine().Run();
+  const Bytes lost_after_first_pass = f.system.lost_bytes();
+  EXPECT_EQ(lost_after_first_pass, 16_MiB * 4);
+  RunHdfMicro(f.scenario, f.app, f.driver,
+              MicroParams{.bytes_per_proc = 16_MiB, .read = true, .file_name = "pre.h5"});
+  EXPECT_EQ(f.system.lost_bytes(), lost_after_first_pass)
+      << "with a PFS copy present, re-reads are served, not lost again";
+}
+
 TEST(Resilience, FlushedCopySavesUnreplicatedData) {
   Config config = BaseConfig();
   config.flush_on_close = true;  // PFS copy exists after close

@@ -1,0 +1,33 @@
+// Bounded fuzz smoke test: the first 64 seeds of the scenario sampler run
+// end to end with every invariant checked (including the Lustre
+// differential read-back). A failure message carries the one-line repro
+// command so the scenario can be replayed and shrunk with tools/uvfuzz.
+#include <gtest/gtest.h>
+
+#include "src/testkit/runner.hpp"
+#include "src/testkit/scenario_spec.hpp"
+
+namespace uvs::testkit {
+namespace {
+
+constexpr std::uint64_t kSeeds = 64;
+constexpr std::uint64_t kBaseSeed = 1;  // matches the uvfuzz default
+
+TEST(FuzzSmokeTest, FirstSixtyFourSeedsHoldAllInvariants) {
+  int failures = 0;
+  for (std::uint64_t seed = kBaseSeed; seed < kBaseSeed + kSeeds; ++seed) {
+    const ScenarioSpec spec = SampleScenario(seed);
+    const RunOutcome outcome = RunScenario(spec);
+    if (!outcome.ok()) {
+      ++failures;
+      ADD_FAILURE() << "seed " << seed << " violated invariants:\n"
+                    << outcome.report.ToString() << "repro: " << spec.ReproCommand();
+      if (failures >= 3) break;  // keep the log readable on a broken tree
+    }
+    // Every scenario must do real work, or the fuzzer fuzzes nothing.
+    EXPECT_FALSE(outcome.file_sizes.empty()) << "seed " << seed << " produced no files";
+  }
+}
+
+}  // namespace
+}  // namespace uvs::testkit

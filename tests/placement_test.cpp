@@ -230,6 +230,66 @@ TEST(AdaptiveStriping, DivisibleServerCountNeedsNoDummies) {
   EXPECT_EQ(plan.dummy_servers, 496);
 }
 
+TEST(AdaptiveStriping, Case1OstBudgetNotAlphaCapsWhenServersAreScarce) {
+  // 2 servers (< alpha = 8) over 4 OSTs: Eq. 2's osts/servers term, not
+  // alpha, is the binding constraint, and the distinct sets still tile the
+  // OST pool without overlap.
+  auto plan = PlanAdaptiveStriping(1_GiB, 2, 4, {.alpha = 8, .max_stripe_size = 1_GiB});
+  EXPECT_EQ(plan.mode, StripeMode::kDistinctSets);
+  EXPECT_EQ(plan.osts_per_server, 2);  // min(4 / 2, 8)
+  EXPECT_EQ(plan.TargetsFor(0), (std::vector<int>{0, 1}));
+  EXPECT_EQ(plan.TargetsFor(1), (std::vector<int>{2, 3}));
+}
+
+TEST(AdaptiveStriping, Case1SingleServerTakesAllOstsUpToAlpha) {
+  auto few = PlanAdaptiveStriping(1_GiB, 1, 4, {.alpha = 8, .max_stripe_size = 1_GiB});
+  EXPECT_EQ(few.osts_per_server, 4) << "fewer OSTs than alpha: all of them";
+  EXPECT_EQ(few.TargetsFor(0), (std::vector<int>{0, 1, 2, 3}));
+  auto many = PlanAdaptiveStriping(1_GiB, 1, 32, {.alpha = 8, .max_stripe_size = 1_GiB});
+  EXPECT_EQ(many.osts_per_server, 8) << "more OSTs than alpha: alpha caps Eq. 2";
+}
+
+TEST(AdaptiveStriping, Case1TinyFileKeepsAtLeastOneByteStripes) {
+  // A file smaller than servers * osts_per_server would push Eq. 3 to a
+  // zero stripe size; the plan must floor at one byte and one stripe.
+  auto plan = PlanAdaptiveStriping(3, 2, 4, {.alpha = 8, .max_stripe_size = 1_GiB});
+  EXPECT_GE(plan.stripe_size, 1u);
+  EXPECT_GE(plan.stripe_count, 1);
+  Bytes total = 0;
+  for (int s = 0; s < plan.servers; ++s) total += plan.RangeBytesFor(s, 3);
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(AdaptiveStriping, Case2ServersNotDivisibleByOsts) {
+  // 10 servers over 4 OSTs: Eq. 6 rounds up to 12 dummy servers. The two
+  // trailing dummies are never materialized, so OSTs 2 and 3 serve one
+  // fewer real range — the residual imbalance the rounding minimizes.
+  auto plan = PlanAdaptiveStriping(120_MiB, 10, 4, {});
+  EXPECT_EQ(plan.mode, StripeMode::kOneOstPerServer);
+  EXPECT_EQ(plan.dummy_servers, 12);
+  EXPECT_EQ(plan.stripe_size, 10_MiB);  // Eq. 5: Sfile / Cdum_servers
+  std::vector<int> per_ost(4, 0);
+  for (int s = 0; s < 10; ++s)
+    for (int ost : plan.TargetsFor(s)) ++per_ost[static_cast<std::size_t>(ost)];
+  EXPECT_EQ(per_ost, (std::vector<int>{3, 3, 2, 2}));
+  // The real servers still cover the file exactly despite the rounding.
+  Bytes total = 0;
+  for (int s = 0; s < 10; ++s) total += plan.RangeBytesFor(s, 120_MiB);
+  EXPECT_EQ(total, 120_MiB);
+}
+
+TEST(AdaptiveStriping, PaperDummyServerArithmeticSlip) {
+  // §II-D's worked example prints Cdum_servers = 724 for 512 servers on
+  // 248 OSTs, but 724 is not a multiple of 248 (724 = 2*248 + 228), so it
+  // cannot equalize per-OST load; Eq. 6 as written yields
+  // ceil(512/248)*248 = 744. Pin both facts so the discrepancy between
+  // the paper's text and its own equation stays documented.
+  EXPECT_NE(724 % 248, 0) << "the paper's printed value cannot balance OST load";
+  EXPECT_EQ((512 + 248 - 1) / 248 * 248, 744);
+  auto plan = PlanAdaptiveStriping(1_TiB, 512, 248, {});
+  EXPECT_EQ(plan.dummy_servers, 744);
+}
+
 TEST(DefaultStriping, TargetsEveryOst) {
   auto plan = PlanDefaultStriping(1_GiB, 16, 8);
   EXPECT_EQ(plan.mode, StripeMode::kAllOsts);

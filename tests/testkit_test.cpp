@@ -1,0 +1,226 @@
+// Unit tests for the testkit fuzzing subsystem: scenario sampling and
+// serialization, the narrow invariant checkers on synthetic inputs, the
+// shrinker's fixpoint behavior, and a few full RunScenario smoke runs.
+#include <gtest/gtest.h>
+
+#include "src/testkit/invariants.hpp"
+#include "src/testkit/runner.hpp"
+#include "src/testkit/scenario_spec.hpp"
+#include "src/testkit/shrink.hpp"
+
+namespace uvs::testkit {
+namespace {
+
+// --- Scenario sampling. ---
+
+TEST(ScenarioSpecTest, SamplingIsDeterministic) {
+  for (std::uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+    EXPECT_EQ(SampleScenario(seed), SampleScenario(seed)) << "seed " << seed;
+  }
+  EXPECT_NE(SampleScenario(1), SampleScenario(2));
+}
+
+TEST(ScenarioSpecTest, SampledSpecsAreValid) {
+  for (std::uint64_t seed = 0; seed < 256; ++seed) {
+    const ScenarioSpec spec = SampleScenario(seed);
+    EXPECT_GE(spec.procs, 2);
+    EXPECT_GE(spec.procs_per_node, 1);
+    EXPECT_GE(spec.steps, 1);
+    EXPECT_GE(spec.bytes_per_rank, 1_MiB);
+    if (spec.failure != FailureMode::kNone) {
+      EXPECT_EQ(spec.system, SystemKind::kUniviStor);
+      EXPECT_GE(spec.failed_node, 0);
+      EXPECT_LT(spec.failed_node, spec.Nodes());
+    }
+  }
+}
+
+TEST(ScenarioSpecTest, SamplerCoversTheSpace) {
+  bool saw[4] = {};
+  bool saw_system[3] = {};
+  bool saw_failure = false;
+  for (std::uint64_t seed = 0; seed < 256; ++seed) {
+    const ScenarioSpec spec = SampleScenario(seed);
+    saw[static_cast<int>(spec.workload)] = true;
+    saw_system[static_cast<int>(spec.system)] = true;
+    saw_failure |= spec.failure != FailureMode::kNone;
+  }
+  for (bool s : saw) EXPECT_TRUE(s) << "a workload kind never sampled in 256 seeds";
+  for (bool s : saw_system) EXPECT_TRUE(s) << "a system kind never sampled in 256 seeds";
+  EXPECT_TRUE(saw_failure);
+}
+
+TEST(ScenarioSpecTest, ToStringParseRoundTrips) {
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const ScenarioSpec spec = SampleScenario(seed);
+    const auto parsed = ParseScenarioSpec(spec.ToString());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(*parsed, spec) << spec.ToString();
+  }
+}
+
+TEST(ScenarioSpecTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(ParseScenarioSpec("procs").ok());
+  EXPECT_FALSE(ParseScenarioSpec("unknown_key=3").ok());
+  EXPECT_FALSE(ParseScenarioSpec("procs=abc").ok());
+  EXPECT_FALSE(ParseScenarioSpec("system=zfs").ok());
+  EXPECT_FALSE(ParseScenarioSpec("layer=1").ok());  // SSD is never the first layer
+  EXPECT_FALSE(ParseScenarioSpec("procs=4 ppn=4 fail=after_writes fail_node=7").ok());
+}
+
+TEST(ScenarioSpecTest, ReproCommandEmbedsTheSpec) {
+  const ScenarioSpec spec = SampleScenario(7);
+  const std::string repro = spec.ReproCommand();
+  EXPECT_NE(repro.find("uvfuzz --spec='"), std::string::npos);
+  EXPECT_NE(repro.find(spec.ToString()), std::string::npos);
+}
+
+// --- Narrow checkers on synthetic inputs. ---
+
+meta::MetadataRecord Record(Bytes offset, Bytes len) {
+  return meta::MetadataRecord{.fid = 0, .offset = offset, .len = len, .producer = 1, .va = 0};
+}
+
+TEST(InvariantsTest, CoverageAcceptsDisjointFullCover) {
+  InvariantReport report;
+  CheckRecordCoverage({Record(0, 4), Record(4, 4), Record(8, 8)}, 16, "t", report);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(InvariantsTest, CoverageDetectsMissingBytes) {
+  InvariantReport report;
+  CheckRecordCoverage({Record(0, 4), Record(8, 4)}, 16, "t", report);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].invariant, "metadata-coverage");
+}
+
+TEST(InvariantsTest, CoverageDetectsOverlap) {
+  InvariantReport report;
+  CheckRecordCoverage({Record(0, 8), Record(4, 4)}, 12, "t", report);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.violations[0].detail.find("overlap"), std::string::npos);
+}
+
+TEST(InvariantsTest, PoolConservationDetectsOverdelivery) {
+  sim::Engine engine;
+  sim::FairSharePool pool(engine, {.name = "t", .capacity = 100.0});
+  // 1000 bytes through a 100 B/s pool takes 10 s; after only 10 s of
+  // virtual time the pool cannot have delivered more.
+  auto task = [](sim::FairSharePool& p) -> sim::Task { co_await p.Transfer(1000); }(pool);
+  engine.Spawn(std::move(task));
+  engine.Run();
+  InvariantReport clean;
+  CheckPool(pool, clean);
+  EXPECT_TRUE(clean.ok()) << clean.ToString();
+}
+
+TEST(InvariantsTest, QuiescenceDetectsStrandedProcess) {
+  sim::Engine engine;
+  sim::Event never(engine);
+  engine.Spawn([](sim::Event& e) -> sim::Task { co_await e.Wait(); }(never), "stuck-proc");
+  engine.Run();  // drains without ever triggering the event
+  InvariantReport report;
+  CheckQuiescence(engine, report);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].invariant, "quiescence");
+  EXPECT_NE(report.violations[0].detail.find("stuck-proc"), std::string::npos);
+}
+
+TEST(InvariantsTest, ReportFormatsViolations) {
+  InvariantReport report;
+  EXPECT_EQ(report.ToString(), "all invariants hold");
+  report.Add("x", "y");
+  EXPECT_EQ(report.ToString(), "[x] y\n");
+}
+
+// --- Shrinker. ---
+
+TEST(ShrinkTest, ReachesMinimalSpecForAlwaysFailingPredicate) {
+  const ScenarioSpec big = SampleScenario(123);
+  const auto result = Shrink(big, [](const ScenarioSpec&) { return true; }, 256);
+  EXPECT_LE(result.spec.procs, 2);
+  EXPECT_EQ(result.spec.steps, 1);
+  EXPECT_EQ(result.spec.workload, WorkloadKind::kMicro);
+  EXPECT_EQ(result.spec.failure, FailureMode::kNone);
+  EXPECT_EQ(result.spec.bytes_per_rank, 1_MiB);
+}
+
+TEST(ShrinkTest, KeepsFailureRelevantDimensions) {
+  ScenarioSpec spec = SampleScenario(5);
+  spec.procs = 16;
+  spec.replicate_volatile = true;
+  // The "bug" needs >= 8 procs and the replicate_volatile toggle on.
+  const auto result = Shrink(spec, [](const ScenarioSpec& s) {
+    return s.procs >= 8 && s.replicate_volatile;
+  });
+  EXPECT_EQ(result.spec.procs, 8);
+  EXPECT_TRUE(result.spec.replicate_volatile);
+}
+
+TEST(ShrinkTest, ReturnsOriginalWhenNothingSimplerFails) {
+  const ScenarioSpec spec = SampleScenario(9);
+  const auto result = Shrink(spec, [&spec](const ScenarioSpec& s) { return s == spec; });
+  EXPECT_EQ(result.spec, spec);
+}
+
+TEST(ShrinkTest, RespectsAttemptBudget) {
+  const ScenarioSpec spec = SampleScenario(11);
+  const auto result = Shrink(spec, [](const ScenarioSpec&) { return true; }, 3);
+  EXPECT_LE(result.attempts, 3);
+}
+
+// --- Full runs. ---
+
+TEST(RunnerTest, CleanUniviStorRunHoldsAllInvariants) {
+  ScenarioSpec spec = SampleScenario(2);  // univistor micro_read
+  spec.system = SystemKind::kUniviStor;
+  spec.failure = FailureMode::kNone;
+  const RunOutcome outcome = RunScenario(spec);
+  EXPECT_TRUE(outcome.ok()) << outcome.report.ToString();
+  ASSERT_FALSE(outcome.file_sizes.empty());
+  // The workload wrote real data: header + procs * bytes_per_rank.
+  Bytes total = 0;
+  for (const auto& [name, size] : outcome.file_sizes) total += size;
+  EXPECT_GT(total, static_cast<Bytes>(spec.procs) * spec.bytes_per_rank);
+}
+
+TEST(RunnerTest, RunScenarioIsDeterministic) {
+  const ScenarioSpec spec = SampleScenario(4);
+  const RunOutcome a = RunScenario(spec);
+  const RunOutcome b = RunScenario(spec);
+  EXPECT_EQ(a.sim_time, b.sim_time);
+  EXPECT_EQ(a.file_sizes, b.file_sizes);
+  EXPECT_EQ(a.report.violations.size(), b.report.violations.size());
+}
+
+TEST(RunnerTest, FailureInjectionAccountsLostBytesExactly) {
+  ScenarioSpec spec = SampleScenario(2);
+  spec.system = SystemKind::kUniviStor;
+  spec.workload = WorkloadKind::kMicroReadBack;
+  spec.failure = FailureMode::kAfterWrites;
+  spec.failed_node = 0;
+  spec.flush_on_close = false;  // no PFS fallback -> volatile bytes are lost
+  spec.replicate_volatile = false;
+  spec.first_layer = 0;
+  const RunOutcome outcome = RunScenario(spec);
+  EXPECT_TRUE(outcome.ok()) << outcome.report.ToString();
+  EXPECT_GT(outcome.lost_bytes, 0u);
+  EXPECT_EQ(outcome.lost_bytes, outcome.expected_lost_bytes);
+}
+
+TEST(RunnerTest, ReplicationPreventsDataLoss) {
+  ScenarioSpec spec = SampleScenario(2);
+  spec.system = SystemKind::kUniviStor;
+  spec.workload = WorkloadKind::kMicroReadBack;
+  spec.failure = FailureMode::kAfterWrites;
+  spec.failed_node = 0;
+  spec.flush_on_close = false;
+  spec.replicate_volatile = true;  // BB replica saves the volatile layers
+  spec.first_layer = 0;
+  const RunOutcome outcome = RunScenario(spec);
+  EXPECT_TRUE(outcome.ok()) << outcome.report.ToString();
+  EXPECT_EQ(outcome.lost_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace uvs::testkit

@@ -1,0 +1,178 @@
+// uvfuzz — deterministic scenario fuzzer for the UniviStor simulation.
+//
+// Samples random end-to-end scenarios (cluster shape, system under test,
+// config toggles, workload, failure injection) from sequential seeds, runs
+// each to completion, and checks the whole-system invariants: byte
+// conservation across the DHP cascade, metadata coverage and VA
+// round-trips, range-partition ownership, bandwidth-pool conservation,
+// quiescence, exact lost-byte accounting under failure, and differential
+// read-back against the Lustre baseline. On the first failure it shrinks
+// the scenario to a minimal reproducer and prints a one-line replay
+// command.
+//
+//   uvfuzz --seeds=200            # fuzz 200 seeds
+//   uvfuzz --seed=17              # run exactly seed 17
+//   uvfuzz --spec='procs=4 ...'   # replay a (shrunk) spec verbatim
+//
+// Exit codes: 0 all runs clean, 1 invariant violation or escaped
+// exception, 2 usage error.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/common/log.hpp"
+#include "src/testkit/runner.hpp"
+#include "src/testkit/scenario_spec.hpp"
+#include "src/testkit/shrink.hpp"
+
+using namespace uvs;
+
+namespace {
+
+struct Args {
+  std::uint64_t seeds = 64;
+  std::uint64_t base_seed = 1;
+  bool single_seed = false;
+  std::uint64_t seed = 0;
+  std::string spec;          // explicit spec replay; overrides seeds
+  double time_budget = 0.0;  // wall seconds; 0 = unlimited
+  bool shrink = true;
+  bool differential = true;
+  bool quiet = false;
+};
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: uvfuzz [flags]\n"
+               "  --seeds=N          scenarios to run (default 64)\n"
+               "  --base-seed=S      first seed (default 1)\n"
+               "  --seed=S           run exactly one seed\n"
+               "  --spec='k=v ...'   replay one explicit scenario spec\n"
+               "  --time-budget=S    stop fuzzing after S wall-clock seconds\n"
+               "  --no-shrink        do not shrink a failing scenario\n"
+               "  --no-differential  skip the Lustre differential read-back\n"
+               "  --quiet            only print failures and the summary\n"
+               "  --help             show this message\n");
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+int Parse(int argc, char** argv, Args& args) {
+  std::string value;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (ParseFlag(arg, "--seeds", &value)) args.seeds = std::strtoull(value.c_str(), nullptr, 10);
+    else if (ParseFlag(arg, "--base-seed", &value))
+      args.base_seed = std::strtoull(value.c_str(), nullptr, 10);
+    else if (ParseFlag(arg, "--seed", &value)) {
+      args.single_seed = true;
+      args.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "--spec", &value)) args.spec = value;
+    else if (ParseFlag(arg, "--time-budget", &value))
+      args.time_budget = std::atof(value.c_str());
+    else if (std::strcmp(arg, "--no-shrink") == 0) args.shrink = false;
+    else if (std::strcmp(arg, "--no-differential") == 0) args.differential = false;
+    else if (std::strcmp(arg, "--quiet") == 0 || std::strcmp(arg, "-q") == 0) args.quiet = true;
+    else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      PrintUsage(stdout);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n\n", arg);
+      PrintUsage(stderr);
+      return 2;
+    }
+  }
+  return 0;
+}
+
+/// Runs one spec; on failure optionally shrinks and prints the reproducer.
+/// Returns true when the run was clean.
+bool RunOne(const testkit::ScenarioSpec& spec, const Args& args,
+            const testkit::RunOptions& options) {
+  const testkit::RunOutcome outcome = testkit::RunScenario(spec, options);
+  if (outcome.ok()) {
+    if (!args.quiet) {
+      Bytes total = 0;
+      for (const auto& [name, size] : outcome.file_sizes) total += size;
+      std::printf("seed %llu ok (%s on %s, %d procs, %.1f MiB, sim %.3fs)\n",
+                  static_cast<unsigned long long>(spec.seed),
+                  testkit::WorkloadKindName(spec.workload), testkit::SystemKindName(spec.system),
+                  spec.procs, static_cast<double>(total) / (1_MiB), outcome.sim_time);
+    }
+    return true;
+  }
+
+  std::printf("seed %llu FAILED:\n%s", static_cast<unsigned long long>(spec.seed),
+              outcome.report.ToString().c_str());
+  std::printf("spec: %s\n", spec.ToString().c_str());
+
+  testkit::ScenarioSpec minimal = spec;
+  if (args.shrink) {
+    const auto result = testkit::Shrink(
+        spec,
+        [&options](const testkit::ScenarioSpec& candidate) {
+          return !testkit::RunScenario(candidate, options).ok();
+        });
+    minimal = result.spec;
+    std::printf("shrunk after %d attempts to: %s\n", result.attempts,
+                minimal.ToString().c_str());
+  }
+  std::printf("repro: %s\n", minimal.ReproCommand().c_str());
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  InitLogLevelFromEnv();
+  Args args;
+  if (const int rc = Parse(argc, argv, args); rc != 0) return rc;
+
+  testkit::RunOptions options;
+  options.differential = args.differential;
+
+  try {
+    if (!args.spec.empty()) {
+      const auto spec = testkit::ParseScenarioSpec(args.spec);
+      if (!spec.ok()) {
+        std::fprintf(stderr, "uvfuzz: bad --spec: %s\n", spec.status().ToString().c_str());
+        return 2;
+      }
+      return RunOne(*spec, args, options) ? 0 : 1;
+    }
+    if (args.single_seed) {
+      return RunOne(testkit::SampleScenario(args.seed), args, options) ? 0 : 1;
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t completed = 0;
+    for (std::uint64_t i = 0; i < args.seeds; ++i) {
+      if (args.time_budget > 0) {
+        const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+        if (elapsed.count() >= args.time_budget) {
+          std::printf("time budget exhausted after %llu/%llu seeds\n",
+                      static_cast<unsigned long long>(completed),
+                      static_cast<unsigned long long>(args.seeds));
+          break;
+        }
+      }
+      if (!RunOne(testkit::SampleScenario(args.base_seed + i), args, options)) return 1;
+      ++completed;
+    }
+    std::printf("uvfuzz: %llu scenarios, all invariants hold\n",
+                static_cast<unsigned long long>(completed));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "uvfuzz: uncaught exception: %s\n", e.what());
+    return 1;
+  }
+}

@@ -25,6 +25,7 @@
 #include "src/hw/utilization.hpp"
 #include "src/obs/recorder.hpp"
 #include "src/obs/sampler.hpp"
+#include "src/testkit/invariants.hpp"
 #include "src/univistor/driver.hpp"
 #include "src/univistor/system.hpp"
 #include "src/workload/bdcats.hpp"
@@ -45,6 +46,7 @@ struct Args {
   int steps = 5;
   bool read = false;
   bool report = false;
+  bool check = false;
   bool ia = true, coc = true, adpt = true, la = true;
   std::string trace;    // Chrome trace-event JSON output path
   std::string metrics;  // metrics JSON (or series CSV) output path
@@ -62,6 +64,8 @@ void PrintUsage(std::FILE* out) {
                "  --steps=N                       vpic/workflow timesteps (default 5)\n"
                "  --read                          micro: read the file back after writing\n"
                "  --report                        print the device-utilization table\n"
+               "  --check                         run the testkit invariant checks after\n"
+               "                                  the workload; violations exit non-zero\n"
                "  --no-ia / --no-coc / --no-adpt / --no-la\n"
                "                                  disable a UniviStor optimization\n"
                "  --trace=FILE                    write a Chrome trace-event timeline\n"
@@ -101,6 +105,7 @@ Args Parse(int argc, char** argv) {
       args.sample_interval = std::atof(value.c_str());
     else if (std::strcmp(arg, "--read") == 0) args.read = true;
     else if (std::strcmp(arg, "--report") == 0) args.report = true;
+    else if (std::strcmp(arg, "--check") == 0) args.check = true;
     else if (std::strcmp(arg, "--no-ia") == 0) args.ia = false;
     else if (std::strcmp(arg, "--no-coc") == 0) args.coc = false;
     else if (std::strcmp(arg, "--no-adpt") == 0) args.adpt = false;
@@ -234,6 +239,18 @@ int Run(const Args& args) {
   }
   std::printf("simulated %s in %llu events\n", HumanTime(scenario.engine().Now()).c_str(),
               static_cast<unsigned long long>(scenario.engine().processed_events()));
+  if (args.check) {
+    testkit::InvariantReport check_report;
+    testkit::CheckQuiescence(scenario.engine(), check_report);
+    testkit::CheckPoolConservation(scenario, check_report);
+    if (uvs_system != nullptr) testkit::CheckUniviStor(*uvs_system, check_report);
+    if (!check_report.ok()) {
+      std::fprintf(stderr, "uvsim: invariant violations:\n%s",
+                   check_report.ToString().c_str());
+      return 1;
+    }
+    std::printf("check: all invariants hold\n");
+  }
   if (args.report)
     std::printf("%s", hw::CollectUtilization(scenario.cluster()).ToString().c_str());
 
@@ -265,5 +282,15 @@ int Run(const Args& args) {
 
 int main(int argc, char** argv) {
   InitLogLevelFromEnv();
-  return Run(Parse(argc, argv));
+  // An exception escaping the simulation (engine rethrow of a process
+  // failure, bad configuration) must not look like a successful run.
+  try {
+    return Run(Parse(argc, argv));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "uvsim: uncaught exception: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "uvsim: uncaught non-standard exception\n");
+    return 1;
+  }
 }
