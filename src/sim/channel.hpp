@@ -32,7 +32,7 @@ class Channel {
       Receiver* r = receivers_.front();
       receivers_.pop_front();
       r->slot.emplace(std::move(value));
-      engine_->ScheduleNow([h = r->handle] { h.resume(); });
+      engine_->ScheduleResumeNow(r->handle);
       return;
     }
     items_.push_back(std::move(value));

@@ -1,30 +1,39 @@
 #include "src/sim/engine.hpp"
 
-#include <utility>
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 namespace uvs::sim {
 
+void EventHeap::PackOverflow(std::uint64_t seq, std::uint32_t idx) {
+  std::fprintf(stderr,
+               "uvs::sim::EventHeap: packed-key limit exceeded "
+               "(seq=%llu, pending payloads=%u; limits: 2^39 events ever, "
+               "2^24 pending at once)\n",
+               static_cast<unsigned long long>(seq), idx);
+  std::abort();
+}
+
 ProcessCtl::ProcessCtl(Engine& eng) : engine(&eng), done_event(eng) {}
 
+const std::string& Process::name() const {
+  static const std::string kEmpty;
+  return ctl_ ? ctl_->name : kEmpty;
+}
+
 Engine::~Engine() {
-  // Destroy still-suspended process frames; queue entries may hold handles
-  // into them, so drop the queue first.
-  queue_ = {};
+  // Queue entries may hold coroutine handles into process frames, so drop
+  // the queue first. Invariant: finished frames were already reclaimed at
+  // their final suspend, so every handle still recorded here belongs to a
+  // suspended, unfinished process and is safe (and necessary) to destroy.
+  heap_.Clear();
   for (auto& rec : processes_) {
-    if (rec.handle && !rec.handle.promise().done) {
-      rec.handle.destroy();
-      rec.handle = {};
-    } else if (rec.handle) {
+    if (rec.handle) {
       rec.handle.destroy();
       rec.handle = {};
     }
   }
-}
-
-void Engine::Schedule(Time at, std::function<void()> fn) {
-  assert(at >= now_ - 1e-12 && "scheduling into the past");
-  if (at < now_) at = now_;
-  queue_.push(Item{at, next_seq_++, std::move(fn)});
 }
 
 Process Engine::Spawn(Task task, std::string name) {
@@ -33,50 +42,57 @@ Process Engine::Spawn(Task task, std::string name) {
   ctl->name = std::move(name);
   Task::Handle handle = task.Release();
   handle.promise().ctl = ctl.get();
-  processes_.push_back(ProcessRecord{handle, ctl});
-  Schedule(now_, [handle] { handle.resume(); });
+  std::uint32_t slot;
+  if (!free_process_slots_.empty()) {
+    slot = free_process_slots_.back();
+    free_process_slots_.pop_back();
+    processes_[slot] = ProcessRecord{handle, ctl};
+  } else {
+    slot = static_cast<std::uint32_t>(processes_.size());
+    processes_.push_back(ProcessRecord{handle, ctl});
+  }
+  ctl->slot = slot;
+  ++live_processes_;
+  ScheduleResume(now_, handle);
   return Process{ctl};
 }
 
-void Engine::Dispatch(Item item) {
-  now_ = item.at;
+void Engine::ReclaimProcess(std::uint32_t slot) {
+  ProcessRecord& rec = processes_[slot];
+  assert(rec.handle && rec.ctl && rec.ctl->finished);
+  rec.handle.destroy();
+  rec.handle = {};
+  rec.ctl.reset();  // may destroy the ProcessCtl if no Process handle holds it
+  free_process_slots_.push_back(slot);
+  ++frames_reclaimed_;
+  --live_processes_;
+}
+
+bool Engine::TimerPending(std::uint32_t slot, std::uint32_t generation) const {
+  return heap_.SlotPending(slot, generation);
+}
+
+void Engine::DispatchTop() {
+  EventHeap::Fired fired = heap_.PopTop();
+  now_ = fired.at;
   ++processed_;
-  item.fn();
-  if (pending_exception_) {
-    auto ex = std::exchange(pending_exception_, nullptr);
-    std::rethrow_exception(ex);
-  }
+  fired.invoke(fired.buf);
 }
 
 void Engine::Run() {
-  while (!queue_.empty()) {
-    Item item = std::move(const_cast<Item&>(queue_.top()));
-    queue_.pop();
-    Dispatch(std::move(item));
-  }
+  while (!heap_.empty()) DispatchTop();
 }
 
 bool Engine::RunUntil(Time until) {
-  while (!queue_.empty() && queue_.top().at <= until) {
-    Item item = std::move(const_cast<Item&>(queue_.top()));
-    queue_.pop();
-    Dispatch(std::move(item));
-  }
+  while (!heap_.empty() && heap_.top_time() <= until) DispatchTop();
   now_ = std::max(now_, until);
-  return !queue_.empty();
-}
-
-std::size_t Engine::live_processes() const {
-  std::size_t n = 0;
-  for (const auto& rec : processes_)
-    if (rec.ctl && !rec.ctl->finished) ++n;
-  return n;
+  return !heap_.empty();
 }
 
 std::vector<std::string> Engine::UnfinishedProcessNames() const {
   std::vector<std::string> names;
   for (const auto& rec : processes_)
-    if (rec.ctl && !rec.ctl->finished)
+    if (rec.ctl)
       names.push_back(rec.ctl->name.empty() ? "<anonymous>" : rec.ctl->name);
   return names;
 }

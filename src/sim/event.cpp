@@ -11,7 +11,7 @@ void Event::Trigger() {
   triggered_ = true;
   auto waiters = std::exchange(waiters_, {});
   for (auto handle : waiters) {
-    engine_->ScheduleNow([handle] { handle.resume(); });
+    engine_->ScheduleResumeNow(handle);
   }
 }
 

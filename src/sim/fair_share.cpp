@@ -65,23 +65,22 @@ Time FairSharePool::busy_time() const {
 }
 
 void FairSharePool::RescheduleTimer() {
-  ++timer_generation_;
+  timer_.Cancel();  // no-op if it already fired (we are inside OnTimer)
   if (heap_.empty()) return;
   const Bandwidth rate = RatePerFlow(heap_.size());
   const double remaining = std::max(0.0, heap_.top()->vfinish - vnow_);
   const Time at = engine_->Now() + remaining / rate;
-  engine_->Schedule(at, [this, gen = timer_generation_] { OnTimer(gen); });
+  timer_ = engine_->ScheduleCancellable(at, [this] { OnTimer(); });
 }
 
-void FairSharePool::OnTimer(std::uint64_t generation) {
-  if (generation != timer_generation_) return;  // superseded by a reschedule
+void FairSharePool::OnTimer() {
   AdvanceToNow();
   while (!heap_.empty() && heap_.top()->vfinish <= vnow_ + kResidualEpsilonBytes) {
     Flow* flow = heap_.top();
     heap_.pop();
     total_bytes_ += flow->bytes;
     ++completed_;
-    engine_->ScheduleNow([handle = flow->handle] { handle.resume(); });
+    engine_->ScheduleResumeNow(flow->handle);
   }
   RescheduleTimer();
 }

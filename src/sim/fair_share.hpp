@@ -99,7 +99,7 @@ class FairSharePool {
   void AddFlow(Flow* flow);
   void AdvanceToNow();
   void RescheduleTimer();
-  void OnTimer(std::uint64_t generation);
+  void OnTimer();
 
   Engine* engine_;
   Options options_;
@@ -108,7 +108,11 @@ class FairSharePool {
   Bandwidth peak_capacity_ = 0.0;
   Time last_update_ = 0.0;
   std::uint64_t next_flow_seq_ = 0;
-  std::uint64_t timer_generation_ = 0;
+  // The single pending completion timer. Arrivals, departures, and
+  // capacity changes cancel it outright (O(log n) removal from the engine
+  // queue) before arming the replacement, so superseded timers never
+  // linger in the queue as dead events.
+  TimerHandle timer_;
   std::priority_queue<Flow*, std::vector<Flow*>, FlowAfter> heap_;
 
   Bytes total_bytes_ = 0;

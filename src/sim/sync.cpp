@@ -19,7 +19,7 @@ void Mutex::Unlock() {
   // Hand the lock to the oldest waiter; locked_ stays true.
   auto handle = waiters_.front();
   waiters_.pop_front();
-  engine_->ScheduleNow([handle] { handle.resume(); });
+  engine_->ScheduleResumeNow(handle);
 }
 
 void Semaphore::Release() {
@@ -29,7 +29,7 @@ void Semaphore::Release() {
   }
   auto handle = waiters_.front();
   waiters_.pop_front();
-  engine_->ScheduleNow([handle] { handle.resume(); });
+  engine_->ScheduleResumeNow(handle);
 }
 
 }  // namespace uvs::sim

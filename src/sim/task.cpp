@@ -1,5 +1,7 @@
 #include "src/sim/task.hpp"
 
+#include <cassert>
+
 #include "src/common/log.hpp"
 #include "src/sim/engine.hpp"
 
@@ -20,20 +22,30 @@ void LogEscapedException(const std::string& name, const std::exception_ptr& ex) 
 std::coroutine_handle<> Task::promise_type::FinalAwaiter::await_suspend(Handle h) noexcept {
   promise_type& p = h.promise();
   p.done = true;
-  if (p.ctl != nullptr) {
-    p.ctl->finished = true;
-    if (p.exception) {
-      LogEscapedException(p.ctl->name, p.exception);
-      // Surface the failure out of Engine::Run after this event completes.
-      p.ctl->exception = p.exception;
-      // Note: Dispatch() rethrows; record it there via the ctl's engine.
-      p.ctl->engine->Schedule(p.ctl->engine->Now(), [ex = p.exception] {
-        std::rethrow_exception(ex);
-      });
-    }
-    p.ctl->done_event.Trigger();
+  ProcessCtl* ctl = p.ctl;
+  if (ctl == nullptr) {
+    // Awaited child: the parent's Task object owns this frame.
+    if (p.continuation) return p.continuation;
+    return std::noop_coroutine();
   }
-  if (p.continuation) return p.continuation;
+  // Top-level process: the engine owns the frame. A spawned task is never
+  // also awaited, so it has no continuation.
+  assert(!p.continuation);
+  ctl->finished = true;
+  if (p.exception) {
+    LogEscapedException(ctl->name, p.exception);
+    // Surface the failure out of Engine::Run after this event completes.
+    ctl->exception = p.exception;
+    ctl->engine->Schedule(ctl->engine->Now(), [ex = p.exception] {
+      std::rethrow_exception(ex);
+    });
+  }
+  ctl->done_event.Trigger();
+  // Reclaim the frame now that the process is finished: `p`, `h`, and this
+  // awaiter all live inside it and are dangling after this call, and `ctl`
+  // may be destroyed too if no Process handle shares it. Touch nothing
+  // frame- or ctl-reachable below this line.
+  ctl->engine->ReclaimProcess(ctl->slot);
   return std::noop_coroutine();
 }
 

@@ -3,12 +3,19 @@
 // traffic the workloads generate.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
 #include "src/hw/utilization.hpp"
 #include "src/obs/recorder.hpp"
+#include "src/sim/fair_share.hpp"
 #include "src/univistor/driver.hpp"
 #include "src/univistor/system.hpp"
 #include "src/workload/hdf_micro.hpp"
 #include "src/workload/scenario.hpp"
+#include "src/workload/vpic.hpp"
 
 namespace uvs {
 namespace {
@@ -83,6 +90,99 @@ TEST(Determinism, DifferentSeedsDifferUnderCfs) {
   // Random placement changes stacking, hence timing. (Equal would mean the
   // seed is ignored.)
   EXPECT_NE(a.elapsed, b.elapsed);
+}
+
+// --- golden trace digests -----------------------------------------------
+//
+// These pin the exact event interleaving of the kernel: an FNV-1a hash of
+// the full Chrome-trace JSON (every span name, timestamp, and duration the
+// obs:: layer records). Any change to scheduling order, tie-breaking, or
+// timer semantics shifts a timestamp somewhere and flips the digest.
+// The constants were recorded from the pre-rewrite priority_queue kernel,
+// so they also prove the allocation-free kernel is behavior-identical.
+//
+// Regenerate after an *intentional* timing change with:
+//   UVS_PRINT_DIGESTS=1 ./build/tests/determinism_test --gtest_filter='GoldenTrace.*'
+
+std::uint64_t Fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void CheckDigest(const char* what, std::uint64_t digest, std::uint64_t golden) {
+  if (std::getenv("UVS_PRINT_DIGESTS") != nullptr)
+    std::fprintf(stderr, "UVS_DIGEST %s 0x%016llxull\n", what,
+                 static_cast<unsigned long long>(digest));
+  EXPECT_EQ(digest, golden) << what << ": trace content changed — if the timing "
+                            << "change is intentional, regenerate the golden "
+                            << "(see comment above)";
+}
+
+TEST(GoldenTrace, MicroWriteTraceDigestIsStable) {
+  obs::Recorder recorder;
+  recorder.Install();
+  RunOnce(42, sched::PlacementPolicy::kInterferenceAware);
+  recorder.Uninstall();
+  CheckDigest("micro_write_ia", Fnv1a(recorder.ChromeTraceJson()), 0x895548e574031df8ull);
+}
+
+TEST(GoldenTrace, VpicTraceDigestIsStable) {
+  // Multi-step VPIC under IA placement: flush traffic overlaps the next
+  // step's writes, so the IA scheduler reassigns CPU shares (SetCapacity on
+  // pools with transfers in flight) and the fair-share completion timers
+  // are cancelled and re-armed mid-transfer throughout the run.
+  obs::Recorder recorder;
+  recorder.Install();
+  {
+    ScenarioOptions options;
+    options.procs = 64;
+    options.policy = sched::PlacementPolicy::kInterferenceAware;
+    options.cluster_params = hw::CoriPreset(64);
+    options.cluster_params.seed = 7;
+    Scenario scenario(options);
+    univistor::UniviStor system(scenario.runtime(), scenario.pfs(), scenario.workflow(),
+                                univistor::Config{});
+    univistor::UniviStorDriver driver(system);
+    auto app = scenario.runtime().LaunchProgram("vpic", 64);
+    workload::RunVpic(scenario, app, driver,
+                      workload::VpicParams{.steps = 2,
+                                           .vars = 4,
+                                           .bytes_per_var = 4_MiB,
+                                           .compute_time = 5.0,
+                                           .file_prefix = "g"});
+  }
+  recorder.Uninstall();
+  CheckDigest("vpic_ia", Fnv1a(recorder.ChromeTraceJson()), 0x4b0fac897c9abba2ull);
+}
+
+sim::Task RecordCompletion(sim::Engine& engine, sim::FairSharePool& pool, Bytes bytes,
+                           Time* out) {
+  co_await pool.Transfer(bytes);
+  *out = engine.Now();
+}
+
+TEST(GoldenTrace, FairShareCompletionTimesAcrossCapacityChanges) {
+  // SetCapacity lands twice while all three transfers are in flight; each
+  // change truly cancels the pending completion timer and re-arms it under
+  // the new rate. Completion instants must match the pre-rewrite kernel
+  // (generation-lapsed timers) exactly.
+  sim::Engine engine;
+  sim::FairSharePool pool(engine, {.capacity = 100.0});
+  Time done[3] = {0, 0, 0};
+  engine.Spawn(RecordCompletion(engine, pool, 1000, &done[0]));
+  engine.Spawn(RecordCompletion(engine, pool, 2000, &done[1]));
+  engine.Spawn(RecordCompletion(engine, pool, 3000, &done[2]));
+  engine.Schedule(5.0, [&pool] { pool.SetCapacity(250.0); });
+  engine.Schedule(9.0, [&pool] { pool.SetCapacity(40.0); });
+  engine.Run();
+  EXPECT_EQ(done[0], 46.5);
+  EXPECT_EQ(done[1], 96.5);
+  EXPECT_EQ(done[2], 121.5);
+  EXPECT_EQ(engine.pending_events(), 0u);
 }
 
 TEST(Utilization, ReportsAccountForTraffic) {

@@ -247,5 +247,178 @@ TEST(Engine, ProcessedEventCountAdvances) {
   EXPECT_EQ(engine.processed_events(), 2u);
 }
 
+TEST(Process, InvalidProcessNameIsEmpty) {
+  Process process;
+  EXPECT_FALSE(process.valid());
+  EXPECT_EQ(process.name(), "");
+}
+
+TEST(Process, SpawnedProcessReportsItsName) {
+  Engine engine;
+  std::vector<double> wakeups;
+  auto process = engine.Spawn(Sleeper(engine, 1.0, wakeups), "worker");
+  EXPECT_EQ(process.name(), "worker");
+  engine.Run();
+}
+
+TEST(Timer, CancellableTimerFiresWhenNotCancelled) {
+  Engine engine;
+  int fired = 0;
+  TimerHandle timer = engine.ScheduleCancellable(2.0, [&fired] { ++fired; });
+  EXPECT_TRUE(timer.pending());
+  engine.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(timer.pending());
+  EXPECT_DOUBLE_EQ(engine.Now(), 2.0);
+}
+
+TEST(Timer, CancelRemovesEventBeforeItFires) {
+  Engine engine;
+  int fired = 0;
+  TimerHandle timer = engine.ScheduleCancellable(2.0, [&fired] { ++fired; });
+  EXPECT_EQ(engine.pending_events(), 1u);
+  EXPECT_TRUE(timer.Cancel());
+  EXPECT_EQ(engine.pending_events(), 0u);
+  EXPECT_EQ(engine.cancelled_events(), 1u);
+  engine.Run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_DOUBLE_EQ(engine.Now(), 0.0) << "cancelled event must not advance the clock";
+}
+
+TEST(Timer, DoubleCancelIsANoOp) {
+  Engine engine;
+  TimerHandle timer = engine.ScheduleCancellable(1.0, [] {});
+  EXPECT_TRUE(timer.Cancel());
+  EXPECT_FALSE(timer.Cancel());
+  EXPECT_EQ(engine.cancelled_events(), 1u);
+}
+
+TEST(Timer, CancelAfterFireIsANoOp) {
+  Engine engine;
+  TimerHandle timer = engine.ScheduleCancellable(1.0, [] {});
+  engine.Run();
+  EXPECT_FALSE(timer.pending());
+  EXPECT_FALSE(timer.Cancel());
+  EXPECT_EQ(engine.cancelled_events(), 0u);
+}
+
+TEST(Timer, DefaultHandleIsInert) {
+  TimerHandle timer;
+  EXPECT_FALSE(timer.pending());
+  EXPECT_FALSE(timer.Cancel());
+}
+
+TEST(Timer, StaleHandleDoesNotCancelSlotReuser) {
+  Engine engine;
+  int a_fired = 0, b_fired = 0;
+  TimerHandle a = engine.ScheduleCancellable(1.0, [&a_fired] { ++a_fired; });
+  engine.Run();  // `a` fires; its slot is freed and its generation bumped
+  TimerHandle b = engine.ScheduleCancellable(2.0, [&b_fired] { ++b_fired; });
+  EXPECT_FALSE(a.Cancel()) << "stale handle must not touch the recycled slot";
+  EXPECT_TRUE(b.pending());
+  engine.Run();
+  EXPECT_EQ(a_fired, 1);
+  EXPECT_EQ(b_fired, 1);
+}
+
+TEST(Timer, CancellationPreservesOrderingOfSurvivors) {
+  Engine engine;
+  std::vector<int> order;
+  std::vector<TimerHandle> timers;
+  for (int i = 0; i < 16; ++i)
+    timers.push_back(
+        engine.ScheduleCancellable(static_cast<Time>(i), [&order, i] { order.push_back(i); }));
+  for (int i = 1; i < 16; i += 2) timers[static_cast<std::size_t>(i)].Cancel();
+  engine.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 4, 6, 8, 10, 12, 14}));
+  EXPECT_EQ(engine.cancelled_events(), 8u);
+}
+
+TEST(Engine, BoxedCallbackRunsAndReleasesItsCapture) {
+  // A shared_ptr capture is not trivially copyable, so this takes the
+  // heap-boxed fallback path; the box must be freed after dispatch.
+  Engine engine;
+  auto payload = std::make_shared<int>(41);
+  engine.Schedule(1.0, [payload] { ++*payload; });
+  EXPECT_EQ(payload.use_count(), 2);
+  engine.Run();
+  EXPECT_EQ(*payload, 42);
+  EXPECT_EQ(payload.use_count(), 1) << "boxed callback leaked its capture";
+}
+
+TEST(Engine, UnrunBoxedCallbacksAreReleasedOnDestruction) {
+  auto payload = std::make_shared<int>(0);
+  {
+    Engine engine;
+    engine.Schedule(1.0, [payload] { ++*payload; });
+    EXPECT_EQ(payload.use_count(), 2);
+  }
+  EXPECT_EQ(*payload, 0);
+  EXPECT_EQ(payload.use_count(), 1) << "engine destructor leaked a queued box";
+}
+
+TEST(Engine, HeapPeakTracksDeepestQueue) {
+  Engine engine;
+  for (int i = 0; i < 10; ++i) engine.Schedule(static_cast<Time>(i), [] {});
+  engine.Run();
+  EXPECT_EQ(engine.heap_peak(), 10u);
+  EXPECT_EQ(engine.pending_events(), 0u);
+}
+
+TEST(Engine, FinishedFramesAreReclaimedIncrementally) {
+  Engine engine;
+  std::vector<double> wakeups;
+  for (int i = 1; i <= 8; ++i) engine.Spawn(Sleeper(engine, static_cast<Time>(i), wakeups));
+  EXPECT_EQ(engine.live_processes(), 8u);
+  engine.RunUntil(4.5);  // four sleepers done, four still pending
+  EXPECT_EQ(engine.frames_reclaimed(), 4u);
+  EXPECT_EQ(engine.live_processes(), 4u);
+  engine.Run();
+  EXPECT_EQ(engine.frames_reclaimed(), 8u);
+  EXPECT_EQ(engine.live_processes(), 0u);
+  EXPECT_TRUE(engine.UnfinishedProcessNames().empty());
+}
+
+Task WaitForever(Engine& engine, Event& event) {
+  (void)engine;
+  co_await event.Wait();
+}
+
+TEST(Engine, StrandedProcessesAreReportedAndReclaimedSlotsAreNot) {
+  Engine engine;
+  Event never(engine);
+  std::vector<double> wakeups;
+  engine.Spawn(Sleeper(engine, 1.0, wakeups), "quick");
+  engine.Spawn(WaitForever(engine, never), "stuck");
+  engine.Run();
+  const auto names = engine.UnfinishedProcessNames();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "stuck");
+  EXPECT_EQ(engine.live_processes(), 1u);
+}
+
+Task SpawnChildren(Engine& engine, int generations, std::vector<double>& wakeups) {
+  if (generations > 0)
+    engine.Spawn(SpawnChildren(engine, generations - 1, wakeups));
+  co_await engine.Delay(1.0);
+  wakeups.push_back(engine.Now());
+}
+
+TEST(Engine, ProcessSlotsAreRecycled) {
+  // Sequential waves of processes reuse the same slots instead of growing
+  // the process table without bound.
+  Engine engine;
+  std::vector<double> wakeups;
+  for (int wave = 0; wave < 50; ++wave) {
+    engine.Spawn(Sleeper(engine, 1.0, wakeups));
+    engine.Run();
+  }
+  EXPECT_EQ(engine.frames_reclaimed(), 50u);
+  EXPECT_EQ(engine.live_processes(), 0u);
+  engine.Spawn(SpawnChildren(engine, 3, wakeups));
+  engine.Run();
+  EXPECT_EQ(engine.frames_reclaimed(), 54u);
+}
+
 }  // namespace
 }  // namespace uvs::sim

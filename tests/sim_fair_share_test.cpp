@@ -173,5 +173,26 @@ TEST_P(FairShareParamTest, EqualFlowsFinishTogetherAtExactTime) {
 INSTANTIATE_TEST_SUITE_P(FlowCounts, FairShareParamTest,
                          ::testing::Values(1, 2, 3, 7, 16, 64, 128, 512));
 
+TEST(FairShare, TimerChurnDoesNotAccumulatePendingEvents) {
+  // Every SetCapacity while a transfer is in flight supersedes the pool's
+  // completion timer. The engine must truly remove the superseded timer,
+  // not leave it to fire as a no-op: after 100 capacity changes exactly
+  // one completion timer may remain in the queue.
+  Engine engine;
+  FairSharePool pool(engine, {.capacity = 100.0});
+  double done = -1;
+  engine.Spawn(DoTransfer(engine, pool, 100000, &done));
+  for (int i = 1; i <= 100; ++i)
+    engine.Schedule(0.01 * i, [&pool, i] { pool.SetCapacity(100.0 + i); });
+  engine.RunUntil(1.05);  // all capacity changes applied, transfer ongoing
+  EXPECT_EQ(pool.active_flows(), 1u);
+  EXPECT_EQ(engine.pending_events(), 1u)
+      << "superseded completion timers are rotting in the event queue";
+  EXPECT_EQ(engine.cancelled_events(), 100u);
+  engine.Run();
+  EXPECT_GT(done, 0.0);
+  EXPECT_EQ(engine.pending_events(), 0u);
+}
+
 }  // namespace
 }  // namespace uvs::sim

@@ -150,10 +150,15 @@ TEST(PfsWrite, SharedInterleavedSlowerThanFilePerProcess) {
     std::vector<Pfs::FileHandle> files;
     const int writers = 16;
     if (layout == AccessLayout::kFilePerProcess) {
-      for (int w = 0; w < writers; ++w)
-        files.push_back(pfs.Create("f" + std::to_string(w),
+      for (int w = 0; w < writers; ++w) {
+        // Built by append: `"f" + std::to_string(w)` trips GCC 12's
+        // -Wrestrict false positive (PR105651) at -O3 under -Werror.
+        std::string name = "f";
+        name += std::to_string(w);
+        files.push_back(pfs.Create(std::move(name),
                                    StripeConfig{.stripe_size = 1_MiB, .stripe_count = 8,
                                                 .ost_offset = w % 8}));
+      }
     } else {
       files.assign(static_cast<std::size_t>(writers),
                    pfs.Create("shared", StripeConfig{.stripe_size = 1_MiB,

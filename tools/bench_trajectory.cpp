@@ -1,0 +1,267 @@
+// Performance-trajectory runner: measures kernel microbenchmark
+// throughput plus wall-clock smoke times for two figure workloads, and
+// appends the results as one labelled entry to a machine-readable JSON
+// file (default: BENCH_sim.json). Re-running at different commits with
+// different labels builds up a before/after trajectory of simulator
+// performance; docs/PERFORMANCE.md documents the schema and workflow.
+//
+// Usage:
+//   bench_trajectory [--smoke] [--label NAME] [--out PATH]
+//
+//   --smoke   smaller event counts / payloads (CI-friendly, seconds)
+//   --label   entry label (default "run")
+//   --out     output JSON path (default BENCH_sim.json in the CWD)
+//
+// Compile with -DUVS_BENCH_NO_CANCEL to build against a kernel that
+// predates Engine::ScheduleCancellable (used to produce "before" entries
+// from older commits); the timer_cancel metric is then omitted.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/fair_share.hpp"
+#include "src/sim/task.hpp"
+#include "src/workload/hdf_micro.hpp"
+#include "src/workload/vpic.hpp"
+
+using namespace uvs;
+using namespace uvs::sim;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// --- kernel microbenchmarks (same workloads as bench/micro_sim) ---------
+
+struct ChainLink {
+  Engine* engine;
+  long* remaining;
+  void operator()() const {
+    if (--*remaining > 0) engine->Schedule(engine->Now() + 1.0, *this);
+  }
+};
+
+double EngineEventsPerSec(int chains, long events) {
+  Engine engine;
+  long remaining = events;
+  for (int i = 0; i < chains; ++i)
+    engine.Schedule(1.0 + 1e-4 * i, ChainLink{&engine, &remaining});
+  const auto t0 = Clock::now();
+  engine.Run();
+  const auto t1 = Clock::now();
+  return static_cast<double>(engine.processed_events()) / Seconds(t0, t1);
+}
+
+Task Sleeper(Engine& engine, Time dt) { co_await engine.Delay(dt); }
+
+double SpawnJoinPerSec(int procs, int rounds) {
+  const auto t0 = Clock::now();
+  long n = 0;
+  for (int r = 0; r < rounds; ++r) {
+    Engine engine;
+    for (int i = 0; i < procs; ++i)
+      engine.Spawn(Sleeper(engine, 1.0 + 1e-3 * i));
+    engine.Run();
+    n += procs;
+  }
+  const auto t1 = Clock::now();
+  return static_cast<double>(n) / Seconds(t0, t1);
+}
+
+Task StaggeredTransfer(Engine& engine, FairSharePool& pool, Time at, Bytes bytes) {
+  co_await engine.Delay(at);
+  co_await pool.Transfer(bytes);
+}
+
+double FairShareFlowsPerSec(int flows, int rounds) {
+  const auto t0 = Clock::now();
+  long n = 0;
+  for (int r = 0; r < rounds; ++r) {
+    Engine engine;
+    FairSharePool pool(engine, {.capacity = 1e9});
+    for (int i = 0; i < flows; ++i)
+      engine.Spawn(
+          StaggeredTransfer(engine, pool, 1e-3 * i, 1000 + static_cast<Bytes>(i) * 37));
+    engine.Run();
+    n += flows;
+  }
+  const auto t1 = Clock::now();
+  return static_cast<double>(n) / Seconds(t0, t1);
+}
+
+#ifndef UVS_BENCH_NO_CANCEL
+double TimerCancelOpsPerSec(int live, long ops) {
+  Engine engine;
+  std::deque<TimerHandle> timers;
+  Time at = 1.0;
+  for (int i = 0; i < live; ++i)
+    timers.push_back(engine.ScheduleCancellable(at += 1.0, [] {}));
+  const auto t0 = Clock::now();
+  for (long i = 0; i < ops; ++i) {
+    timers.front().Cancel();
+    timers.pop_front();
+    timers.push_back(engine.ScheduleCancellable(at += 1.0, [] {}));
+  }
+  const auto t1 = Clock::now();
+  return static_cast<double>(ops) / Seconds(t0, t1);
+}
+#endif
+
+// --- figure-workload smokes (wall-clock, end to end) --------------------
+
+double Fig5aSmokeWallSec(int procs, Bytes bytes_per_proc) {
+  const auto t0 = Clock::now();
+  univistor::Config config;  // IA placement + COC on, the paper's default
+  auto setup = bench::MakeUniviStor(procs, config);
+  workload::RunHdfMicro(*setup.scenario, setup.app, *setup.driver,
+                        {.bytes_per_proc = bytes_per_proc, .file_name = "traj.h5"});
+  const auto t1 = Clock::now();
+  return Seconds(t0, t1);
+}
+
+double VpicSpillSmokeWallSec(int procs, int steps, Bytes bytes_per_var) {
+  const auto t0 = Clock::now();
+  univistor::Config config;
+  config.first_cache_layer = hw::Layer::kDram;
+  auto setup = bench::MakeUniviStor(procs, config);
+  workload::RunVpic(*setup.scenario, setup.app, *setup.driver,
+                    {.steps = steps,
+                     .vars = 8,
+                     .bytes_per_var = bytes_per_var,
+                     .compute_time = 60.0,
+                     .file_prefix = "traj_vpic"});
+  const auto t1 = Clock::now();
+  return Seconds(t0, t1);
+}
+
+// --- JSON output --------------------------------------------------------
+
+struct Metric {
+  std::string name;
+  double value;
+};
+
+std::string FormatEntry(const std::string& label, const std::string& mode,
+                        const std::vector<Metric>& metrics) {
+  std::ostringstream out;
+  out << "    {\n"
+      << "      \"label\": \"" << label << "\",\n"
+      << "      \"mode\": \"" << mode << "\",\n"
+      << "      \"metrics\": {\n";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    char num[64];
+    std::snprintf(num, sizeof(num), "%.6g", metrics[i].value);
+    out << "        \"" << metrics[i].name << "\": " << num
+        << (i + 1 < metrics.size() ? ",\n" : "\n");
+  }
+  out << "      }\n    }";
+  return out.str();
+}
+
+bool AppendEntry(const std::string& path, const std::string& entry) {
+  std::string content;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      content = buf.str();
+    }
+  }
+  const char* kSchema = "uvs-bench-trajectory-v1";
+  if (content.find(kSchema) == std::string::npos) {
+    // Fresh file (or an unrecognized one, which we refuse to mangle).
+    if (!content.empty() && content.find_first_not_of(" \t\r\n") != std::string::npos) {
+      std::fprintf(stderr, "bench_trajectory: %s exists but is not a %s file\n",
+                   path.c_str(), kSchema);
+      return false;
+    }
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\n  \"schema\": \"" << kSchema << "\",\n  \"entries\": [\n"
+        << entry << "\n  ]\n}\n";
+    return static_cast<bool>(out);
+  }
+  // Splice the new entry in before the closing bracket of "entries".
+  const std::size_t close = content.rfind(']');
+  const std::size_t open = content.find('[');
+  if (close == std::string::npos || open == std::string::npos || open > close) {
+    std::fprintf(stderr, "bench_trajectory: %s is malformed\n", path.c_str());
+    return false;
+  }
+  const bool has_entries =
+      content.find('{', open) != std::string::npos && content.find('{', open) < close;
+  const std::size_t cut = content.find_last_not_of(" \t\r\n", close - 1) + 1;
+  std::string spliced = content.substr(0, cut);
+  spliced += has_entries ? ",\n" : "\n";
+  spliced += entry;
+  spliced += "\n  ";
+  spliced += content.substr(close);
+  std::ofstream out(path, std::ios::trunc);
+  out << spliced;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string label = "run";
+  std::string out_path = "BENCH_sim.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc) {
+      label = argv[++i];
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--label NAME] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const long chain_events = smoke ? 400000 : 2000000;
+  const int sj_rounds = smoke ? 5 : 30;
+  const int fs_rounds = smoke ? 20 : 100;
+  const Bytes fig5a_bytes = smoke ? 16_MiB : 256_MiB;
+  const int vpic_steps = smoke ? 2 : 10;
+  const Bytes vpic_var_bytes = smoke ? 4_MiB : 32_MiB;
+
+  std::vector<Metric> metrics;
+  const auto add = [&](const char* name, double value) {
+    metrics.push_back({name, value});
+    std::printf("%-40s %.6g\n", name, value);
+  };
+
+  add("engine_chain64_events_per_sec", EngineEventsPerSec(64, chain_events));
+  add("engine_chain4096_events_per_sec", EngineEventsPerSec(4096, chain_events));
+  add("spawn_join_procs_per_sec", SpawnJoinPerSec(10000, sj_rounds));
+  add("fair_share_staggered_flows_per_sec", FairShareFlowsPerSec(1024, fs_rounds));
+#ifndef UVS_BENCH_NO_CANCEL
+  add("timer_cancel_ops_per_sec",
+      TimerCancelOpsPerSec(4096, smoke ? 400000 : 2000000));
+#endif
+  for (int procs : {64, 256}) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "fig5a_ia_smoke_wall_sec_p%d", procs);
+    add(name, Fig5aSmokeWallSec(procs, fig5a_bytes));
+    std::snprintf(name, sizeof(name), "vpic_spill_smoke_wall_sec_p%d", procs);
+    add(name, VpicSpillSmokeWallSec(procs, vpic_steps, vpic_var_bytes));
+  }
+
+  const std::string entry = FormatEntry(label, smoke ? "smoke" : "full", metrics);
+  if (!AppendEntry(out_path, entry)) return 1;
+  std::printf("appended entry \"%s\" to %s\n", label.c_str(), out_path.c_str());
+  return 0;
+}

@@ -239,6 +239,17 @@ int Run(const Args& args) {
   }
   std::printf("simulated %s in %llu events\n", HumanTime(scenario.engine().Now()).c_str(),
               static_cast<unsigned long long>(scenario.engine().processed_events()));
+
+  // Kernel-health counters, surfaced in the metrics run report alongside
+  // the simulation-level metrics (see docs/PERFORMANCE.md).
+  {
+    const sim::Engine& engine = scenario.engine();
+    obs::Count("sim.events_processed", engine.processed_events());
+    obs::Count("sim.events_cancelled", engine.cancelled_events());
+    obs::Count("sim.heap_peak", engine.heap_peak());
+    obs::Count("sim.frames_reclaimed", engine.frames_reclaimed());
+    obs::SetGauge("sim.live_processes", static_cast<double>(engine.live_processes()));
+  }
   if (args.check) {
     testkit::InvariantReport check_report;
     testkit::CheckQuiescence(scenario.engine(), check_report);
