@@ -1,0 +1,78 @@
+#include "src/fault/injector.hpp"
+
+#include "src/obs/recorder.hpp"
+
+namespace uvs::fault {
+
+void Injector::Arm() {
+  if (armed_) return;
+  armed_ = true;
+  for (const FaultEvent& ev : plan_.events) {
+    // The FaultEvent copy in the lambda exceeds the engine's inline-event
+    // budget, so these land on the boxed path — fine for a handful of
+    // events per run.
+    engine_->Schedule(ev.at, [this, ev] { Apply(ev); });
+    if (ev.kind != EventKind::kNodeCrash && ev.duration > 0.0)
+      engine_->Schedule(ev.at + ev.duration, [this, ev] { EndWindow(ev); });
+  }
+}
+
+void Injector::Apply(const FaultEvent& ev) {
+  switch (ev.kind) {
+    case EventKind::kNodeCrash:
+      if (cluster_ != nullptr && (ev.target < 0 || ev.target >= cluster_->node_count())) break;
+      ++stats_.crashes;
+      obs::Count("fault.node_crashes");
+      if (crash_handler_) crash_handler_(ev.target);
+      break;
+    case EventKind::kOstDegrade:
+      if (cluster_ == nullptr || ev.target >= cluster_->pfs().ost_count()) break;
+      ++stats_.ost_windows;
+      cluster_->pfs().Degrade(ev.target, ev.factor);
+      break;
+    case EventKind::kBbStall: {
+      if (cluster_ == nullptr) break;
+      hw::BurstBuffer& bb = cluster_->burst_buffer();
+      if (ev.target >= bb.node_count()) break;
+      ++stats_.bb_windows;
+      if (ev.target < 0) {
+        for (int i = 0; i < bb.node_count(); ++i) bb.Degrade(i, ev.factor);
+      } else {
+        bb.Degrade(ev.target, ev.factor);
+      }
+      break;
+    }
+    case EventKind::kTransferTimeout:
+      ++stats_.timeout_windows;
+      ++active_timeouts_;
+      obs::Count("fault.timeout_windows");
+      break;
+  }
+}
+
+void Injector::EndWindow(const FaultEvent& ev) {
+  switch (ev.kind) {
+    case EventKind::kOstDegrade:
+      if (cluster_ == nullptr || ev.target >= cluster_->pfs().ost_count()) break;
+      cluster_->pfs().Restore(ev.target);
+      break;
+    case EventKind::kBbStall: {
+      if (cluster_ == nullptr) break;
+      hw::BurstBuffer& bb = cluster_->burst_buffer();
+      if (ev.target >= bb.node_count()) break;
+      if (ev.target < 0) {
+        for (int i = 0; i < bb.node_count(); ++i) bb.Restore(i);
+      } else {
+        bb.Restore(ev.target);
+      }
+      break;
+    }
+    case EventKind::kTransferTimeout:
+      if (active_timeouts_ > 0) --active_timeouts_;
+      break;
+    case EventKind::kNodeCrash:
+      break;
+  }
+}
+
+}  // namespace uvs::fault

@@ -1,0 +1,65 @@
+// Arms a fault::Plan against a running simulation: schedules every event
+// on the engine and applies it to the cluster hardware (device degradation
+// windows) or hands it to the system crash handler (node loss). The
+// injector itself has no policy — recovery lives in the layers that own
+// the data (univistor::UniviStor, meta::DistributedMetadataService).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/fault/plan.hpp"
+#include "src/hw/cluster.hpp"
+#include "src/sim/engine.hpp"
+
+namespace uvs::fault {
+
+class Injector {
+ public:
+  struct Stats {
+    std::uint64_t crashes = 0;
+    std::uint64_t ost_windows = 0;
+    std::uint64_t bb_windows = 0;
+    std::uint64_t timeout_windows = 0;
+  };
+
+  Injector(sim::Engine& engine, Plan plan) : engine_(&engine), plan_(std::move(plan)) {}
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  /// Hardware to degrade for kOstDegrade / kBbStall windows. Optional: a
+  /// plan of crashes and timeouts alone needs no cluster.
+  void set_cluster(hw::Cluster* cluster) { cluster_ = cluster; }
+
+  /// Called with the node index when a kNodeCrash event fires (typically
+  /// UniviStor::FailNode). Optional.
+  void SetCrashHandler(std::function<void(int)> handler) { crash_handler_ = std::move(handler); }
+
+  /// Schedules every plan event on the engine. Call once, before Run();
+  /// events whose time already passed fire immediately. Targets out of
+  /// range for the attached cluster are skipped (counted in Stats as
+  /// nothing), keeping fuzz-shrunk plans runnable on smaller clusters.
+  void Arm();
+
+  /// True while at least one kTransferTimeout window is open. Flush paths
+  /// poll this and retry with backoff instead of transferring.
+  bool TransferFaultActive() const { return active_timeouts_ > 0; }
+
+  const Plan& plan() const { return plan_; }
+  const Stats& stats() const { return stats_; }
+  bool armed() const { return armed_; }
+
+ private:
+  void Apply(const FaultEvent& ev);
+  void EndWindow(const FaultEvent& ev);
+
+  sim::Engine* engine_;
+  Plan plan_;
+  hw::Cluster* cluster_ = nullptr;
+  std::function<void(int)> crash_handler_;
+  Stats stats_;
+  int active_timeouts_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace uvs::fault

@@ -1,0 +1,221 @@
+#include "src/fault/plan.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace uvs::fault {
+namespace {
+
+// %.6g keeps the menu values ("0.0005", "0.25") exact and short, so
+// ToString -> ParsePlan is an identity for every plan the sampler emits.
+std::string Num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = s.find(sep, start);
+    out.push_back(s.substr(start, pos - start));
+    if (pos == std::string::npos) return out;
+    start = pos + 1;
+  }
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+bool ParseInt(const std::string& s, int* out) {
+  double v = 0.0;
+  if (!ParseDouble(s, &v) || v != static_cast<double>(static_cast<int>(v))) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+// "T" or "T+D" after the '@'.
+bool ParseWindow(const std::string& s, Time* at, Time* duration) {
+  const std::size_t plus = s.find('+');
+  if (plus == std::string::npos) {
+    *duration = 0.0;
+    return ParseDouble(s, at);
+  }
+  return ParseDouble(s.substr(0, plus), at) && ParseDouble(s.substr(plus + 1), duration);
+}
+
+// "k1=v1,k2=v2" -> callback per pair; returns false on malformed input.
+template <typename Fn>
+bool ForEachKv(const std::string& s, Fn&& fn) {
+  if (s.empty()) return true;
+  for (const std::string& pair : Split(s, ',')) {
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0) return false;
+    if (!fn(pair.substr(0, eq), pair.substr(eq + 1))) return false;
+  }
+  return true;
+}
+
+Status BadEvent(const std::string& token, const char* why) {
+  return InvalidArgumentError("bad fault event '" + token + "': " + why);
+}
+
+}  // namespace
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kNodeCrash:
+      return "crash";
+    case EventKind::kOstDegrade:
+      return "ost";
+    case EventKind::kBbStall:
+      return "bb";
+    case EventKind::kTransferTimeout:
+      return "timeout";
+  }
+  return "?";
+}
+
+std::string Plan::ToString() const {
+  std::string out;
+  for (const FaultEvent& ev : events) {
+    if (!out.empty()) out += ';';
+    out += EventKindName(ev.kind);
+    out += '@';
+    out += Num(ev.at);
+    if (ev.kind != EventKind::kNodeCrash) out += '+' + Num(ev.duration);
+    switch (ev.kind) {
+      case EventKind::kNodeCrash:
+        out += ":node=" + std::to_string(ev.target);
+        break;
+      case EventKind::kOstDegrade:
+        out += ":ost=" + std::to_string(ev.target) + ",factor=" + Num(ev.factor);
+        break;
+      case EventKind::kBbStall:
+        out += ':';
+        if (ev.target >= 0) out += "bb=" + std::to_string(ev.target) + ',';
+        out += "factor=" + Num(ev.factor);
+        break;
+      case EventKind::kTransferTimeout:
+        break;
+    }
+  }
+  return out;
+}
+
+Result<Plan> ParsePlan(const std::string& spec) {
+  Plan plan;
+  if (spec.empty()) return plan;
+  for (const std::string& token : Split(spec, ';')) {
+    const std::size_t at_pos = token.find('@');
+    if (at_pos == std::string::npos) return BadEvent(token, "missing '@time'");
+    const std::string kind = token.substr(0, at_pos);
+    const std::size_t colon = token.find(':', at_pos);
+    const std::string window =
+        token.substr(at_pos + 1, (colon == std::string::npos ? token.size() : colon) - at_pos - 1);
+    const std::string kvs = colon == std::string::npos ? "" : token.substr(colon + 1);
+
+    FaultEvent ev;
+    if (!ParseWindow(window, &ev.at, &ev.duration)) return BadEvent(token, "bad time window");
+    if (ev.at < 0.0 || ev.duration < 0.0) return BadEvent(token, "negative time");
+
+    if (kind == "crash") {
+      ev.kind = EventKind::kNodeCrash;
+      ev.duration = 0.0;
+      bool have_node = false;
+      if (!ForEachKv(kvs, [&](const std::string& k, const std::string& v) {
+            if (k != "node") return false;
+            have_node = true;
+            return ParseInt(v, &ev.target);
+          }))
+        return BadEvent(token, "expected node=N");
+      if (!have_node || ev.target < 0) return BadEvent(token, "expected node=N");
+    } else if (kind == "ost") {
+      ev.kind = EventKind::kOstDegrade;
+      bool have_ost = false;
+      if (!ForEachKv(kvs, [&](const std::string& k, const std::string& v) {
+            if (k == "ost") {
+              have_ost = true;
+              return ParseInt(v, &ev.target);
+            }
+            if (k == "factor") return ParseDouble(v, &ev.factor);
+            return false;
+          }))
+        return BadEvent(token, "expected ost=K,factor=F");
+      if (!have_ost || ev.target < 0) return BadEvent(token, "expected ost=K");
+    } else if (kind == "bb") {
+      ev.kind = EventKind::kBbStall;
+      if (!ForEachKv(kvs, [&](const std::string& k, const std::string& v) {
+            if (k == "bb") return ParseInt(v, &ev.target);
+            if (k == "factor") return ParseDouble(v, &ev.factor);
+            return false;
+          }))
+        return BadEvent(token, "expected [bb=K,]factor=F");
+    } else if (kind == "timeout") {
+      ev.kind = EventKind::kTransferTimeout;
+      if (!kvs.empty()) return BadEvent(token, "timeout takes no arguments");
+    } else {
+      return BadEvent(token, "unknown event kind");
+    }
+
+    if (ev.kind == EventKind::kOstDegrade || ev.kind == EventKind::kBbStall) {
+      if (!(ev.factor > 0.0) || ev.factor > 1.0) return BadEvent(token, "factor must be in (0,1]");
+      if (ev.duration <= 0.0) return BadEvent(token, "window needs a +duration");
+    }
+    plan.events.push_back(ev);
+  }
+  return plan;
+}
+
+Plan SamplePlan(Rng& rng, int nodes, int osts, int bb_nodes) {
+  // Discrete menus keep plans printable/round-trippable and land the
+  // windows inside the short simulated runs the fuzzer drives.
+  static constexpr double kStarts[] = {0.0005, 0.001, 0.002, 0.005, 0.01, 0.05};
+  static constexpr double kDurations[] = {0.001, 0.005, 0.02, 0.1};
+  static constexpr double kFactors[] = {0.01, 0.05, 0.1, 0.25, 0.5};
+  const auto pick = [&rng](const double* menu, std::size_t n) {
+    return menu[rng.NextBelow(n)];
+  };
+
+  Plan plan;
+  const int count = 1 + static_cast<int>(rng.NextBelow(3));
+  for (int i = 0; i < count; ++i) {
+    FaultEvent ev;
+    ev.at = pick(kStarts, std::size(kStarts));
+    switch (rng.NextBelow(4)) {
+      case 0:
+        ev.kind = EventKind::kNodeCrash;
+        ev.target = static_cast<int>(rng.NextBelow(static_cast<std::uint64_t>(nodes)));
+        break;
+      case 1:
+        ev.kind = EventKind::kOstDegrade;
+        ev.target = static_cast<int>(rng.NextBelow(static_cast<std::uint64_t>(osts)));
+        ev.duration = pick(kDurations, std::size(kDurations));
+        ev.factor = pick(kFactors, std::size(kFactors));
+        break;
+      case 2:
+        ev.kind = EventKind::kBbStall;
+        // 50/50 single node vs. all nodes.
+        ev.target = rng.NextBelow(2) == 0
+                        ? -1
+                        : static_cast<int>(rng.NextBelow(static_cast<std::uint64_t>(bb_nodes)));
+        ev.duration = pick(kDurations, std::size(kDurations));
+        ev.factor = pick(kFactors, std::size(kFactors));
+        break;
+      default:
+        ev.kind = EventKind::kTransferTimeout;
+        ev.duration = pick(kDurations, std::size(kDurations));
+        break;
+    }
+    plan.events.push_back(ev);
+  }
+  return plan;
+}
+
+}  // namespace uvs::fault

@@ -1,0 +1,32 @@
+// Capped exponential backoff with deterministic jitter, shared by every
+// recovery retry loop (DHP flush/drain retries, transfer timeouts).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.hpp"
+#include "src/common/units.hpp"
+
+namespace uvs::fault {
+
+struct BackoffPolicy {
+  int max_retries = 6;
+  /// Delay before the first retry; doubles (by `factor`) each attempt.
+  Time initial = 1_ms;
+  double factor = 2.0;
+  Time max = 0.5_sec;
+  /// Full-jitter fraction: the delay is scaled by a uniform value in
+  /// [1 - jitter/2, 1 + jitter/2] drawn from the caller's seeded stream,
+  /// so retries de-synchronize but stay reproducible.
+  double jitter = 0.1;
+};
+
+/// Delay before retry number `attempt` (0-based) under `policy`.
+inline Time BackoffDelay(const BackoffPolicy& policy, int attempt, Rng& rng) {
+  const Time base = std::min(policy.max, policy.initial * std::pow(policy.factor, attempt));
+  const double scale = 1.0 - policy.jitter / 2.0 + policy.jitter * rng.NextDouble();
+  return base * scale;
+}
+
+}  // namespace uvs::fault

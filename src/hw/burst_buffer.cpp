@@ -16,6 +16,7 @@ BurstBuffer::BurstBuffer(sim::Engine& engine, const BurstBufferParams& params)
         engine, sim::FairSharePool::Options{.name = "bb" + std::to_string(i),
                                             .capacity = params.bw_per_bb_node}));
   }
+  windows_.resize(pools_.size());
 }
 
 Bytes BurstBuffer::total_capacity() const {
@@ -30,6 +31,30 @@ sim::Task BurstBuffer::Access(int bb_node, Bytes bytes, double inflation) {
   co_await engine_->Delay(params_.latency);
   const auto effective = static_cast<Bytes>(std::llround(static_cast<double>(bytes) * inflation));
   co_await pool(bb_node).Transfer(effective);
+}
+
+void BurstBuffer::Degrade(int i, double factor) {
+  assert(factor > 0.0 && factor <= 1.0);
+  DegradedWindow& w = windows_.at(static_cast<std::size_t>(i));
+  if (w.factor < 1.0) degraded_seconds_ += engine_->Now() - w.since;  // overwrite closes the old window
+  if (w.factor >= 1.0) obs::Count("hw.bb.degrade_windows");
+  w = {factor, engine_->Now()};
+  pool(i).SetCapacity(params_.bw_per_bb_node * factor);
+}
+
+void BurstBuffer::Restore(int i) {
+  DegradedWindow& w = windows_.at(static_cast<std::size_t>(i));
+  if (w.factor >= 1.0) return;
+  degraded_seconds_ += engine_->Now() - w.since;
+  w = {};
+  pool(i).SetCapacity(params_.bw_per_bb_node);
+}
+
+Time BurstBuffer::degraded_seconds() const {
+  Time total = degraded_seconds_;
+  for (const DegradedWindow& w : windows_)
+    if (w.factor < 1.0) total += engine_->Now() - w.since;
+  return total;
 }
 
 }  // namespace uvs::hw

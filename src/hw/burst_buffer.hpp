@@ -27,10 +27,26 @@ class BurstBuffer {
   /// overhead (shared-file layouts pay it; log-structured FPP does not).
   sim::Task Access(int bb_node, Bytes bytes, double inflation = 1.0);
 
+  /// Fault window: BB node `i` drains at `factor` (in (0,1]) of nominal
+  /// bandwidth until Restore(). A second Degrade overwrites the factor
+  /// (windows do not nest).
+  void Degrade(int i, double factor);
+  void Restore(int i);
+  bool degraded(int i) const { return windows_.at(static_cast<std::size_t>(i)).factor < 1.0; }
+  /// Total degraded device-seconds so far, open windows included.
+  Time degraded_seconds() const;
+
  private:
+  struct DegradedWindow {
+    double factor = 1.0;
+    Time since = 0.0;
+  };
+
   BurstBufferParams params_;
   sim::Engine* engine_;
   std::vector<std::unique_ptr<sim::FairSharePool>> pools_;
+  std::vector<DegradedWindow> windows_;
+  Time degraded_seconds_ = 0.0;  // closed windows only; see degraded_seconds()
 };
 
 }  // namespace uvs::hw

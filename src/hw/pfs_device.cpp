@@ -16,6 +16,7 @@ PfsDevice::PfsDevice(sim::Engine& engine, const PfsParams& params)
         engine, sim::FairSharePool::Options{.name = "ost" + std::to_string(i),
                                             .capacity = params.bw_per_ost}));
   }
+  windows_.resize(pools_.size());
 }
 
 sim::Task PfsDevice::Access(int ost, Bytes bytes, double inflation) {
@@ -26,6 +27,30 @@ sim::Task PfsDevice::Access(int ost, Bytes bytes, double inflation) {
   co_await engine_->Delay(params_.latency);
   const auto effective = static_cast<Bytes>(std::llround(static_cast<double>(bytes) * inflation));
   co_await this->ost(ost).Transfer(effective);
+}
+
+void PfsDevice::Degrade(int i, double factor) {
+  assert(factor > 0.0 && factor <= 1.0);
+  DegradedWindow& w = windows_.at(static_cast<std::size_t>(i));
+  if (w.factor < 1.0) degraded_seconds_ += engine_->Now() - w.since;  // overwrite closes the old window
+  if (w.factor >= 1.0) obs::Count("hw.ost.degrade_windows");
+  w = {factor, engine_->Now()};
+  ost(i).SetCapacity(params_.bw_per_ost * factor);
+}
+
+void PfsDevice::Restore(int i) {
+  DegradedWindow& w = windows_.at(static_cast<std::size_t>(i));
+  if (w.factor >= 1.0) return;
+  degraded_seconds_ += engine_->Now() - w.since;
+  w = {};
+  ost(i).SetCapacity(params_.bw_per_ost);
+}
+
+Time PfsDevice::degraded_seconds() const {
+  Time total = degraded_seconds_;
+  for (const DegradedWindow& w : windows_)
+    if (w.factor < 1.0) total += engine_->Now() - w.since;
+  return total;
 }
 
 }  // namespace uvs::hw

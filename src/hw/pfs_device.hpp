@@ -26,10 +26,26 @@ class PfsDevice {
   /// overhead for contended shared-file writes.
   sim::Task Access(int ost, Bytes bytes, double inflation = 1.0);
 
+  /// Fault window: OST `i` serves at `factor` (in (0,1]) of its nominal
+  /// bandwidth until Restore(). A second Degrade overwrites the factor
+  /// (windows do not nest).
+  void Degrade(int i, double factor);
+  void Restore(int i);
+  bool degraded(int i) const { return windows_.at(static_cast<std::size_t>(i)).factor < 1.0; }
+  /// Total degraded device-seconds so far, open windows included.
+  Time degraded_seconds() const;
+
  private:
+  struct DegradedWindow {
+    double factor = 1.0;
+    Time since = 0.0;
+  };
+
   PfsParams params_;
   sim::Engine* engine_;
   std::vector<std::unique_ptr<sim::FairSharePool>> pools_;
+  std::vector<DegradedWindow> windows_;
+  Time degraded_seconds_ = 0.0;  // closed windows only; see degraded_seconds()
 };
 
 }  // namespace uvs::hw

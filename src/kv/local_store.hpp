@@ -39,6 +39,17 @@ class LocalStore {
     return out;
   }
 
+  /// Every entry, in key order (used to drain a partition when its server
+  /// is retired).
+  std::vector<std::pair<Key, Value>> Entries() const {
+    std::vector<std::pair<Key, Value>> out;
+    out.reserve(map_.size());
+    for (const auto& [key, value] : map_) out.emplace_back(key, value);
+    return out;
+  }
+
+  void Clear() { map_.clear(); }
+
   /// Greatest entry with key <= `key` (predecessor query — used to find the
   /// metadata record covering a byte offset).
   std::optional<std::pair<Key, Value>> FloorEntry(const Key& key) const {

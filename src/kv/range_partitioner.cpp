@@ -10,13 +10,18 @@ std::vector<int> RangePartitioner::ServersFor(Bytes offset, Bytes len) const {
   const std::uint64_t first = RangeOf(offset);
   const std::uint64_t last = RangeOf(offset + len - 1);
   const std::uint64_t ranges = last - first + 1;
-  if (ranges >= static_cast<std::uint64_t>(servers_)) {
+  if (alive_.empty() && ranges >= static_cast<std::uint64_t>(servers_)) {
     out.resize(static_cast<std::size_t>(servers_));
     for (int s = 0; s < servers_; ++s) out[static_cast<std::size_t>(s)] = s;
     return out;
   }
+  if (ranges >= static_cast<std::uint64_t>(servers_)) {
+    for (int s = 0; s < servers_; ++s)
+      if (alive_[static_cast<std::size_t>(s)] != 0) out.push_back(s);
+    return out;
+  }
   for (std::uint64_t r = first; r <= last; ++r) {
-    const int s = static_cast<int>(r % static_cast<std::uint64_t>(servers_));
+    const int s = Resolve(static_cast<int>(r % static_cast<std::uint64_t>(servers_)));
     if (std::find(out.begin(), out.end(), s) == out.end()) out.push_back(s);
   }
   std::sort(out.begin(), out.end());
@@ -30,13 +35,27 @@ std::vector<std::pair<Bytes, Bytes>> RangePartitioner::PiecesFor(int server, Byt
   const std::uint64_t first = RangeOf(offset);
   const std::uint64_t last = RangeOf(offset + len - 1);
   for (std::uint64_t r = first; r <= last; ++r) {
-    if (static_cast<int>(r % static_cast<std::uint64_t>(servers_)) != server) continue;
+    if (Resolve(static_cast<int>(r % static_cast<std::uint64_t>(servers_))) != server) continue;
     const Bytes range_lo = r * range_size_;
     const Bytes lo = std::max(range_lo, offset);
     const Bytes hi = std::min(range_lo + range_size_, offset + len);
     if (hi > lo) out.emplace_back(lo, hi - lo);
   }
   return out;
+}
+
+bool RangePartitioner::Retire(int server) {
+  assert(server >= 0 && server < servers_);
+  if (alive_.empty()) alive_.assign(static_cast<std::size_t>(servers_), 1);
+  if (alive_[static_cast<std::size_t>(server)] == 0) return true;
+  if (live_servers() <= 1) return false;
+  alive_[static_cast<std::size_t>(server)] = 0;
+  return true;
+}
+
+int RangePartitioner::live_servers() const {
+  if (alive_.empty()) return servers_;
+  return static_cast<int>(std::count(alive_.begin(), alive_.end(), std::uint8_t{1}));
 }
 
 }  // namespace uvs::kv

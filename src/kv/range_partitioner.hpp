@@ -1,6 +1,11 @@
 // Offset-range partitioning of metadata records across servers (§II-B3,
 // Fig. 3): the logical file's offset space is divided into fixed-size
 // ranges, and ranges are assigned to servers round-robin.
+//
+// Servers can be retired (node failure): a retired server's ranges are
+// re-homed onto the next live server in round-robin order (successor
+// scan), so the mapping stays deterministic and every range keeps exactly
+// one live owner without renumbering the survivors.
 #pragma once
 
 #include <cassert>
@@ -22,12 +27,12 @@ class RangePartitioner {
 
   std::uint64_t RangeOf(Bytes offset) const { return offset / range_size_; }
 
-  /// Server owning the range that contains `offset`.
+  /// Live server owning the range that contains `offset`.
   int ServerOf(Bytes offset) const {
-    return static_cast<int>(RangeOf(offset) % static_cast<std::uint64_t>(servers_));
+    return Resolve(static_cast<int>(RangeOf(offset) % static_cast<std::uint64_t>(servers_)));
   }
 
-  /// Distinct servers whose ranges overlap [offset, offset+len), in
+  /// Distinct live servers whose ranges overlap [offset, offset+len), in
   /// ascending server order (used to fan a range query out).
   std::vector<int> ServersFor(Bytes offset, Bytes len) const;
 
@@ -35,9 +40,32 @@ class RangePartitioner {
   /// as the list of (offset, len) pieces (one per owned range touched).
   std::vector<std::pair<Bytes, Bytes>> PiecesFor(int server, Bytes offset, Bytes len) const;
 
+  /// Marks `server` dead; its ranges re-home to the next live server.
+  /// Returns false (and changes nothing) if it is the last live server.
+  /// Retiring an already-dead server is a no-op returning true.
+  bool Retire(int server);
+
+  bool alive(int server) const {
+    return alive_.empty() || alive_[static_cast<std::size_t>(server)] != 0;
+  }
+  int live_servers() const;
+
+  /// The live server a nominal round-robin owner maps to: `primary` if
+  /// alive, else the first live successor (wrapping).
+  int Resolve(int primary) const {
+    if (alive_.empty() || alive_[static_cast<std::size_t>(primary)] != 0) return primary;
+    for (int step = 1; step < servers_; ++step) {
+      const int s = (primary + step) % servers_;
+      if (alive_[static_cast<std::size_t>(s)] != 0) return s;
+    }
+    return primary;  // unreachable: Retire refuses to kill the last server
+  }
+
  private:
   int servers_;
   Bytes range_size_;
+  // Empty until the first Retire (all alive); then one flag per server.
+  std::vector<std::uint8_t> alive_;
 };
 
 }  // namespace uvs::kv

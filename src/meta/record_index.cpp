@@ -40,4 +40,13 @@ Bytes RecordIndex::CoveredBytes(storage::FileId fid, Bytes offset, Bytes len) co
   return covered;
 }
 
+std::vector<MetadataRecord> RecordIndex::All() const {
+  std::vector<MetadataRecord> out;
+  out.reserve(store_.size());
+  for (auto& [key, rec] : store_.Entries()) out.push_back(rec);
+  return out;
+}
+
+void RecordIndex::Clear() { store_.Clear(); }
+
 }  // namespace uvs::meta

@@ -26,6 +26,11 @@ class RecordIndex {
   /// Total bytes of `fid` covered by records in [offset, offset+len).
   Bytes CoveredBytes(storage::FileId fid, Bytes offset, Bytes len) const;
 
+  /// Every record in (fid, offset) order — drained during repartitioning.
+  std::vector<MetadataRecord> All() const;
+
+  void Clear();
+
  private:
   struct Key {
     storage::FileId fid;

@@ -55,6 +55,23 @@ std::vector<MetadataRecord> DistributedMetadataService::QueryPartition(
   return partitions_.at(static_cast<std::size_t>(server)).Query(fid, offset, len);
 }
 
+std::size_t DistributedMetadataService::RetireServer(int server) {
+  if (!partitioner_.alive(server)) return 0;
+  if (!partitioner_.Retire(server)) return 0;
+  RecordIndex& dead = partitions_.at(static_cast<std::size_t>(server));
+  const std::vector<MetadataRecord> orphans = dead.All();
+  dead.Clear();
+  for (const MetadataRecord& rec : orphans) {
+    // Records were already split at range boundaries on insert, so each
+    // one lands whole on its new owner.
+    const int heir = partitioner_.ServerOf(rec.offset);
+    partitions_[static_cast<std::size_t>(heir)].Insert(rec);
+  }
+  obs::Count("meta.retire.servers");
+  obs::Count("meta.retire.records_moved", orphans.size());
+  return orphans.size();
+}
+
 std::size_t DistributedMetadataService::TotalRecords() const {
   std::size_t n = 0;
   for (const auto& part : partitions_) n += part.size();

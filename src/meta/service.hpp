@@ -40,6 +40,13 @@ class DistributedMetadataService {
   }
   std::size_t TotalRecords() const;
 
+  /// Failure recovery: retires `server` in the partitioner and re-homes
+  /// its records onto the surviving owners. Returns the number of records
+  /// moved; 0 (and no state change) if it was the last live server or
+  /// already retired.
+  std::size_t RetireServer(int server);
+  bool ServerAlive(int server) const { return partitioner_.alive(server); }
+
  private:
   kv::RangePartitioner partitioner_;
   std::vector<RecordIndex> partitions_;

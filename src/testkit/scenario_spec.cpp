@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/common/rng.hpp"
+#include "src/fault/plan.hpp"
 
 namespace uvs::testkit {
 
@@ -34,6 +35,7 @@ const char* FailureModeName(FailureMode mode) {
     case FailureMode::kNone: return "none";
     case FailureMode::kAfterWrites: return "after_writes";
     case FailureMode::kDuringFlush: return "during_flush";
+    case FailureMode::kPlan: return "plan";
   }
   return "?";
 }
@@ -100,6 +102,19 @@ ScenarioSpec SampleScenario(std::uint64_t seed) {
     spec.failure = Chance(rng, 0.5) ? FailureMode::kAfterWrites : FailureMode::kDuringFlush;
     spec.failed_node = static_cast<int>(rng.NextBelow(static_cast<std::uint64_t>(spec.Nodes())));
   }
+
+  // Seed-timed fault plans and active recovery (fault::). New draws sit at
+  // the very end so every earlier field keeps its historical value for a
+  // given seed (repro strings from old corpora stay valid).
+  if (spec.system == SystemKind::kUniviStor) {
+    if (failure_eligible && spec.failure == FailureMode::kNone && Chance(rng, 0.25)) {
+      spec.failure = FailureMode::kPlan;
+      Rng plan_rng = rng.Fork();
+      spec.fault_plan =
+          fault::SamplePlan(plan_rng, spec.Nodes(), spec.osts, spec.bb_nodes).ToString();
+    }
+    spec.recovery = Chance(rng, 0.30);
+  }
   return spec;
 }
 
@@ -116,7 +131,9 @@ std::string ScenarioSpec::ToString() const {
       << " chunk_mb=" << chunk_size / 1_MiB << " md_mb=" << metadata_range_size / 1_MiB
       << " workload=" << WorkloadKindName(workload) << " mb=" << bytes_per_rank / 1_MiB
       << " steps=" << steps << " compute=" << compute_time
-      << " fail=" << FailureModeName(failure) << " fail_node=" << failed_node;
+      << " fail=" << FailureModeName(failure) << " fail_node=" << failed_node
+      << " recov=" << (recovery ? 1 : 0);
+  if (!fault_plan.empty()) out << " fplan=" << fault_plan;
   return out.str();
 }
 
@@ -174,7 +191,12 @@ Result<ScenarioSpec> ParseScenarioSpec(const std::string& text) {
       if (value == "none") spec.failure = FailureMode::kNone;
       else if (value == "after_writes") spec.failure = FailureMode::kAfterWrites;
       else if (value == "during_flush") spec.failure = FailureMode::kDuringFlush;
+      else if (value == "plan") spec.failure = FailureMode::kPlan;
       else return InvalidArgumentError("unknown failure mode '" + value + "'");
+      continue;
+    }
+    if (key == "fplan") {
+      spec.fault_plan = value;
       continue;
     }
     if (key == "compute") {
@@ -215,6 +237,7 @@ Result<ScenarioSpec> ParseScenarioSpec(const std::string& text) {
     else if (key == "mb") spec.bytes_per_rank = n * 1_MiB;
     else if (key == "steps") spec.steps = static_cast<int>(n);
     else if (key == "fail_node") spec.failed_node = static_cast<int>(n);
+    else if (key == "recov") spec.recovery = n != 0;
     else return InvalidArgumentError("unknown key '" + key + "'");
   }
 
@@ -225,6 +248,12 @@ Result<ScenarioSpec> ParseScenarioSpec(const std::string& text) {
     return InvalidArgumentError("layer must be 0 (DRAM), 2 (BB), or 3 (PFS)");
   if (spec.failed_node < 0 || spec.failed_node >= spec.Nodes())
     return InvalidArgumentError("fail_node out of range");
+  if ((spec.failure == FailureMode::kPlan) != !spec.fault_plan.empty())
+    return InvalidArgumentError("fplan must be set exactly when fail=plan");
+  if (!spec.fault_plan.empty()) {
+    auto plan = fault::ParsePlan(spec.fault_plan);
+    if (!plan.ok()) return plan.status();
+  }
   return spec;
 }
 

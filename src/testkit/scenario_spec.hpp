@@ -18,7 +18,7 @@ namespace uvs::testkit {
 
 enum class SystemKind : std::uint8_t { kUniviStor = 0, kLustre, kDataElevator };
 enum class WorkloadKind : std::uint8_t { kMicro = 0, kMicroReadBack, kVpic, kWorkflow };
-enum class FailureMode : std::uint8_t { kNone = 0, kAfterWrites, kDuringFlush };
+enum class FailureMode : std::uint8_t { kNone = 0, kAfterWrites, kDuringFlush, kPlan };
 
 const char* SystemKindName(SystemKind kind);
 const char* WorkloadKindName(WorkloadKind kind);
@@ -61,6 +61,11 @@ struct ScenarioSpec {
   // --- Failure injection (§V resilience path). ---
   FailureMode failure = FailureMode::kNone;
   int failed_node = 0;
+  /// fault::Plan spec string (docs/FAULTS.md grammar) driving a seed-timed
+  /// fault::Injector; set exactly when failure == kPlan.
+  std::string fault_plan;
+  /// Enables univistor::Config::recovery (retries, re-striping, safe mode).
+  bool recovery = false;
 
   /// Number of compute nodes this spec's cluster has.
   int Nodes() const { return (procs + procs_per_node - 1) / procs_per_node; }

@@ -18,6 +18,9 @@ void Normalize(ScenarioSpec& spec) {
   } else {
     spec.failed_node = std::clamp(spec.failed_node, 0, spec.Nodes() - 1);
   }
+  if (spec.failure != FailureMode::kPlan) spec.fault_plan.clear();
+  if (spec.failure == FailureMode::kPlan && spec.fault_plan.empty())
+    spec.failure = FailureMode::kNone;
 }
 
 using Transform = void (*)(ScenarioSpec&);
@@ -33,7 +36,16 @@ constexpr Transform kTransforms[] = {
       else if (s.workload == WorkloadKind::kVpic) s.workload = WorkloadKind::kMicroReadBack;
       else if (s.workload == WorkloadKind::kMicroReadBack) s.workload = WorkloadKind::kMicro;
     },
+    [](ScenarioSpec& s) {
+      // Drop the last fault-plan event; an emptied plan becomes kNone via
+      // Normalize. Plans print events ';'-joined, so this is pure string
+      // surgery — no reparse needed.
+      const std::size_t semi = s.fault_plan.rfind(';');
+      if (semi == std::string::npos) s.fault_plan.clear();
+      else s.fault_plan.resize(semi);
+    },
     [](ScenarioSpec& s) { s.failure = FailureMode::kNone; },
+    [](ScenarioSpec& s) { s.recovery = false; },
     [](ScenarioSpec& s) { s.compute_time = 0.0; },
     [](ScenarioSpec& s) { s.has_ssd = false; },
     [](ScenarioSpec& s) { s.bb_nodes = 2; },

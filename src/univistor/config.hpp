@@ -63,6 +63,27 @@ struct Config {
   /// repeated analysis passes hit locally.
   bool promote_hot_reads = false;
   Bytes read_cache_capacity_per_node = 4_GiB;
+
+  /// Active failure recovery (see docs/FAULTS.md). Off, node failure is
+  /// pure loss (legacy FailNode semantics); on, the system retries flushes
+  /// through fault windows, re-stripes replica-covered extents of a dead
+  /// node to the PFS, repartitions metadata off dead servers, and can fall
+  /// back to write-through "safe mode" under replication lag.
+  struct RecoveryConfig {
+    bool enabled = false;
+    /// Flush transfer retries while a timeout fault window is open.
+    int max_transfer_retries = 6;
+    Time retry_initial_backoff = 1_ms;
+    double retry_backoff_factor = 2.0;
+    Time retry_max_backoff = 0.5_sec;
+    /// Full-jitter fraction applied to each backoff delay.
+    double retry_jitter = 0.1;
+    /// Write-through safe mode: when more than this many bytes of dirty
+    /// volatile data await replication, writes block on their replica
+    /// copy instead of acknowledging early. 0 disables safe mode.
+    Bytes safe_mode_dirty_limit = 0;
+  };
+  RecoveryConfig recovery;
 };
 
 }  // namespace uvs::univistor

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <functional>
 
+#include "src/fault/injector.hpp"
+#include "src/fault/retry.hpp"
 #include "src/obs/recorder.hpp"
 #include "src/obs/sampler.hpp"
 #include "src/sim/combinators.hpp"
@@ -63,6 +65,10 @@ UniviStor::UniviStor(vmpi::Runtime& runtime, storage::Pfs& pfs,
   md_queue_.reserve(static_cast<std::size_t>(total_servers_));
   for (int s = 0; s < total_servers_; ++s)
     md_queue_.push_back(std::make_unique<sim::Mutex>(cluster.engine()));
+
+  // Dedicated stream for retry-backoff jitter so recovery draws never
+  // perturb the cluster's placement RNG.
+  retry_rng_ = Rng(cluster.params().seed ^ 0xfa017b0ffull);
 }
 
 UniviStor::~UniviStor() = default;
@@ -274,30 +280,187 @@ sim::Task UniviStor::Write(vmpi::ProgramId program, int rank, storage::FileId fi
   for (int server : touched) co_await MetadataRpc(node, server, 1);
 
   // Resilience extension: replicate volatile-layer data to the BB in the
-  // background (the client does not wait for it).
+  // background (the client does not wait for it) — unless safe mode is
+  // active, in which case the ack waits for the replica copy.
   if (config_.replicate_volatile) {
     for (const auto& placement : placements) {
       if (placement.layer == hw::Layer::kDram ||
           placement.layer == hw::Layer::kNodeLocalSsd) {
-        runtime_->engine().Spawn(ReplicateTask(node, producer, placement.extent.len),
-                                 "replicate");
+        replication_backlog_ += placement.extent.len;
+        const bool safe_mode = config_.recovery.enabled &&
+                               config_.recovery.safe_mode_dirty_limit > 0 &&
+                               replication_backlog_ > config_.recovery.safe_mode_dirty_limit;
+        if (safe_mode) {
+          safe_mode_bytes_ += placement.extent.len;
+          obs::Count("fault.safe_mode_bytes", placement.extent.len);
+          co_await ReplicateTask(node, fid, producer, placement.layer, placement.extent.addr,
+                                 placement.extent.len);
+        } else {
+          runtime_->engine().Spawn(ReplicateTask(node, fid, producer, placement.layer,
+                                                 placement.extent.addr, placement.extent.len),
+                                   "replicate");
+        }
       }
     }
   }
 }
 
-sim::Task UniviStor::ReplicateTask(int node, ProducerId producer, Bytes len) {
+sim::Task UniviStor::ReplicateTask(int node, storage::FileId fid, ProducerId producer,
+                                   hw::Layer layer, Bytes physical, Bytes len) {
   hw::Cluster& cluster = runtime_->cluster();
   std::vector<sim::Task> legs;
   legs.push_back(PoolLeg(cluster.node(node).nic_tx(), len));
   legs.push_back(BbLeg(cluster.burst_buffer(), BbNodeOf(producer), len));
   co_await sim::WhenAll(cluster.engine(), std::move(legs));
   replicated_bytes_ += len;
+  replication_backlog_ -= std::min(replication_backlog_, len);
+  if (NodeFailed(node)) co_return;  // too late: coverage froze at crash time
+  ProducerRecovery& rec = Info(fid).recovery[producer];
+  const auto li = static_cast<std::size_t>(layer);
+  rec.pending_replicas[li].emplace(physical, len);
+  for (auto it = rec.pending_replicas[li].begin();
+       it != rec.pending_replicas[li].end() && it->first <= rec.replicated[li];
+       it = rec.pending_replicas[li].erase(it)) {
+    rec.replicated[li] = std::max(rec.replicated[li], it->first + it->second);
+  }
 }
 
-void UniviStor::FailNode(int node) { failed_nodes_.insert(node); }
+void UniviStor::FailNode(int node) {
+  if (!failed_nodes_.insert(node).second) return;
+  obs::Count("fault.node_failures");
+  if (node >= 0 && node < static_cast<int>(node_dram_.size())) {
+    node_dram_[static_cast<std::size_t>(node)]->MarkLost();
+    if (node_ssd_[static_cast<std::size_t>(node)] != nullptr)
+      node_ssd_[static_cast<std::size_t>(node)]->MarkLost();
+  }
+  if (!config_.recovery.enabled) return;
+
+  // Metadata range-repartitioning: retire every metadata server hosted on
+  // the dead node; their ranges re-home to live successors.
+  for (int s = node * config_.servers_per_node;
+       s < (node + 1) * config_.servers_per_node && s >= 0 && s < total_servers_; ++s) {
+    const std::size_t moved = metadata_->RetireServer(s);
+    repartitioned_records_ += moved;
+    obs::Count("fault.repartitioned_records", moved);
+  }
+  runtime_->engine().Spawn(RecoverNodeTask(node), "recover:node" + std::to_string(node));
+}
 
 bool UniviStor::NodeFailed(int node) const { return failed_nodes_.contains(node); }
+
+bool UniviStor::ReplicaCovers(storage::FileId fid, ProducerId producer, hw::Layer layer,
+                              Bytes physical, Bytes len) const {
+  const FileInfo* info = FindInfo(fid);
+  if (info == nullptr) return false;
+  const auto it = info->recovery.find(producer);
+  if (it == info->recovery.end()) return false;
+  return physical + len <= it->second.replicated[static_cast<std::size_t>(layer)];
+}
+
+bool UniviStor::DurableCovers(storage::FileId fid, ProducerId producer, hw::Layer layer,
+                              Bytes physical, Bytes len) const {
+  const FileInfo* info = FindInfo(fid);
+  if (info == nullptr) return false;
+  const auto it = info->recovery.find(producer);
+  if (it == info->recovery.end()) return false;
+  return physical + len <= it->second.durable[static_cast<std::size_t>(layer)];
+}
+
+Bytes UniviStor::AccountLost(storage::FileId fid, ProducerId producer, Bytes va, Bytes len) {
+  std::map<Bytes, Bytes>& ivals = lost_extents_[{fid, producer}];  // va -> end
+  Bytes lo = va;
+  Bytes hi = va + len;
+  Bytes existing = 0;
+  auto it = ivals.lower_bound(lo);
+  if (it != ivals.begin() && std::prev(it)->second >= lo) --it;
+  while (it != ivals.end() && it->first <= hi) {
+    lo = std::min(lo, it->first);
+    hi = std::max(hi, it->second);
+    existing += it->second - it->first;
+    it = ivals.erase(it);
+  }
+  ivals[lo] = hi;
+  return (hi - lo) - existing;
+}
+
+sim::Task UniviStor::RecoverNodeTask(int node) {
+  hw::Cluster& cluster = runtime_->cluster();
+  int home = 0;  // surviving node that drives the re-stripe transfers
+  for (int n = 0; n < cluster.node_count(); ++n) {
+    if (!NodeFailed(n)) {
+      home = n;
+      break;
+    }
+  }
+
+  // Snapshot the work synchronously at crash time: replica-covered
+  // volatile bytes of the dead node not yet durable on the PFS. (Coverage
+  // is frozen for failed producers, so this set cannot grow later.)
+  struct Item {
+    FileInfo* info;
+    ProducerId producer;
+    hw::Layer layer;
+    Bytes recoverable;
+    Bytes todo;
+  };
+  std::vector<Item> work;
+  for (auto& file : files_) {
+    for (auto& [producer, chain] : file->chains) {
+      const int producer_node =
+          runtime_->Rank(ProducerProgram(producer), ProducerRank(producer)).node;
+      if (producer_node != node) continue;
+      auto rec_it = file->recovery.find(producer);
+      if (rec_it == file->recovery.end()) continue;
+      for (hw::Layer layer : {hw::Layer::kDram, hw::Layer::kNodeLocalSsd}) {
+        const auto li = static_cast<std::size_t>(layer);
+        const Bytes recoverable =
+            std::min(rec_it->second.replicated[li], chain->PlacedOn(layer));
+        if (recoverable > rec_it->second.durable[li])
+          work.push_back({file.get(), producer, layer, recoverable,
+                          recoverable - rec_it->second.durable[li]});
+      }
+    }
+  }
+
+  for (const Item& item : work) {
+    PfsDestination(*item.info);
+    // The nearest surviving copy is the BB replica; pull it through the
+    // home node's NIC and stripe it adaptively as one writer.
+    const placement::StripePlan plan = placement::PlanAdaptiveStriping(
+        item.todo, /*servers=*/1, pfs_->ost_count(), config_.striping);
+    std::vector<sim::Task> legs;
+    legs.push_back(BbLeg(cluster.burst_buffer(), BbNodeOf(item.producer), item.todo));
+    legs.push_back(PoolLeg(cluster.node(home).nic_rx(), item.todo));
+    legs.push_back(pfs_->Write(item.info->pfs_file, 0, item.todo, home,
+                               {.layout = storage::AccessLayout::kAlignedRanges,
+                                .target_osts = plan.TargetsFor(0),
+                                .coordinated = true}));
+    co_await sim::WhenAll(cluster.engine(), std::move(legs));
+    ProducerRecovery& rec = item.info->recovery[item.producer];
+    const auto li = static_cast<std::size_t>(item.layer);
+    rec.durable[li] = std::max(rec.durable[li], item.recoverable);
+    restriped_bytes_ += item.todo;
+    obs::Count("fault.restriped_bytes", item.todo);
+  }
+}
+
+sim::Task UniviStor::AwaitTransferClearance() {
+  const fault::BackoffPolicy policy{.max_retries = config_.recovery.max_transfer_retries,
+                                    .initial = config_.recovery.retry_initial_backoff,
+                                    .factor = config_.recovery.retry_backoff_factor,
+                                    .max = config_.recovery.retry_max_backoff,
+                                    .jitter = config_.recovery.retry_jitter};
+  int attempt = 0;
+  while (faults_->TransferFaultActive() && attempt < policy.max_retries) {
+    const Time delay = fault::BackoffDelay(policy, attempt, retry_rng_);
+    ++attempt;
+    ++flush_retries_;
+    backoff_seconds_ += delay;
+    obs::Count("fault.flush_retries");
+    obs::Observe("fault.backoff_seconds", delay);
+    co_await runtime_->engine().Delay(delay);
+  }
+}
 
 void UniviStor::Promote(int node, const meta::MetadataRecord& record) {
   storage::LayerStore& cache = *read_cache_[static_cast<std::size_t>(node)];
@@ -337,21 +500,30 @@ sim::Task UniviStor::ReadRecord(vmpi::ProgramId program, int rank, FileInfo& inf
   const bool la = config_.location_aware_reads;
 
   // Resilience: volatile data on a failed node is served from the BB
-  // replica, or from the flushed PFS copy, or counted as lost.
+  // replica (if the replica actually covers the extent), or from the PFS
+  // copy (if a flush or re-stripe covered it), or counted as lost. Both
+  // coverage checks matter: a PFS destination created by an unrelated
+  // spill does not contain unflushed DRAM extents.
   if ((decoded->layer == hw::Layer::kDram || decoded->layer == hw::Layer::kNodeLocalSsd) &&
       NodeFailed(producer_node)) {
-    if (config_.replicate_volatile) {
+    if (config_.replicate_volatile &&
+        ReplicaCovers(record.fid, record.producer, decoded->layer, decoded->physical, len)) {
       std::vector<sim::Task> replica_legs;
       replica_legs.push_back(BbLeg(cluster.burst_buffer(), BbNodeOf(record.producer), len));
       replica_legs.push_back(PoolLeg(cluster.node(reader_node).nic_rx(), len));
       replica_legs.push_back(PoolLeg(runtime_->RankCpu(program, rank), len));
       co_await sim::WhenAll(cluster.engine(), std::move(replica_legs));
-    } else if (info.pfs_file >= 0) {
+    } else if (info.pfs_file >= 0 && DurableCovers(record.fid, record.producer, decoded->layer,
+                                                   decoded->physical, len)) {
       co_await pfs_->Read(info.pfs_file, record.offset, len, reader_node,
                           {.layout = storage::AccessLayout::kAlignedRanges});
     } else {
-      ++lost_reads_;
-      lost_bytes_ += len;
+      const Bytes newly_lost = AccountLost(record.fid, record.producer, record.va, len);
+      if (newly_lost > 0) {
+        ++lost_reads_;
+        lost_bytes_ += newly_lost;
+        obs::Count("fault.lost_bytes", newly_lost);
+      }
     }
     co_return;
   }
@@ -493,6 +665,10 @@ sim::Task UniviStor::ServerFlushShare(FileInfo& info, int server_idx, Bytes rang
   const int node = ServerNode(server_idx);
   runtime_->SetRankBusy(server_program_, server_idx, true);
 
+  // Transient transfer-timeout fault windows: back off and retry before
+  // moving data. Guarded so unfaulted runs add no engine events.
+  if (faults_ != nullptr && config_.recovery.enabled) co_await AwaitTransferClearance();
+
   const Bytes total = dram_bytes + bb_bytes;
   obs::SpanTimer span(cluster.engine(), "univistor", "flush.share",
                       obs::Track::Rank(node, server_program_, server_idx), total);
@@ -523,11 +699,17 @@ sim::Task UniviStor::FlushTask(storage::FileId fid) {
 
   co_await workflow_->AcquireFlush(fid);
 
-  // Bytes still cached above the PFS.
+  // Bytes still cached above the PFS. The per-producer snapshot feeds the
+  // durability watermarks once the flush lands: everything cached at flush
+  // start is on the PFS when the flush completes.
   Bytes dram_total = 0, bb_total = 0;
+  std::map<ProducerId, std::array<Bytes, hw::kLayerCount>> snapshot;
   for (const auto& [producer, chain] : info.chains) {
     dram_total += chain->PlacedOn(hw::Layer::kDram) + chain->PlacedOn(hw::Layer::kNodeLocalSsd);
     bb_total += chain->PlacedOn(hw::Layer::kSharedBurstBuffer);
+    auto& snap = snapshot[producer];
+    for (int li = 0; li < hw::kLayerCount; ++li)
+      snap[static_cast<std::size_t>(li)] = chain->PlacedOn(static_cast<hw::Layer>(li));
   }
   // Only bytes cached since the previous flush need to move (cached data
   // is never evicted, so the watermark is monotonic).
@@ -569,6 +751,15 @@ sim::Task UniviStor::FlushTask(storage::FileId fid) {
     range_offset += share;
   }
   co_await sim::WhenAll(cluster.engine(), std::move(shares));
+
+  // The flush landed: everything cached at flush start is now readable
+  // from the PFS destination, including chains of a node that died while
+  // the flush was in flight.
+  for (const auto& [producer, snap] : snapshot) {
+    ProducerRecovery& rec = info.recovery[producer];
+    for (std::size_t li = 0; li < static_cast<std::size_t>(hw::kLayerCount); ++li)
+      rec.durable[li] = std::max(rec.durable[li], snap[li]);
+  }
 
   if (config_.interference_aware_flush) runtime_->EndServerFlushAllNodes();
   co_await workflow_->ReleaseFlush(fid);

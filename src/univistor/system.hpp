@@ -8,13 +8,16 @@
 // the paper's MPI_Init/MPI_Finalize hooks.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/common/rng.hpp"
 #include "src/meta/record_index.hpp"
 #include "src/meta/service.hpp"
 #include "src/placement/dhp.hpp"
@@ -27,6 +30,10 @@
 
 namespace uvs::obs {
 class Sampler;
+}
+
+namespace uvs::fault {
+class Injector;
 }
 
 namespace uvs::univistor {
@@ -120,15 +127,46 @@ class UniviStor {
   // --- Resilience extension (§V future work). ---
   /// Marks a compute node's volatile layers (DRAM/SSD) as lost. Reads of
   /// affected segments fall back to the BB replica (when
-  /// config.replicate_volatile is on) or to the flushed PFS copy.
+  /// config.replicate_volatile is on and the replica covers the extent) or
+  /// to the flushed PFS copy (when it covers the extent). With
+  /// config.recovery.enabled the failure also retires the node's metadata
+  /// servers (range-repartitioning) and re-stripes replica-covered
+  /// volatile extents to the PFS.
   void FailNode(int node);
   bool NodeFailed(int node) const;
   /// Bytes replicated to the BB so far.
   Bytes replicated_bytes() const { return replicated_bytes_; }
   /// Reads that found neither a replica nor a PFS copy after a failure.
   int lost_reads() const { return lost_reads_; }
-  /// Exact byte count of those lost reads (for conservation accounting).
+  /// Exact byte count of those lost reads, deduplicated per extent (for
+  /// conservation accounting).
   Bytes lost_bytes() const { return lost_bytes_; }
+
+  // --- Fault-injection & recovery (fault:: subsystem, docs/FAULTS.md). ---
+  /// Attaches a fault injector; recovery-enabled flush paths consult it
+  /// for open transfer-timeout windows. Pass nullptr to detach. The
+  /// injector must outlive the attachment.
+  void AttachFaults(const fault::Injector* injector) { faults_ = injector; }
+  /// True if [physical, physical+len) of (fid, producer) on `layer` has
+  /// landed in the BB replica (contiguous-prefix watermark; log physical
+  /// addresses are monotonic so a watermark describes coverage exactly).
+  bool ReplicaCovers(storage::FileId fid, ProducerId producer, hw::Layer layer, Bytes physical,
+                     Bytes len) const;
+  /// Same question for the flushed/re-striped PFS copy.
+  bool DurableCovers(storage::FileId fid, ProducerId producer, hw::Layer layer, Bytes physical,
+                     Bytes len) const;
+  /// Bytes of dead-node volatile extents re-striped to the PFS.
+  Bytes restriped_bytes() const { return restriped_bytes_; }
+  /// Flush transfer retries taken during timeout fault windows.
+  int flush_retries() const { return flush_retries_; }
+  /// Total simulated seconds spent in retry backoff.
+  Time backoff_seconds() const { return backoff_seconds_; }
+  /// Bytes written through synchronously because safe mode was active.
+  Bytes safe_mode_bytes() const { return safe_mode_bytes_; }
+  /// Metadata records re-homed off retired servers.
+  std::size_t repartitioned_records() const { return repartitioned_records_; }
+  /// Volatile bytes whose background replica copy has not landed yet.
+  Bytes replication_backlog() const { return replication_backlog_; }
 
   // --- Proactive placement extension (§V future work). ---
   /// Bytes promoted into node-local read caches so far.
@@ -136,6 +174,17 @@ class UniviStor {
   int read_cache_hits() const { return read_cache_hits_; }
 
  private:
+  /// Per-(file, producer) durability bookkeeping for the resilience
+  /// paths. Indexed by hw::Layer; only the volatile layers (DRAM, node
+  /// SSD) ever advance. Replica completions can land out of order, so
+  /// finished extents park in `pending_replicas` until the contiguous
+  /// prefix catches up and the watermark can advance.
+  struct ProducerRecovery {
+    std::array<Bytes, hw::kLayerCount> replicated{};  // BB-replica coverage watermark
+    std::array<Bytes, hw::kLayerCount> durable{};     // PFS-copy coverage watermark
+    std::array<std::map<Bytes, Bytes>, hw::kLayerCount> pending_replicas;  // start -> len
+  };
+
   struct FileInfo {
     std::string name;
     Bytes logical_size = 0;
@@ -145,6 +194,7 @@ class UniviStor {
     sim::Process flush_process;
     bool flush_in_flight = false;
     Bytes flushed_watermark = 0;  // cached bytes already persisted
+    std::map<ProducerId, ProducerRecovery> recovery;
   };
 
   FileInfo& Info(storage::FileId fid);
@@ -179,7 +229,24 @@ class UniviStor {
   int BbNodeOf(ProducerId producer) const;
 
   /// Async BB replication of a volatile-layer placement (resilience).
-  sim::Task ReplicateTask(int node, ProducerId producer, Bytes len);
+  /// Completion advances the (fid, producer, layer) replica watermark —
+  /// unless the node already failed, in which case the copy arrived too
+  /// late to save anything and coverage stays frozen at crash time.
+  sim::Task ReplicateTask(int node, storage::FileId fid, ProducerId producer, hw::Layer layer,
+                          Bytes physical, Bytes len);
+
+  /// Re-stripes the dead node's replica-covered volatile extents from the
+  /// BB onto the PFS (spawned by FailNode when recovery is enabled).
+  sim::Task RecoverNodeTask(int node);
+
+  /// Retry/backoff prelude for flush transfers while a transfer-timeout
+  /// fault window is open. Only called when recovery is enabled and an
+  /// injector is attached.
+  sim::Task AwaitTransferClearance();
+
+  /// Interval-union lost-byte accounting: returns the newly lost bytes of
+  /// [va, va+len) for (fid, producer) not counted before.
+  Bytes AccountLost(storage::FileId fid, ProducerId producer, Bytes va, Bytes len);
 
   /// Inserts the just-read record into `node`'s read cache (promotion).
   void Promote(int node, const meta::MetadataRecord& record);
@@ -215,6 +282,18 @@ class UniviStor {
   Bytes replicated_bytes_ = 0;
   int lost_reads_ = 0;
   Bytes lost_bytes_ = 0;
+  // Union of already-counted lost VA ranges per (file, producer): va -> end.
+  std::map<std::pair<storage::FileId, ProducerId>, std::map<Bytes, Bytes>> lost_extents_;
+
+  // Fault-injection & recovery.
+  const fault::Injector* faults_ = nullptr;
+  Rng retry_rng_;
+  Bytes replication_backlog_ = 0;
+  Bytes restriped_bytes_ = 0;
+  int flush_retries_ = 0;
+  Time backoff_seconds_ = 0.0;
+  Bytes safe_mode_bytes_ = 0;
+  std::size_t repartitioned_records_ = 0;
   std::vector<std::unique_ptr<storage::LayerStore>> read_cache_;  // per node
   std::vector<meta::RecordIndex> read_cache_index_;               // per node
   Bytes promoted_bytes_ = 0;

@@ -92,10 +92,13 @@ TEST(Resilience, UnreplicatedDataIsLostOnFailure) {
 }
 
 // Derives the exact loss expectation the way an auditor would: every
-// metadata record whose bytes sit on a volatile layer of a failed node,
-// with no BB replica and no PFS copy, must be counted in lost_bytes().
+// metadata record whose bytes sit on a volatile layer of a failed node and
+// whose physical extent is covered by neither the BB-replica watermark nor
+// the PFS durability watermark must be counted in lost_bytes(). Note this
+// is per extent, not per file: a file can have a PFS copy (e.g. from a
+// spill) and still lose the extents the copy never received.
 Bytes ExpectedLoss(Fixture& f, storage::FileId fid) {
-  if (f.system.HasPfsCopy(fid)) return 0;
+  const bool has_pfs = f.system.HasPfsCopy(fid);
   Bytes expected = 0;
   for (const auto& record :
        f.system.metadata().Query(fid, 0, f.system.LogicalSize(fid))) {
@@ -108,7 +111,15 @@ Bytes ExpectedLoss(Fixture& f, storage::FileId fid) {
     const int node = f.scenario.runtime()
                          .Rank(ProducerProgram(record.producer), ProducerRank(record.producer))
                          .node;
-    if (f.system.NodeFailed(node)) expected += record.len;
+    if (!f.system.NodeFailed(node)) continue;
+    if (f.system.config().replicate_volatile &&
+        f.system.ReplicaCovers(fid, record.producer, decoded->layer, decoded->physical,
+                               record.len))
+      continue;
+    if (has_pfs && f.system.DurableCovers(fid, record.producer, decoded->layer,
+                                          decoded->physical, record.len))
+      continue;
+    expected += record.len;
   }
   return expected;
 }
@@ -172,6 +183,37 @@ TEST(Resilience, FailureBeforeTheFlushStartsLosesTheVolatileBytes) {
               MicroParams{.bytes_per_proc = 16_MiB, .read = true, .file_name = "pre.h5"});
   EXPECT_EQ(f.system.lost_bytes(), lost_after_first_pass)
       << "with a PFS copy present, re-reads are served, not lost again";
+}
+
+TEST(Resilience, SpilledAndCachedExtentsAccountIndependently) {
+  // Regression: when a rank's data is part spilled to the PFS (tiny DRAM)
+  // and part DRAM-cached, the mere existence of the spill's PFS file used
+  // to make every failed-node read look servable, under-reporting
+  // lost_bytes(). Coverage is per extent: the spilled tail survives, the
+  // cached head does not.
+  ScenarioOptions options = SmallOptions();
+  // Per-rank DRAM log = 32 MiB / 4 sharers = one 8 MiB chunk, so each rank
+  // caches half its 16 MiB and spills the rest; the BB's per-rank share is
+  // below one chunk, so the spill lands on the PFS.
+  options.cluster_params.node.dram_cache_capacity = 32_MiB;
+  options.cluster_params.bb.capacity_per_bb_node = 8_MiB;
+  Fixture f(BaseConfig(), options);  // no replication, no flush on close
+  RunHdfMicro(f.scenario, f.app, f.driver,
+              MicroParams{.bytes_per_proc = 16_MiB, .file_name = "spill.h5"});
+  const auto fid = f.system.OpenOrCreate("spill.h5");
+  ASSERT_TRUE(f.system.HasPfsCopy(fid)) << "the spill must have created the PFS destination";
+
+  f.system.FailNode(0);
+  const Bytes expected = ExpectedLoss(f, fid);
+  EXPECT_GT(expected, 0u) << "DRAM-cached extents of the dead node are gone";
+  EXPECT_LT(expected, 16_MiB * 4) << "spilled extents survive the node";
+
+  // Read back every written extent and cross-check the system's accounting
+  // against the auditor's record-by-record expectation.
+  RunHdfMicro(f.scenario, f.app, f.driver,
+              MicroParams{.bytes_per_proc = 16_MiB, .read = true, .file_name = "spill.h5"});
+  EXPECT_EQ(f.system.lost_bytes(), expected);
+  EXPECT_GT(f.system.lost_reads(), 0);
 }
 
 TEST(Resilience, FlushedCopySavesUnreplicatedData) {

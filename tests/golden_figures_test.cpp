@@ -1,0 +1,92 @@
+// Golden regressions for the paper's headline figures, scaled down to one
+// sweep point (64 procs, 16 MiB/proc) so they run in CI. These pin the
+// *ordering* each figure reports — the qualitative claims of §III — not
+// absolute rates, so hardware-model retuning only fails them if it flips a
+// paper-reported comparison:
+//   Fig 5a: IA+COC write rate beats the noIA and noCOC ablations.
+//   Fig 6a: UVS/DRAM > UVS/BB > Data Elevator > Lustre write rate.
+//   Fig 6c: UniviStor flushes to Lustre faster than Data Elevator.
+#include <gtest/gtest.h>
+
+#include "bench/bench_common.hpp"
+
+namespace uvs {
+namespace {
+
+using bench::MakeDataElevator;
+using bench::MakeLustre;
+using bench::MakeUniviStor;
+using workload::MicroParams;
+using workload::RunHdfMicro;
+
+constexpr int kProcs = 64;
+const MicroParams kParams{.bytes_per_proc = 16_MiB, .file_name = "micro.h5"};
+
+double UvsWriteRate(univistor::Config config, bool cfs = false) {
+  auto setup = MakeUniviStor(kProcs, config, cfs);
+  const auto t = RunHdfMicro(*setup.scenario, setup.app, *setup.driver, kParams);
+  return t.rate();
+}
+
+TEST(GoldenFig5a, IaAndCocBeatTheirAblations) {
+  const double both = UvsWriteRate(univistor::Config{});
+
+  univistor::Config no_ia;
+  no_ia.interference_aware_flush = false;
+  const double without_ia = UvsWriteRate(no_ia, /*cfs=*/true);
+
+  univistor::Config no_coc;
+  no_coc.collective_open_close = false;
+  const double without_coc = UvsWriteRate(no_coc);
+
+  EXPECT_GT(both, without_ia) << "IA placement must help (paper: 1.45-2.5x)";
+  EXPECT_GT(both, without_coc) << "collective open/close must help (paper: 1.1-3.5x)";
+}
+
+TEST(GoldenFig6a, WriteRateOrderingHolds) {
+  const double dram = UvsWriteRate(univistor::Config{});
+
+  univistor::Config bb_config;
+  bb_config.first_cache_layer = hw::Layer::kSharedBurstBuffer;
+  const double bb = UvsWriteRate(bb_config);
+
+  auto de_setup = MakeDataElevator(kProcs);
+  const double de =
+      RunHdfMicro(*de_setup.scenario, de_setup.app, *de_setup.driver, kParams).rate();
+
+  auto lustre_setup = MakeLustre(kProcs);
+  const double lustre =
+      RunHdfMicro(*lustre_setup.scenario, lustre_setup.app, *lustre_setup.driver, kParams)
+          .rate();
+
+  EXPECT_GT(dram, bb) << "DRAM tier outruns the burst buffer";
+  EXPECT_GT(bb, de) << "paper: BB beats Data Elevator by 1.2-1.7x";
+  EXPECT_GT(de, lustre) << "both hierarchical systems beat raw Lustre";
+  EXPECT_GT(dram, 2.0 * de) << "paper: DRAM beats Data Elevator by 3.7-5.6x";
+}
+
+TEST(GoldenFig6c, UnivistorFlushesFasterThanDataElevator) {
+  const auto uvs_flush = [](hw::Layer first_layer) {
+    univistor::Config config;
+    config.first_cache_layer = first_layer;
+    auto setup = MakeUniviStor(kProcs, config);
+    RunHdfMicro(*setup.scenario, setup.app, *setup.driver, kParams);
+    const auto& stats = setup.system->flush_stats();
+    EXPECT_GT(stats.last_flush_duration, 0.0);
+    return static_cast<double>(stats.bytes_flushed) / stats.last_flush_duration;
+  };
+  const double dram = uvs_flush(hw::Layer::kDram);
+  const double bb = uvs_flush(hw::Layer::kSharedBurstBuffer);
+
+  auto de_setup = MakeDataElevator(kProcs);
+  RunHdfMicro(*de_setup.scenario, de_setup.app, *de_setup.driver, kParams);
+  const auto& de_stats = de_setup.system->flush_stats();
+  ASSERT_GT(de_stats.last_flush_duration, 0.0);
+  const double de = static_cast<double>(de_stats.bytes_flushed) / de_stats.last_flush_duration;
+
+  EXPECT_GT(dram, de) << "paper: 1.8-2.5x";
+  EXPECT_GT(bb, de) << "paper: 1.6-2.5x";
+}
+
+}  // namespace
+}  // namespace uvs

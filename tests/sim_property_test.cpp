@@ -85,6 +85,126 @@ TEST(FairShareDynamic, PerFlowCapChangeMidFlight) {
   EXPECT_NEAR(done, 6.0, 1e-6);
 }
 
+TEST(FairShareDynamic, ConservationUnderRandomCapacityChurn) {
+  // The pool must deliver every byte exactly once no matter how often the
+  // aggregate capacity is retuned mid-flight (the recovery paths do this
+  // when fault windows degrade devices). Conservation bound:
+  // total_bytes <= peak_capacity * busy_time, where busy_time <= finish.
+  for (std::uint64_t seed : {7u, 19u, 101u}) {
+    Rng rng(seed);
+    Engine engine;
+    FairSharePool pool(engine, {.capacity = 1e6});
+    const int flows = 64;
+    std::vector<double> done(flows, -1);
+    Bytes total = 0;
+    for (int i = 0; i < flows; ++i) {
+      const Time start = rng.NextDouble();
+      const Bytes bytes = 1000 + rng.NextBelow(50000);
+      total += bytes;
+      engine.Spawn(TransferAt(engine, pool, start, bytes, &done[static_cast<std::size_t>(i)]));
+    }
+    // Random capacity churn overlapping the transfers; always > 0.
+    for (int i = 0; i < 32; ++i) {
+      const Time at = rng.NextDouble() * 1.5;
+      const double capacity = 1e4 + rng.NextDouble() * 2e6;
+      engine.Schedule(at, [&pool, capacity] { pool.SetCapacity(capacity); });
+    }
+    engine.Run();
+    double finish = 0;
+    for (double d : done) {
+      ASSERT_GE(d, 0.0) << "seed " << seed << ": a flow never completed";
+      finish = std::max(finish, d);
+    }
+    EXPECT_EQ(pool.total_bytes(), total) << "seed " << seed;
+    EXPECT_EQ(pool.active_flows(), 0u) << "seed " << seed;
+    EXPECT_GE(finish * pool.peak_capacity() + 1e-9, static_cast<double>(total))
+        << "seed " << seed << ": delivered more than peak capacity allows";
+  }
+}
+
+TEST(CancellableTimer, CancelPreventsTheCallback) {
+  Engine engine;
+  bool fired = false;
+  TimerHandle handle = engine.ScheduleCancellable(1.0, [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  EXPECT_TRUE(handle.Cancel());
+  EXPECT_FALSE(handle.pending());
+  engine.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(engine.cancelled_events(), 1u);
+}
+
+TEST(CancellableTimer, CancelAfterFireIsANoOp) {
+  Engine engine;
+  int fires = 0;
+  TimerHandle handle = engine.ScheduleCancellable(1.0, [&] { ++fires; });
+  engine.Run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_FALSE(handle.pending());
+  EXPECT_FALSE(handle.Cancel()) << "the event already fired";
+  EXPECT_EQ(engine.cancelled_events(), 0u);
+}
+
+TEST(CancellableTimer, DoubleCancelIsANoOp) {
+  Engine engine;
+  TimerHandle handle = engine.ScheduleCancellable(1.0, [] {});
+  TimerHandle copy = handle;
+  EXPECT_TRUE(handle.Cancel());
+  EXPECT_FALSE(handle.Cancel());
+  EXPECT_FALSE(copy.Cancel()) << "copies share the pending event";
+  engine.Run();
+  EXPECT_EQ(engine.cancelled_events(), 1u);
+}
+
+TEST(CancellableTimer, StaleHandleCannotCancelARecycledSlot) {
+  // Generation counting: after a slot is freed (its timer cancelled) and
+  // reused by a newer timer, the stale handle must not kill the new timer.
+  Engine engine;
+  bool new_fired = false;
+  TimerHandle stale = engine.ScheduleCancellable(1.0, [] {});
+  ASSERT_TRUE(stale.Cancel());
+  // The freed slot is recycled LIFO, so this timer lands in the same slot
+  // with a bumped generation.
+  TimerHandle fresh = engine.ScheduleCancellable(2.0, [&] { new_fired = true; });
+  EXPECT_FALSE(stale.Cancel()) << "stale generation must not cancel the new timer";
+  EXPECT_FALSE(stale.pending());
+  EXPECT_TRUE(fresh.pending());
+  engine.Run();
+  EXPECT_TRUE(new_fired);
+}
+
+TEST(CancellableTimer, RandomizedCancellationIsExact) {
+  // Property: over a random mix, exactly the un-cancelled callbacks fire,
+  // and cancelled_events() counts exactly the successful Cancel() calls.
+  Rng rng(4242);
+  Engine engine;
+  const int timers = 500;
+  std::vector<TimerHandle> handles;
+  std::vector<int> fired(timers, 0);
+  handles.reserve(timers);
+  for (int i = 0; i < timers; ++i) {
+    const Time at = rng.NextDouble() * 10.0;
+    handles.push_back(
+        engine.ScheduleCancellable(at, [&fired, i] { ++fired[static_cast<std::size_t>(i)]; }));
+  }
+  std::vector<bool> cancelled(timers, false);
+  std::uint64_t cancels = 0;
+  for (int i = 0; i < timers; ++i) {
+    if (rng.NextDouble() < 0.5) {
+      cancelled[static_cast<std::size_t>(i)] = true;
+      EXPECT_TRUE(handles[static_cast<std::size_t>(i)].Cancel());
+      ++cancels;
+    }
+  }
+  engine.Run();
+  for (int i = 0; i < timers; ++i) {
+    EXPECT_EQ(fired[static_cast<std::size_t>(i)], cancelled[static_cast<std::size_t>(i)] ? 0 : 1)
+        << "timer " << i;
+    EXPECT_FALSE(handles[static_cast<std::size_t>(i)].Cancel()) << "fired or already cancelled";
+  }
+  EXPECT_EQ(engine.cancelled_events(), cancels);
+}
+
 TEST(ChannelStress, ManyProducersManyConsumers) {
   Engine engine;
   Channel<int> chan(engine);

@@ -21,6 +21,8 @@
 #include "src/baselines/lustre_driver.hpp"
 #include "src/common/log.hpp"
 #include "src/common/strings.hpp"
+#include "src/fault/injector.hpp"
+#include "src/fault/plan.hpp"
 #include "src/hw/probes.hpp"
 #include "src/hw/utilization.hpp"
 #include "src/obs/recorder.hpp"
@@ -48,6 +50,8 @@ struct Args {
   bool report = false;
   bool check = false;
   bool ia = true, coc = true, adpt = true, la = true;
+  std::string faults;   // fault::Plan spec (docs/FAULTS.md grammar)
+  bool recover = false;
   std::string trace;    // Chrome trace-event JSON output path
   std::string metrics;  // metrics JSON (or series CSV) output path
   double sample_interval = -1;  // simulated seconds; <0 = default
@@ -68,6 +72,12 @@ void PrintUsage(std::FILE* out) {
                "                                  the workload; violations exit non-zero\n"
                "  --no-ia / --no-coc / --no-adpt / --no-la\n"
                "                                  disable a UniviStor optimization\n"
+               "  --faults=SPEC                   inject a fault plan, e.g.\n"
+               "                                  'crash@0.5:node=1;ost@1+2:ost=3,factor=0.1'\n"
+               "                                  (grammar in docs/FAULTS.md)\n"
+               "  --recover                       enable active recovery (retries,\n"
+               "                                  re-striping, metadata repartitioning;\n"
+               "                                  implies volatile replication)\n"
                "  --trace=FILE                    write a Chrome trace-event timeline\n"
                "                                  (load in chrome://tracing or Perfetto)\n"
                "  --metrics=FILE                  write the metrics run report as JSON\n"
@@ -99,6 +109,8 @@ Args Parse(int argc, char** argv) {
     else if (ParseFlag(arg, "--procs", &value)) args.procs = std::atoi(value.c_str());
     else if (ParseFlag(arg, "--mb", &value)) args.mb = std::atoi(value.c_str());
     else if (ParseFlag(arg, "--steps", &value)) args.steps = std::atoi(value.c_str());
+    else if (ParseFlag(arg, "--faults", &value)) args.faults = value;
+    else if (std::strcmp(arg, "--recover") == 0) args.recover = true;
     else if (ParseFlag(arg, "--trace", &value)) args.trace = value;
     else if (ParseFlag(arg, "--metrics", &value)) args.metrics = value;
     else if (ParseFlag(arg, "--sample-interval", &value))
@@ -159,6 +171,8 @@ int Run(const Args& args) {
     config.first_cache_layer = args.layer == "bb"     ? hw::Layer::kSharedBurstBuffer
                                : args.layer == "disk" ? hw::Layer::kPfs
                                                       : hw::Layer::kDram;
+    config.recovery.enabled = args.recover;
+    if (args.recover) config.replicate_volatile = true;
     uvs_system = std::make_unique<univistor::UniviStor>(
         scenario.runtime(), scenario.pfs(), scenario.workflow(), config);
     uvs_driver = std::make_unique<univistor::UniviStorDriver>(*uvs_system);
@@ -180,6 +194,26 @@ int Run(const Args& args) {
 
   std::printf("uvsim: system=%s layer=%s workload=%s procs=%d\n", args.system.c_str(),
               args.layer.c_str(), args.workload.c_str(), args.procs);
+
+  // Arm the fault plan before the workload starts so its events interleave
+  // with writes, flushes, and reads (docs/FAULTS.md).
+  std::unique_ptr<fault::Injector> injector;
+  if (!args.faults.empty()) {
+    auto plan = fault::ParsePlan(args.faults);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "uvsim: --faults: %s\n", plan.status().ToString().c_str());
+      return 2;
+    }
+    injector = std::make_unique<fault::Injector>(scenario.engine(), *plan);
+    injector->set_cluster(&scenario.cluster());
+    if (uvs_system != nullptr) {
+      univistor::UniviStor* sys = uvs_system.get();
+      injector->SetCrashHandler([sys](int node) { sys->FailNode(node); });
+      uvs_system->AttachFaults(injector.get());
+    }
+    injector->Arm();
+    std::printf("faults: %s\n", plan->ToString().c_str());
+  }
 
   if (args.workload == "micro") {
     const auto app = scenario.runtime().LaunchProgram("app", args.procs);
@@ -236,6 +270,27 @@ int Run(const Args& args) {
     std::printf("flush: %d flushes, %s, last took %s\n", f.flushes,
                 HumanBytes(f.bytes_flushed).c_str(),
                 HumanTime(f.last_flush_duration).c_str());
+  }
+  if (injector != nullptr) {
+    const auto& s = injector->stats();
+    std::printf("faults: %llu crashes, %llu ost windows, %llu bb windows, "
+                "%llu timeout windows | degraded %s (ost) %s (bb)\n",
+                static_cast<unsigned long long>(s.crashes),
+                static_cast<unsigned long long>(s.ost_windows),
+                static_cast<unsigned long long>(s.bb_windows),
+                static_cast<unsigned long long>(s.timeout_windows),
+                HumanTime(scenario.cluster().pfs().degraded_seconds()).c_str(),
+                HumanTime(scenario.cluster().burst_buffer().degraded_seconds()).c_str());
+  }
+  if (uvs_system != nullptr && (injector != nullptr || args.recover)) {
+    std::printf("recovery: %llu flush retries (%s backoff), %s re-striped, "
+                "%llu metadata records repartitioned, %s safe-mode, %s lost\n",
+                static_cast<unsigned long long>(uvs_system->flush_retries()),
+                HumanTime(uvs_system->backoff_seconds()).c_str(),
+                HumanBytes(uvs_system->restriped_bytes()).c_str(),
+                static_cast<unsigned long long>(uvs_system->repartitioned_records()),
+                HumanBytes(uvs_system->safe_mode_bytes()).c_str(),
+                HumanBytes(uvs_system->lost_bytes()).c_str());
   }
   std::printf("simulated %s in %llu events\n", HumanTime(scenario.engine().Now()).c_str(),
               static_cast<unsigned long long>(scenario.engine().processed_events()));
