@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/rng.hpp"
+#include "src/obs/recorder.hpp"
 #include "src/placement/striping.hpp"
 #include "src/sim/combinators.hpp"
 
@@ -11,8 +12,16 @@ namespace uvs::baselines {
 
 namespace {
 sim::Task PoolLeg(sim::FairSharePool& pool, Bytes bytes) { co_await pool.Transfer(bytes); }
-sim::Task BbLeg(hw::BurstBuffer& bb, int node, Bytes bytes, double inflation) {
-  co_await bb.Access(node, bytes, inflation);
+sim::Task BbLeg(hw::BurstBuffer& bb, int node, Bytes bytes, double inflation,
+                obs::SpanRef parent = {}) {
+  co_await bb.Access(node, bytes, inflation, parent);
+}
+
+/// Category-tagging leg wrapper (tracing on only); see univistor/system.cpp.
+sim::Task TaggedLeg(sim::Engine& engine, const char* name, obs::Track track, Bytes bytes,
+                    obs::SpanTag tag, sim::Task inner) {
+  obs::SpanTimer span(engine, "baselines", name, track, bytes, tag);
+  co_await std::move(inner);
 }
 }  // namespace
 
@@ -43,13 +52,27 @@ DataElevator::FileInfo& DataElevator::Info(storage::FileId fid) {
   return *files_.at(static_cast<std::size_t>(fid));
 }
 
-sim::Task DataElevator::OpenMetadata(vmpi::ProgramId program, int rank) {
-  (void)program;
-  (void)rank;
-  co_await runtime_->engine().Delay(runtime_->cluster().burst_buffer().params().latency);
+sim::Task DataElevator::OpenMetadata(vmpi::ProgramId program, int rank, obs::SpanRef parent) {
+  sim::Engine& engine = runtime_->engine();
+  const obs::Track track =
+      obs::Track::Rank(runtime_->Rank(program, rank).node, program, rank);
+  const Time start = engine.Now();
+  co_await engine.Delay(runtime_->cluster().burst_buffer().params().latency);
+  const Time queued = engine.Now();
   auto guard = co_await mds_->Lock();
-  co_await runtime_->engine().Delay(static_cast<double>(options_.md_ops_per_open) *
-                                    runtime_->cluster().params().rpc_service_time);
+  const Time serviced = engine.Now();
+  co_await engine.Delay(static_cast<double>(options_.md_ops_per_open) *
+                        runtime_->cluster().params().rpc_service_time);
+  if (obs::Recorder* r = obs::Recorder::Current()) {
+    r->AddSpanTagged("baselines", "de.md.latency", track, start, queued, obs::kNoBytes,
+                     {.cat = obs::Category::kNet, .parent = parent});
+    if (serviced > queued) {
+      r->AddSpanTagged("baselines", "de.md.queue", track, queued, serviced, obs::kNoBytes,
+                       {.cat = obs::Category::kQueue, .parent = parent});
+    }
+    r->AddSpanTagged("baselines", "de.md.service", track, serviced, engine.Now(),
+                     obs::kNoBytes, {.cat = obs::Category::kMeta, .parent = parent});
+  }
 }
 
 double DataElevator::BbInflation(const FileInfo& info, bool read) const {
@@ -61,9 +84,19 @@ double DataElevator::BbInflation(const FileInfo& info, bool read) const {
 }
 
 sim::Task DataElevator::BbAccess(vmpi::ProgramId program, int rank, FileInfo& info,
-                                 Bytes offset, Bytes len, bool read) {
+                                 Bytes offset, Bytes len, bool read, obs::SpanRef parent) {
   hw::Cluster& cluster = runtime_->cluster();
+  sim::Engine& engine = cluster.engine();
   const int node = runtime_->Rank(program, rank).node;
+  const bool traced = obs::Enabled();
+  const obs::Track track = obs::Track::Rank(node, program, rank);
+  auto leg = [&](const char* name, obs::Category cat, Time ideal, Bytes bytes,
+                 sim::Task inner) {
+    return traced ? TaggedLeg(engine, name, track, bytes,
+                              {.cat = cat, .parent = parent, .ideal = ideal},
+                              std::move(inner))
+                  : std::move(inner);
+  };
   int& active = read ? info.active_readers : info.active_writers;
   ++active;
   const double inflation = BbInflation(info, read);
@@ -73,9 +106,12 @@ sim::Task DataElevator::BbAccess(vmpi::ProgramId program, int rank, FileInfo& in
   const Bytes base = len / static_cast<Bytes>(streams);
 
   std::vector<sim::Task> legs;
-  legs.push_back(PoolLeg(runtime_->RankCpu(program, rank), len));
-  legs.push_back(
-      PoolLeg(read ? cluster.node(node).nic_rx() : cluster.node(node).nic_tx(), len));
+  legs.push_back(leg("cpu.copy", obs::Category::kNet,
+                     runtime_->RankCpu(program, rank).SoloTime(len), len,
+                     PoolLeg(runtime_->RankCpu(program, rank), len)));
+  auto& nic = read ? cluster.node(node).nic_rx() : cluster.node(node).nic_tx();
+  legs.push_back(leg(read ? "nic.rx" : "nic.tx", obs::Category::kNet, nic.SoloTime(len), len,
+                     PoolLeg(nic, len)));
   // DataWarp stripes the shared file across BB nodes; the rank's range
   // maps onto `streams` of them. Mix the stripe index so power-of-two
   // offsets do not all alias onto the same BB nodes.
@@ -84,53 +120,87 @@ sim::Task DataElevator::BbAccess(vmpi::ProgramId program, int rank, FileInfo& in
   const int first = static_cast<int>(mix % static_cast<std::uint64_t>(bb_nodes));
   for (int s = 0; s < streams; ++s) {
     const Bytes piece = s + 1 == streams ? len - base * static_cast<Bytes>(streams - 1) : base;
-    if (piece > 0) legs.push_back(BbLeg(cluster.burst_buffer(), (first + s) % bb_nodes,
-                                        piece, inflation));
+    const int bb_node = (first + s) % bb_nodes;
+    if (piece > 0) {
+      legs.push_back(leg(read ? "bb.read" : "bb.write", obs::Category::kBb,
+                         cluster.burst_buffer().params().latency +
+                             cluster.burst_buffer().pool(bb_node).SoloTime(piece),
+                         piece, BbLeg(cluster.burst_buffer(), bb_node, piece, inflation,
+                                      parent)));
+    }
   }
-  co_await sim::WhenAll(cluster.engine(), std::move(legs));
+  co_await sim::WhenAll(engine, std::move(legs));
   --active;
 }
 
 sim::Task DataElevator::Write(vmpi::ProgramId program, int rank, storage::FileId fid,
-                              Bytes offset, Bytes len) {
+                              Bytes offset, Bytes len, obs::SpanRef parent) {
   FileInfo& info = Info(fid);
   info.logical_size = std::max(info.logical_size, offset + len);
   info.cached_bytes += len;
-  co_await BbAccess(program, rank, info, offset, len, /*read=*/false);
+  co_await BbAccess(program, rank, info, offset, len, /*read=*/false, parent);
 }
 
 sim::Task DataElevator::Read(vmpi::ProgramId program, int rank, storage::FileId fid,
-                             Bytes offset, Bytes len) {
+                             Bytes offset, Bytes len, obs::SpanRef parent) {
   FileInfo& info = Info(fid);
   if (info.cached_bytes > 0) {
-    co_await BbAccess(program, rank, info, offset, len, /*read=*/true);
+    co_await BbAccess(program, rank, info, offset, len, /*read=*/true, parent);
   } else {
     // Not cached: fall through to Lustre.
     if (info.pfs_file < 0) co_return;
     const int node = runtime_->Rank(program, rank).node;
-    co_await pfs_->Read(info.pfs_file, offset, len, node,
-                        {.layout = storage::AccessLayout::kSharedInterleaved});
+    if (obs::Enabled()) {
+      co_await TaggedLeg(runtime_->engine(), "pfs.read.wait",
+                         obs::Track::Rank(node, program, rank), len,
+                         {.cat = obs::Category::kPfs, .parent = parent},
+                         pfs_->Read(info.pfs_file, offset, len, node,
+                                    {.layout = storage::AccessLayout::kSharedInterleaved,
+                                     .parent = parent}));
+    } else {
+      co_await pfs_->Read(info.pfs_file, offset, len, node,
+                          {.layout = storage::AccessLayout::kSharedInterleaved});
+    }
   }
 }
 
 sim::Task DataElevator::ServerFlushShare(FileInfo& info, int server_idx, Bytes range_offset,
                                          Bytes bytes) {
   hw::Cluster& cluster = runtime_->cluster();
+  sim::Engine& engine = cluster.engine();
   const int node = server_idx / options_.servers_per_node;
+  const bool traced = obs::Enabled();
+  const obs::Track track = obs::Track::Rank(node, server_program_, server_idx);
+  const obs::SpanRef self = obs::NewSpanRef();
+  auto leg = [&](const char* name, obs::Category cat, Time ideal, sim::Task inner) {
+    return traced ? TaggedLeg(engine, name, track, bytes,
+                              {.cat = cat, .parent = self, .ideal = ideal}, std::move(inner))
+                  : std::move(inner);
+  };
   runtime_->SetRankBusy(server_program_, server_idx, true);
+  obs::SpanTimer span(engine, "baselines", "de.flush.share", track, bytes, {.self = self});
   // Data Elevator is a staged copier: it reads a region from the BB, then
   // writes it to Lustre (no read/write pipelining, unlike UniviStor's
   // flush whose legs overlap).
+  const int bb_node = server_idx % cluster.burst_buffer().node_count();
   std::vector<sim::Task> read_legs;
-  read_legs.push_back(BbLeg(cluster.burst_buffer(),
-                            server_idx % cluster.burst_buffer().node_count(), bytes, 1.0));
-  read_legs.push_back(PoolLeg(cluster.node(node).nic_rx(), bytes));
-  read_legs.push_back(PoolLeg(runtime_->RankCpu(server_program_, server_idx), bytes));
-  co_await sim::WhenAll(cluster.engine(), std::move(read_legs));
+  read_legs.push_back(leg("bb.read", obs::Category::kBb,
+                          cluster.burst_buffer().params().latency +
+                              cluster.burst_buffer().pool(bb_node).SoloTime(bytes),
+                          BbLeg(cluster.burst_buffer(), bb_node, bytes, 1.0, self)));
+  read_legs.push_back(leg("nic.rx", obs::Category::kNet,
+                          cluster.node(node).nic_rx().SoloTime(bytes),
+                          PoolLeg(cluster.node(node).nic_rx(), bytes)));
+  read_legs.push_back(leg("cpu.copy", obs::Category::kNet,
+                          runtime_->RankCpu(server_program_, server_idx).SoloTime(bytes),
+                          PoolLeg(runtime_->RankCpu(server_program_, server_idx), bytes)));
+  co_await sim::WhenAll(engine, std::move(read_legs));
   // Write to Lustre with the non-adaptive default striping.
-  co_await pfs_->Write(info.pfs_file, range_offset, bytes, node,
-                       {.layout = storage::AccessLayout::kAlignedRanges,
-                        .coordinated = false});
+  co_await leg("pfs.write.wait", obs::Category::kPfs, 0.0,
+               pfs_->Write(info.pfs_file, range_offset, bytes, node,
+                           {.layout = storage::AccessLayout::kAlignedRanges,
+                            .coordinated = false,
+                            .parent = self}));
   runtime_->SetRankBusy(server_program_, server_idx, false);
 }
 
@@ -185,23 +255,25 @@ DataElevatorDriver::State& DataElevatorDriver::StateOf(vmpi::File& file) {
   return state;
 }
 
-sim::Task DataElevatorDriver::Open(vmpi::File& file, int rank) {
+sim::Task DataElevatorDriver::Open(vmpi::File& file, int rank, obs::SpanRef op) {
   StateOf(file);
-  co_await system_->OpenMetadata(file.program(), rank);
+  co_await system_->OpenMetadata(file.program(), rank, op);
 }
 
-sim::Task DataElevatorDriver::WriteAt(vmpi::File& file, int rank, Bytes offset, Bytes len) {
-  return system_->Write(file.program(), rank, StateOf(file).fid, offset, len);
+sim::Task DataElevatorDriver::WriteAt(vmpi::File& file, int rank, Bytes offset, Bytes len,
+                                      obs::SpanRef op) {
+  return system_->Write(file.program(), rank, StateOf(file).fid, offset, len, op);
 }
 
-sim::Task DataElevatorDriver::ReadAt(vmpi::File& file, int rank, Bytes offset, Bytes len) {
-  return system_->Read(file.program(), rank, StateOf(file).fid, offset, len);
+sim::Task DataElevatorDriver::ReadAt(vmpi::File& file, int rank, Bytes offset, Bytes len,
+                                     obs::SpanRef op) {
+  return system_->Read(file.program(), rank, StateOf(file).fid, offset, len, op);
 }
 
-sim::Task DataElevatorDriver::Close(vmpi::File& file, int rank) {
+sim::Task DataElevatorDriver::Close(vmpi::File& file, int rank, obs::SpanRef op) {
   State& state = StateOf(file);
   ++state.closes;
-  co_await system_->OpenMetadata(file.program(), rank);  // close-time metadata
+  co_await system_->OpenMetadata(file.program(), rank, op);  // close-time metadata
   if (state.closes == file.comm().size() &&
       file.options().mode == vmpi::FileMode::kWriteOnly) {
     system_->TriggerFlush(state.fid);

@@ -44,11 +44,11 @@ class DataElevator {
 
   storage::FileId OpenOrCreate(const std::string& name);
 
-  sim::Task OpenMetadata(vmpi::ProgramId program, int rank);
+  sim::Task OpenMetadata(vmpi::ProgramId program, int rank, obs::SpanRef parent = {});
   sim::Task Write(vmpi::ProgramId program, int rank, storage::FileId fid, Bytes offset,
-                  Bytes len);
+                  Bytes len, obs::SpanRef parent = {});
   sim::Task Read(vmpi::ProgramId program, int rank, storage::FileId fid, Bytes offset,
-                 Bytes len);
+                 Bytes len, obs::SpanRef parent = {});
   void TriggerFlush(storage::FileId fid);
   sim::Task WaitFlush(storage::FileId fid);
 
@@ -67,7 +67,7 @@ class DataElevator {
   FileInfo& Info(storage::FileId fid);
   double BbInflation(const FileInfo& info, bool read) const;
   sim::Task BbAccess(vmpi::ProgramId program, int rank, FileInfo& info, Bytes offset,
-                     Bytes len, bool read);
+                     Bytes len, bool read, obs::SpanRef parent);
   sim::Task FlushTask(storage::FileId fid);
   sim::Task ServerFlushShare(FileInfo& info, int server_idx, Bytes range_offset, Bytes bytes);
 
@@ -89,10 +89,12 @@ class DataElevatorDriver : public vmpi::AdioDriver {
 
   const char* fs_type() const override { return "data-elevator"; }
 
-  sim::Task Open(vmpi::File& file, int rank) override;
-  sim::Task WriteAt(vmpi::File& file, int rank, Bytes offset, Bytes len) override;
-  sim::Task ReadAt(vmpi::File& file, int rank, Bytes offset, Bytes len) override;
-  sim::Task Close(vmpi::File& file, int rank) override;
+  sim::Task Open(vmpi::File& file, int rank, obs::SpanRef op) override;
+  sim::Task WriteAt(vmpi::File& file, int rank, Bytes offset, Bytes len,
+                    obs::SpanRef op) override;
+  sim::Task ReadAt(vmpi::File& file, int rank, Bytes offset, Bytes len,
+                   obs::SpanRef op) override;
+  sim::Task Close(vmpi::File& file, int rank, obs::SpanRef op) override;
   sim::Task WaitFlush(vmpi::File& file) override;
 
  private:

@@ -1,11 +1,24 @@
 #include "src/baselines/lustre_driver.hpp"
 
+#include "src/obs/recorder.hpp"
 #include "src/sim/combinators.hpp"
 
 namespace uvs::baselines {
 
 namespace {
 sim::Task PoolLeg(sim::FairSharePool& pool, Bytes bytes) { co_await pool.Transfer(bytes); }
+
+/// Category-tagging leg wrapper (see univistor/system.cpp); instantiated
+/// only when tracing is on.
+sim::Task Tagged(sim::Engine& engine, const char* name, obs::Track track, Bytes bytes,
+                 obs::SpanTag tag, sim::Task inner) {
+  obs::SpanTimer span(engine, "baselines", name, track, bytes, tag);
+  co_await std::move(inner);
+}
+
+obs::Track RankTrack(vmpi::Runtime& runtime, vmpi::File& file, int rank) {
+  return obs::Track::Rank(runtime.Rank(file.program(), rank).node, file.program(), rank);
+}
 }  // namespace
 
 LustreDriver::LustreDriver(vmpi::Runtime& runtime, storage::Pfs& pfs, Options options)
@@ -25,44 +38,83 @@ LustreDriver::State& LustreDriver::StateOf(vmpi::File& file) {
   return state;
 }
 
-sim::Task LustreDriver::MdsOp(int node, int ops) {
+sim::Task LustreDriver::MdsOp(int node, int ops, obs::Track rank_track, obs::SpanRef parent) {
   const auto& params = runtime_->cluster().params();
-  co_await runtime_->cluster().engine().Delay(params.pfs.latency);
+  sim::Engine& engine = runtime_->cluster().engine();
+  const Time start = engine.Now();
+  co_await engine.Delay(params.pfs.latency);
   (void)node;
+  const Time queued = engine.Now();
   auto guard = co_await mds_->Lock();
-  co_await runtime_->cluster().engine().Delay(static_cast<double>(ops) *
-                                              params.rpc_service_time);
+  const Time serviced = engine.Now();
+  co_await engine.Delay(static_cast<double>(ops) * params.rpc_service_time);
+  if (obs::Recorder* r = obs::Recorder::Current()) {
+    r->AddSpanTagged("baselines", "mds.latency", rank_track, start, queued, obs::kNoBytes,
+                     {.cat = obs::Category::kNet, .parent = parent});
+    if (serviced > queued) {
+      r->AddSpanTagged("baselines", "mds.queue", rank_track, queued, serviced, obs::kNoBytes,
+                       {.cat = obs::Category::kQueue, .parent = parent});
+    }
+    r->AddSpanTagged("baselines", "mds.service", rank_track, serviced, engine.Now(),
+                     obs::kNoBytes, {.cat = obs::Category::kMeta, .parent = parent});
+  }
 }
 
-sim::Task LustreDriver::Open(vmpi::File& file, int rank) {
+sim::Task LustreDriver::Open(vmpi::File& file, int rank, obs::SpanRef op) {
   StateOf(file);
   const int node = runtime_->Rank(file.program(), rank).node;
-  co_await MdsOp(node, options_.md_ops_per_open);
+  co_await MdsOp(node, options_.md_ops_per_open, RankTrack(*runtime_, file, rank), op);
 }
 
-sim::Task LustreDriver::WriteAt(vmpi::File& file, int rank, Bytes offset, Bytes len) {
+sim::Task LustreDriver::WriteAt(vmpi::File& file, int rank, Bytes offset, Bytes len,
+                                obs::SpanRef op) {
   State& state = StateOf(file);
   const int node = runtime_->Rank(file.program(), rank).node;
+  const bool traced = obs::Enabled();
+  const obs::Track track = RankTrack(*runtime_, file, rank);
+  sim::Engine& engine = runtime_->engine();
+  auto leg = [&](const char* name, obs::Category cat, Time ideal, sim::Task inner) {
+    return traced ? Tagged(engine, name, track, len,
+                           {.cat = cat, .parent = op, .ideal = ideal}, std::move(inner))
+                  : std::move(inner);
+  };
   std::vector<sim::Task> legs;
-  legs.push_back(PoolLeg(runtime_->RankCpu(file.program(), rank), len));
-  legs.push_back(pfs_->Write(state.handle, offset, len, node,
-                             {.layout = storage::AccessLayout::kSharedInterleaved}));
-  co_await sim::WhenAll(runtime_->engine(), std::move(legs));
+  legs.push_back(leg("cpu.copy", obs::Category::kNet,
+                     runtime_->RankCpu(file.program(), rank).SoloTime(len),
+                     PoolLeg(runtime_->RankCpu(file.program(), rank), len)));
+  legs.push_back(leg("pfs.write.wait", obs::Category::kPfs, 0.0,
+                     pfs_->Write(state.handle, offset, len, node,
+                                 {.layout = storage::AccessLayout::kSharedInterleaved,
+                                  .parent = op})));
+  co_await sim::WhenAll(engine, std::move(legs));
 }
 
-sim::Task LustreDriver::ReadAt(vmpi::File& file, int rank, Bytes offset, Bytes len) {
+sim::Task LustreDriver::ReadAt(vmpi::File& file, int rank, Bytes offset, Bytes len,
+                               obs::SpanRef op) {
   State& state = StateOf(file);
   const int node = runtime_->Rank(file.program(), rank).node;
+  const bool traced = obs::Enabled();
+  const obs::Track track = RankTrack(*runtime_, file, rank);
+  sim::Engine& engine = runtime_->engine();
+  auto leg = [&](const char* name, obs::Category cat, Time ideal, sim::Task inner) {
+    return traced ? Tagged(engine, name, track, len,
+                           {.cat = cat, .parent = op, .ideal = ideal}, std::move(inner))
+                  : std::move(inner);
+  };
   std::vector<sim::Task> legs;
-  legs.push_back(PoolLeg(runtime_->RankCpu(file.program(), rank), len));
-  legs.push_back(pfs_->Read(state.handle, offset, len, node,
-                            {.layout = storage::AccessLayout::kSharedInterleaved}));
-  co_await sim::WhenAll(runtime_->engine(), std::move(legs));
+  legs.push_back(leg("cpu.copy", obs::Category::kNet,
+                     runtime_->RankCpu(file.program(), rank).SoloTime(len),
+                     PoolLeg(runtime_->RankCpu(file.program(), rank), len)));
+  legs.push_back(leg("pfs.read.wait", obs::Category::kPfs, 0.0,
+                     pfs_->Read(state.handle, offset, len, node,
+                                {.layout = storage::AccessLayout::kSharedInterleaved,
+                                 .parent = op})));
+  co_await sim::WhenAll(engine, std::move(legs));
 }
 
-sim::Task LustreDriver::Close(vmpi::File& file, int rank) {
+sim::Task LustreDriver::Close(vmpi::File& file, int rank, obs::SpanRef op) {
   const int node = runtime_->Rank(file.program(), rank).node;
-  co_await MdsOp(node, 1);
+  co_await MdsOp(node, 1, RankTrack(*runtime_, file, rank), op);
 }
 
 }  // namespace uvs::baselines

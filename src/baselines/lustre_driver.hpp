@@ -30,18 +30,21 @@ class LustreDriver : public vmpi::AdioDriver {
 
   const char* fs_type() const override { return "lustre"; }
 
-  sim::Task Open(vmpi::File& file, int rank) override;
-  sim::Task WriteAt(vmpi::File& file, int rank, Bytes offset, Bytes len) override;
-  sim::Task ReadAt(vmpi::File& file, int rank, Bytes offset, Bytes len) override;
-  sim::Task Close(vmpi::File& file, int rank) override;
+  sim::Task Open(vmpi::File& file, int rank, obs::SpanRef op) override;
+  sim::Task WriteAt(vmpi::File& file, int rank, Bytes offset, Bytes len,
+                    obs::SpanRef op) override;
+  sim::Task ReadAt(vmpi::File& file, int rank, Bytes offset, Bytes len,
+                   obs::SpanRef op) override;
+  sim::Task Close(vmpi::File& file, int rank, obs::SpanRef op) override;
 
  private:
   struct State {
     storage::Pfs::FileHandle handle = -1;
   };
   State& StateOf(vmpi::File& file);
-  /// Serialized metadata-server service (Lustre MDS).
-  sim::Task MdsOp(int node, int ops);
+  /// Serialized metadata-server service (Lustre MDS); emits the rank-side
+  /// wait/service decomposition on `rank_track`.
+  sim::Task MdsOp(int node, int ops, obs::Track rank_track, obs::SpanRef parent);
 
   vmpi::Runtime* runtime_;
   storage::Pfs* pfs_;

@@ -23,9 +23,10 @@ Bytes BurstBuffer::total_capacity() const {
   return params_.capacity_per_bb_node * static_cast<Bytes>(params_.bb_nodes);
 }
 
-sim::Task BurstBuffer::Access(int bb_node, Bytes bytes, double inflation) {
+sim::Task BurstBuffer::Access(int bb_node, Bytes bytes, double inflation, obs::SpanRef parent) {
   assert(inflation >= 1.0);
-  obs::SpanTimer span(*engine_, "hw", "bb.access", obs::Track::BbNode(bb_node), bytes);
+  obs::SpanTimer span(*engine_, "hw", "bb.access", obs::Track::BbNode(bb_node), bytes,
+                      {.cat = obs::Category::kBb, .parent = parent});
   obs::Count("hw.bb.accesses");
   obs::Count("hw.bb.bytes", bytes);
   co_await engine_->Delay(params_.latency);
@@ -33,10 +34,20 @@ sim::Task BurstBuffer::Access(int bb_node, Bytes bytes, double inflation) {
   co_await pool(bb_node).Transfer(effective);
 }
 
+void BurstBuffer::EmitDegradeSpan(int i, const DegradedWindow& w) {
+  if (obs::Recorder* r = obs::Recorder::Current(); r && engine_->Now() > w.since) {
+    r->AddSpanTagged("hw", "bb.degraded", obs::Track::BbNode(i), w.since, engine_->Now(),
+                     obs::kNoBytes, {.cat = obs::Category::kDegraded});
+  }
+}
+
 void BurstBuffer::Degrade(int i, double factor) {
   assert(factor > 0.0 && factor <= 1.0);
   DegradedWindow& w = windows_.at(static_cast<std::size_t>(i));
-  if (w.factor < 1.0) degraded_seconds_ += engine_->Now() - w.since;  // overwrite closes the old window
+  if (w.factor < 1.0) {  // overwrite closes the old window
+    degraded_seconds_ += engine_->Now() - w.since;
+    EmitDegradeSpan(i, w);
+  }
   if (w.factor >= 1.0) obs::Count("hw.bb.degrade_windows");
   w = {factor, engine_->Now()};
   pool(i).SetCapacity(params_.bw_per_bb_node * factor);
@@ -46,8 +57,19 @@ void BurstBuffer::Restore(int i) {
   DegradedWindow& w = windows_.at(static_cast<std::size_t>(i));
   if (w.factor >= 1.0) return;
   degraded_seconds_ += engine_->Now() - w.since;
+  EmitDegradeSpan(i, w);
   w = {};
   pool(i).SetCapacity(params_.bw_per_bb_node);
+}
+
+void BurstBuffer::FlushDegradeSpans() {
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    DegradedWindow& w = windows_[i];
+    if (w.factor >= 1.0) continue;
+    degraded_seconds_ += engine_->Now() - w.since;
+    EmitDegradeSpan(static_cast<int>(i), w);
+    w.since = engine_->Now();  // window stays open; accounting restarts here
+  }
 }
 
 Time BurstBuffer::degraded_seconds() const {

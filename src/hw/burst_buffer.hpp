@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/hw/params.hpp"
+#include "src/obs/recorder.hpp"
 #include "src/sim/fair_share.hpp"
 #include "src/sim/task.hpp"
 
@@ -25,7 +26,8 @@ class BurstBuffer {
 
   /// Device access on one BB node. `inflation >= 1` models lock/section
   /// overhead (shared-file layouts pay it; log-structured FPP does not).
-  sim::Task Access(int bb_node, Bytes bytes, double inflation = 1.0);
+  /// `parent` links the device span into the causal DAG.
+  sim::Task Access(int bb_node, Bytes bytes, double inflation = 1.0, obs::SpanRef parent = {});
 
   /// Fault window: BB node `i` drains at `factor` (in (0,1]) of nominal
   /// bandwidth until Restore(). A second Degrade overwrites the factor
@@ -36,11 +38,17 @@ class BurstBuffer {
   /// Total degraded device-seconds so far, open windows included.
   Time degraded_seconds() const;
 
+  /// Emits trace spans for still-open degrade windows and restarts them at
+  /// now (pre-export hook; degraded_seconds() totals are unchanged).
+  void FlushDegradeSpans();
+
  private:
   struct DegradedWindow {
     double factor = 1.0;
     Time since = 0.0;
   };
+
+  void EmitDegradeSpan(int i, const DegradedWindow& w);
 
   BurstBufferParams params_;
   sim::Engine* engine_;

@@ -19,9 +19,10 @@ PfsDevice::PfsDevice(sim::Engine& engine, const PfsParams& params)
   windows_.resize(pools_.size());
 }
 
-sim::Task PfsDevice::Access(int ost, Bytes bytes, double inflation) {
+sim::Task PfsDevice::Access(int ost, Bytes bytes, double inflation, obs::SpanRef parent) {
   assert(inflation >= 1.0);
-  obs::SpanTimer span(*engine_, "hw", "ost.access", obs::Track::Ost(ost), bytes);
+  obs::SpanTimer span(*engine_, "hw", "ost.access", obs::Track::Ost(ost), bytes,
+                      {.cat = obs::Category::kPfs, .parent = parent});
   obs::Count("hw.ost.accesses");
   obs::Count("hw.ost.bytes", bytes);
   co_await engine_->Delay(params_.latency);
@@ -29,10 +30,20 @@ sim::Task PfsDevice::Access(int ost, Bytes bytes, double inflation) {
   co_await this->ost(ost).Transfer(effective);
 }
 
+void PfsDevice::EmitDegradeSpan(int i, const DegradedWindow& w) {
+  if (obs::Recorder* r = obs::Recorder::Current(); r && engine_->Now() > w.since) {
+    r->AddSpanTagged("hw", "ost.degraded", obs::Track::Ost(i), w.since, engine_->Now(),
+                     obs::kNoBytes, {.cat = obs::Category::kDegraded});
+  }
+}
+
 void PfsDevice::Degrade(int i, double factor) {
   assert(factor > 0.0 && factor <= 1.0);
   DegradedWindow& w = windows_.at(static_cast<std::size_t>(i));
-  if (w.factor < 1.0) degraded_seconds_ += engine_->Now() - w.since;  // overwrite closes the old window
+  if (w.factor < 1.0) {  // overwrite closes the old window
+    degraded_seconds_ += engine_->Now() - w.since;
+    EmitDegradeSpan(i, w);
+  }
   if (w.factor >= 1.0) obs::Count("hw.ost.degrade_windows");
   w = {factor, engine_->Now()};
   ost(i).SetCapacity(params_.bw_per_ost * factor);
@@ -42,8 +53,19 @@ void PfsDevice::Restore(int i) {
   DegradedWindow& w = windows_.at(static_cast<std::size_t>(i));
   if (w.factor >= 1.0) return;
   degraded_seconds_ += engine_->Now() - w.since;
+  EmitDegradeSpan(i, w);
   w = {};
   ost(i).SetCapacity(params_.bw_per_ost);
+}
+
+void PfsDevice::FlushDegradeSpans() {
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    DegradedWindow& w = windows_[i];
+    if (w.factor >= 1.0) continue;
+    degraded_seconds_ += engine_->Now() - w.since;
+    EmitDegradeSpan(static_cast<int>(i), w);
+    w.since = engine_->Now();  // window stays open; accounting restarts here
+  }
 }
 
 Time PfsDevice::degraded_seconds() const {

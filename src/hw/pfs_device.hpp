@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/hw/params.hpp"
+#include "src/obs/recorder.hpp"
 #include "src/sim/fair_share.hpp"
 #include "src/sim/task.hpp"
 
@@ -23,8 +24,9 @@ class PfsDevice {
   sim::FairSharePool& ost(int i) { return *pools_.at(static_cast<std::size_t>(i)); }
 
   /// Device access on one OST; `inflation >= 1` models extent-lock
-  /// overhead for contended shared-file writes.
-  sim::Task Access(int ost, Bytes bytes, double inflation = 1.0);
+  /// overhead for contended shared-file writes. `parent` links the device
+  /// span into the causal DAG (obs::attribution).
+  sim::Task Access(int ost, Bytes bytes, double inflation = 1.0, obs::SpanRef parent = {});
 
   /// Fault window: OST `i` serves at `factor` (in (0,1]) of its nominal
   /// bandwidth until Restore(). A second Degrade overwrites the factor
@@ -35,11 +37,18 @@ class PfsDevice {
   /// Total degraded device-seconds so far, open windows included.
   Time degraded_seconds() const;
 
+  /// Emits trace spans for still-open degrade windows (covering [since,
+  /// now]) and restarts them at now, so pre-export traces show every fault
+  /// window. degraded_seconds() totals are unchanged.
+  void FlushDegradeSpans();
+
  private:
   struct DegradedWindow {
     double factor = 1.0;
     Time since = 0.0;
   };
+
+  void EmitDegradeSpan(int i, const DegradedWindow& w);
 
   PfsParams params_;
   sim::Engine* engine_;

@@ -59,6 +59,21 @@ Status WriteWholeFile(const std::string& path, const std::string& body) {
 
 }  // namespace
 
+const char* CategoryName(Category cat) {
+  switch (cat) {
+    case Category::kNone: return "none";
+    case Category::kCompute: return "compute";
+    case Category::kQueue: return "queue";
+    case Category::kDram: return "dram";
+    case Category::kBb: return "bb";
+    case Category::kPfs: return "pfs";
+    case Category::kMeta: return "meta";
+    case Category::kNet: return "net";
+    case Category::kDegraded: return "degraded";
+  }
+  return "none";
+}
+
 std::string Track::PidName() const {
   if (pid == kSimPid) return "simulator";
   if (pid >= kOstPidBase) return "ost " + std::to_string(pid - kOstPidBase);
@@ -72,6 +87,7 @@ std::string Track::TidName() const {
     return "rank " + std::to_string(lane % 100000) + " (prog " +
            std::to_string(lane / 100000) + ")";
   }
+  if (tid >= kMetaQueueTidBase) return "md queue " + std::to_string(tid - kMetaQueueTidBase);
   if (tid >= kPfsIoTidBase) return "pfs file " + std::to_string(tid - kPfsIoTidBase);
   if (tid >= kFlushTidBase) return "flush file " + std::to_string(tid - kFlushTidBase);
   if (tid >= kMetaTidBase) return "md server " + std::to_string(tid - kMetaTidBase);
@@ -131,7 +147,23 @@ std::string Recorder::ChromeTraceJson() const {
     os << "{\"ph\":\"X\",\"cat\":\"" << span.category << "\",\"name\":\"" << span.name
        << "\",\"pid\":" << span.track.pid << ",\"tid\":" << span.track.tid
        << ",\"ts\":" << TraceTs(span.start) << ",\"dur\":" << TraceTs(span.end - span.start);
-    if (span.bytes != kNoBytes) os << ",\"args\":{\"bytes\":" << span.bytes << "}";
+    const bool tagged = span.tag.cat != Category::kNone || span.tag.self.id != 0 ||
+                        span.tag.parent.id != 0;
+    if (span.bytes != kNoBytes || tagged) {
+      os << ",\"args\":{";
+      bool first_arg = true;
+      auto arg = [&](const char* key) -> std::ostringstream& {
+        if (!first_arg) os << ",";
+        first_arg = false;
+        os << "\"" << key << "\":";
+        return os;
+      };
+      if (span.bytes != kNoBytes) arg("bytes") << span.bytes;
+      if (span.tag.cat != Category::kNone) arg("ac") << "\"" << CategoryName(span.tag.cat) << "\"";
+      if (span.tag.self.id != 0) arg("id") << span.tag.self.id;
+      if (span.tag.parent.id != 0) arg("parent") << span.tag.parent.id;
+      os << "}";
+    }
     os << "}";
   }
 
@@ -147,11 +179,14 @@ std::string Recorder::ChromeTraceJson() const {
   return os.str();
 }
 
-std::string Recorder::MetricsJson(Time sim_elapsed) const {
+std::string Recorder::MetricsJson(Time sim_elapsed, const std::string& attribution_json) const {
   std::ostringstream os;
-  os << "{\n\"schema\":\"univistor.metrics.v1\",\n";
+  os << "{\n\"schema\":\"univistor.metrics.v2\",\n";
   os << "\"sim_elapsed_seconds\":" << JsonNumber(sim_elapsed) << ",\n";
   os << "\"span_count\":" << spans_.size() << ",\n";
+  os << "\"span_limit\":" << span_limit_ << ",\n";
+  os << "\"spans_dropped\":" << spans_dropped_ << ",\n";
+  if (!attribution_json.empty()) os << "\"attribution\":" << attribution_json << ",\n";
 
   os << "\"counters\":{";
   bool first = true;
@@ -214,8 +249,9 @@ Status Recorder::WriteChromeTrace(const std::string& path) const {
   return WriteWholeFile(path, ChromeTraceJson());
 }
 
-Status Recorder::WriteMetricsJson(const std::string& path, Time sim_elapsed) const {
-  return WriteWholeFile(path, MetricsJson(sim_elapsed));
+Status Recorder::WriteMetricsJson(const std::string& path, Time sim_elapsed,
+                                  const std::string& attribution_json) const {
+  return WriteWholeFile(path, MetricsJson(sim_elapsed, attribution_json));
 }
 
 Status Recorder::WriteSeriesCsv(const std::string& path) const {

@@ -9,6 +9,12 @@
 //     by an obs::Sampler, exported as JSON and CSV (and as Chrome "C"
 //     counter events inside the trace).
 //
+// Spans optionally carry *attribution tags* (attribution.hpp): a wait-state
+// category, a causal parent (the span whose work caused this one), and the
+// solo/uncontended duration of the underlying transfer. Tagged spans let
+// the analysis pass decompose each rank's wall time into categories and
+// reconstruct the dependency DAG of a run.
+//
 // Instrumented code guards every call on `Recorder::Current()`: when no
 // recorder is installed (the default) instrumentation is a single inlined
 // null-pointer test — no heap traffic, no string work, no virtual calls.
@@ -34,6 +40,45 @@ namespace uvs::obs {
 /// Sentinel for spans that carry no byte payload.
 constexpr Bytes kNoBytes = static_cast<Bytes>(-1);
 
+/// Wait-state attribution category of a span (attribution.hpp). Leaf spans
+/// tagged with a category participate in the per-rank time decomposition;
+/// kNone spans are umbrellas (whole MPI-IO ops, flush passes) used for rank
+/// windows and causal structure only.
+enum class Category : std::uint8_t {
+  kNone = 0,
+  kCompute,   // uncovered rank time (synthesised by the analysis pass)
+  kQueue,     // fair-share queuing, locks, barriers, broadcasts
+  kDram,      // DRAM / node-local SSD transfer
+  kBb,        // burst-buffer transfer
+  kPfs,       // PFS (OST) transfer
+  kMeta,      // metadata RPC service
+  kNet,       // network serialization: NIC, round trips, shuffles, copies
+  kDegraded,  // transfer time inside a fault-degraded device window
+};
+constexpr int kCategoryCount = 9;
+const char* CategoryName(Category cat);
+
+/// Identity of a recorded span; 0 means "anonymous" (never assigned).
+struct SpanRef {
+  std::uint32_t id = 0;
+  explicit operator bool() const { return id != 0; }
+  friend bool operator==(const SpanRef&, const SpanRef&) = default;
+};
+
+/// Causal dependency edge: `child`'s work was initiated by `parent`.
+struct CausalLink {
+  std::uint32_t parent = 0;
+  std::uint32_t child = 0;
+};
+
+/// Optional attribution tag attached to a span at emission time.
+struct SpanTag {
+  Category cat = Category::kNone;
+  SpanRef parent;     // causal parent span (0 = root)
+  SpanRef self;       // pre-allocated identity so children can reference it
+  double ideal = 0.0; // solo/uncontended seconds of the underlying transfer
+};
+
 /// Trace-track identity, mapped onto Chrome trace (pid, tid). Processes
 /// are physical locations (compute node, BB node, OST); threads are lanes
 /// within them (a rank, a metadata server, a flush pass). The encoding is
@@ -54,6 +99,7 @@ struct Track {
   static constexpr std::int32_t kMetaTidBase = 1000000;     // + server index
   static constexpr std::int32_t kFlushTidBase = 2000000;    // + file id
   static constexpr std::int32_t kPfsIoTidBase = 3000000;    // + PFS file handle
+  static constexpr std::int32_t kMetaQueueTidBase = 4000000;  // + server index
   static constexpr std::int32_t kRankTidBase = 10000000;    // + program*100000 + rank
 
   static Track Rank(int node, int program, int rank) {
@@ -61,6 +107,11 @@ struct Track {
   }
   static Track MetaServer(int node, int server_idx) {
     return {kNodePidBase + node, kMetaTidBase + server_idx};
+  }
+  /// Waiting lane of a metadata server: concurrent clients queued on the
+  /// server's serialized service section (spans here may overlap).
+  static Track MetaServerQueue(int node, int server_idx) {
+    return {kNodePidBase + node, kMetaQueueTidBase + server_idx};
   }
   static Track Flush(std::uint64_t fid) {
     return {kSimPid, kFlushTidBase + static_cast<std::int32_t>(fid)};
@@ -71,6 +122,10 @@ struct Track {
   static Track BbNode(int bb_node) { return {kBbPidBase + bb_node, kDeviceTid}; }
   static Track Ost(int ost) { return {kOstPidBase + ost, kDeviceTid}; }
 
+  bool is_rank() const { return tid >= kRankTidBase; }
+  int rank_program() const { return (tid - kRankTidBase) / 100000; }
+  int rank_index() const { return (tid - kRankTidBase) % 100000; }
+
   std::string PidName() const;
   std::string TidName() const;
 
@@ -79,6 +134,11 @@ struct Track {
 
 class Recorder {
  public:
+  /// Default cap on recorded spans (satellite of docs/OBSERVABILITY.md's
+  /// memory-bounding note): 4M spans ≈ 300 MB. Beyond it spans are counted
+  /// in `spans_dropped()` instead of growing without limit.
+  static constexpr std::size_t kDefaultSpanLimit = 4u << 20;
+
   Recorder() = default;
   Recorder(const Recorder&) = delete;
   Recorder& operator=(const Recorder&) = delete;
@@ -95,16 +155,53 @@ class Recorder {
   bool installed() const { return current_ == this; }
 
   // --- span tracing ------------------------------------------------------
-  void AddSpan(const char* category, const char* name, Track track, Time start, Time end,
-               Bytes bytes = kNoBytes) {
-    spans_.push_back(SpanEvent{start, end, category, name, track, bytes});
+  struct SpanEvent {
+    Time start;
+    Time end;
+    const char* category;  // static-string literal (trace grouping)
+    const char* name;      // static-string literal
+    Track track;
+    Bytes bytes;
+    SpanTag tag;
+  };
+
+  SpanRef AddSpan(const char* category, const char* name, Track track, Time start, Time end,
+                  Bytes bytes = kNoBytes) {
+    return AddSpanTagged(category, name, track, start, end, bytes, SpanTag{});
+  }
+  SpanRef AddSpanTagged(const char* category, const char* name, Track track, Time start,
+                        Time end, Bytes bytes, SpanTag tag) {
+    if (spans_.size() >= span_limit_) {
+      ++spans_dropped_;
+      return SpanRef{};
+    }
+    spans_.push_back(SpanEvent{start, end, category, name, track, bytes, tag});
+    return tag.self;
   }
   /// Zero-duration marker.
   void AddInstant(const char* category, const char* name, Track track, Time at,
                   Bytes bytes = kNoBytes) {
     AddSpan(category, name, track, at, at, bytes);
   }
+
+  /// Allocates a fresh span identity (for spans whose children need a
+  /// causal parent before the span itself is emitted).
+  SpanRef NewSpanRef() { return SpanRef{++last_span_id_}; }
+
+  /// Records a causal edge between two identified spans; edges with an
+  /// anonymous endpoint are dropped.
+  void AddLink(SpanRef parent, SpanRef child) {
+    if (parent && child) links_.push_back(CausalLink{parent.id, child.id});
+  }
+
   std::size_t span_count() const { return spans_.size(); }
+  const std::vector<SpanEvent>& spans() const { return spans_; }
+  const std::vector<CausalLink>& links() const { return links_; }
+
+  /// Caps `spans()` memory; further spans are dropped and counted.
+  void SetSpanLimit(std::size_t limit) { span_limit_ = limit; }
+  std::size_t span_limit() const { return span_limit_; }
+  std::uint64_t spans_dropped() const { return spans_dropped_; }
 
   // --- metrics -----------------------------------------------------------
   MetricsRegistry& metrics() { return metrics_; }
@@ -120,23 +217,18 @@ class Recorder {
   /// Chrome trace-event JSON (spans + track names + sampled counters).
   std::string ChromeTraceJson() const;
   /// Machine-readable run report: counters, gauges, distributions, series.
-  std::string MetricsJson(Time sim_elapsed) const;
+  /// `attribution_json`, when non-empty, must be a complete JSON object
+  /// (obs::AttributionJson) embedded under the "attribution" key.
+  std::string MetricsJson(Time sim_elapsed, const std::string& attribution_json = "") const;
   /// The sampled time series as "t,metric,value" CSV.
   std::string SeriesCsv() const;
 
   Status WriteChromeTrace(const std::string& path) const;
-  Status WriteMetricsJson(const std::string& path, Time sim_elapsed) const;
+  Status WriteMetricsJson(const std::string& path, Time sim_elapsed,
+                          const std::string& attribution_json = "") const;
   Status WriteSeriesCsv(const std::string& path) const;
 
  private:
-  struct SpanEvent {
-    Time start;
-    Time end;
-    const char* category;  // static-string literal
-    const char* name;      // static-string literal
-    Track track;
-    Bytes bytes;
-  };
   struct SeriesPoint {
     Time t;
     const std::string* name;  // points into the registry's stable keys
@@ -146,6 +238,10 @@ class Recorder {
   static inline Recorder* current_ = nullptr;
 
   std::vector<SpanEvent> spans_;
+  std::vector<CausalLink> links_;
+  std::size_t span_limit_ = kDefaultSpanLimit;
+  std::uint64_t spans_dropped_ = 0;
+  std::uint32_t last_span_id_ = 0;
   MetricsRegistry metrics_;
   std::vector<SeriesPoint> series_;
   std::size_t samples_taken_ = 0;
@@ -153,6 +249,12 @@ class Recorder {
 
 /// True when a recorder is installed; the one guard hot paths pay.
 inline bool Enabled() { return Recorder::Current() != nullptr; }
+
+/// Fresh span identity, or an anonymous ref when recording is off.
+inline SpanRef NewSpanRef() {
+  Recorder* r = Recorder::Current();
+  return r != nullptr ? r->NewSpanRef() : SpanRef{};
+}
 
 // Convenience helpers; all no-ops (one pointer test) when disabled.
 inline void Count(const char* name, std::uint64_t delta = 1) {
@@ -173,7 +275,7 @@ class SpanTimer {
  public:
   SpanTimer() = default;
   SpanTimer(sim::Engine& engine, const char* category, const char* name, Track track,
-            Bytes bytes = kNoBytes)
+            Bytes bytes = kNoBytes, SpanTag tag = {})
       : recorder_(Recorder::Current()) {
     if (recorder_ != nullptr) {
       engine_ = &engine;
@@ -181,6 +283,7 @@ class SpanTimer {
       name_ = name;
       track_ = track;
       bytes_ = bytes;
+      tag_ = tag;
       start_ = engine.Now();
     }
   }
@@ -191,8 +294,11 @@ class SpanTimer {
     // uninstalled (e.g. coroutine frames torn down with the engine after a
     // bench hook exported its files).
     if (recorder_ != nullptr && recorder_ == Recorder::Current())
-      recorder_->AddSpan(category_, name_, track_, start_, engine_->Now(), bytes_);
+      recorder_->AddSpanTagged(category_, name_, track_, start_, engine_->Now(), bytes_, tag_);
   }
+
+  /// Identity children can link against (0 unless the tag carried one).
+  SpanRef ref() const { return tag_.self; }
 
  private:
   Recorder* recorder_ = nullptr;
@@ -201,6 +307,7 @@ class SpanTimer {
   const char* name_ = nullptr;
   Track track_;
   Bytes bytes_ = kNoBytes;
+  SpanTag tag_;
   Time start_ = 0;
 };
 

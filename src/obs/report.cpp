@@ -1,0 +1,262 @@
+#include "src/obs/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/strings.hpp"
+#include "src/common/table.hpp"
+
+namespace uvs::obs {
+
+namespace {
+
+/// Every number a report publishes must be finite; a NaN leaking into a
+/// CI gate would otherwise compare false against everything and pass.
+Status CheckFinite(const char* what, double v) {
+  if (!std::isfinite(v))
+    return InvalidArgumentError(std::string("report: non-finite value in ") + what);
+  return Status::Ok();
+}
+
+Status LoadNumberMap(const json::Value* obj, const char* what,
+                     std::map<std::string, double>* out) {
+  if (obj == nullptr || !obj->is_object())
+    return InvalidArgumentError(std::string("report: missing object ") + what);
+  for (const auto& [key, value] : obj->AsObject()) {
+    if (!value.is_number())
+      return InvalidArgumentError(std::string("report: non-numeric entry in ") + what);
+    UVS_RETURN_IF_ERROR(CheckFinite(what, value.AsNumber()));
+    (*out)[key] = value.AsNumber();
+  }
+  return Status::Ok();
+}
+
+Status LoadAttribution(const json::Value& attr, RunReport* report) {
+  report->has_attribution = true;
+  report->attribution_schema = attr.StringOr("schema", "");
+  if (report->attribution_schema != "univistor.attribution.v1")
+    return InvalidArgumentError("report: unknown attribution schema '" +
+                                report->attribution_schema + "'");
+  const json::Value* jobs = attr.Find("jobs");
+  if (jobs == nullptr || !jobs->is_array())
+    return InvalidArgumentError("report: attribution without jobs array");
+  for (const json::Value& job : jobs->AsArray()) {
+    LoadedJob loaded;
+    loaded.name = job.StringOr("name", "");
+    loaded.program = static_cast<int>(job.NumberOr("program", 0));
+    const json::Value* server = job.Find("is_server");
+    loaded.is_server = server != nullptr && server->is_bool() && server->AsBool();
+    loaded.ranks = static_cast<int>(job.NumberOr("ranks", 0));
+    loaded.elapsed = job.NumberOr("elapsed", 0);
+    loaded.rank_window_seconds = job.NumberOr("rank_window_seconds", 0);
+    UVS_RETURN_IF_ERROR(CheckFinite("job elapsed", loaded.elapsed));
+    UVS_RETURN_IF_ERROR(LoadNumberMap(job.Find("categories"), "job categories",
+                                      &loaded.categories));
+    report->jobs.push_back(std::move(loaded));
+  }
+  if (const json::Value* cp = attr.Find("critical_path"); cp != nullptr && cp->is_object()) {
+    report->critical_job = cp->StringOr("job", "");
+    report->critical_rank = static_cast<int>(cp->NumberOr("rank", -1));
+    report->critical_elapsed = cp->NumberOr("elapsed", 0);
+    UVS_RETURN_IF_ERROR(CheckFinite("critical path elapsed", report->critical_elapsed));
+    if (const json::Value* segs = cp->Find("segments"); segs != nullptr && segs->is_array())
+      report->critical_segments = segs->AsArray().size();
+  }
+  if (const json::Value* devices = attr.Find("devices");
+      devices != nullptr && devices->is_array()) {
+    for (const json::Value& dev : devices->AsArray()) {
+      LoadedDevice loaded;
+      loaded.device = dev.StringOr("device", "");
+      loaded.utilization = dev.NumberOr("utilization", 0);
+      loaded.saturation = dev.NumberOr("saturation", 0);
+      loaded.busy = dev.NumberOr("busy", 0);
+      loaded.degraded = dev.NumberOr("degraded", 0);
+      loaded.errors = static_cast<int>(dev.NumberOr("errors", 0));
+      UVS_RETURN_IF_ERROR(CheckFinite("device utilization", loaded.utilization));
+      UVS_RETURN_IF_ERROR(CheckFinite("device saturation", loaded.saturation));
+      report->devices.push_back(std::move(loaded));
+    }
+  }
+  return Status::Ok();
+}
+
+std::string Percent(double v) { return FormatDouble(100.0 * v, 1) + "%"; }
+
+}  // namespace
+
+double LoadedJob::attributed() const {
+  double total = 0;
+  for (const auto& [name, seconds] : categories) total += seconds;
+  return total;
+}
+
+Result<RunReport> LoadRunReport(const json::Value& root) {
+  if (!root.is_object())
+    return Result<RunReport>(InvalidArgumentError("report: document is not an object"));
+  RunReport report;
+  report.schema = root.StringOr("schema", "");
+  if (report.schema != "univistor.metrics.v2")
+    return Result<RunReport>(
+        InvalidArgumentError("report: unsupported schema '" + report.schema +
+                             "' (want univistor.metrics.v2)"));
+  const json::Value* elapsed = root.Find("sim_elapsed_seconds");
+  if (elapsed == nullptr || !elapsed->is_number())
+    return Result<RunReport>(
+        InvalidArgumentError("report: missing sim_elapsed_seconds"));
+  report.sim_elapsed = elapsed->AsNumber();
+  if (Status s = CheckFinite("sim_elapsed_seconds", report.sim_elapsed); !s.ok())
+    return Result<RunReport>(std::move(s));
+  report.span_count = root.NumberOr("span_count", 0);
+  report.span_limit = root.NumberOr("span_limit", 0);
+  report.spans_dropped = root.NumberOr("spans_dropped", 0);
+  if (Status s = LoadNumberMap(root.Find("counters"), "counters", &report.counters); !s.ok())
+    return Result<RunReport>(std::move(s));
+  if (Status s = LoadNumberMap(root.Find("gauges"), "gauges", &report.gauges); !s.ok())
+    return Result<RunReport>(std::move(s));
+  if (const json::Value* attr = root.Find("attribution"); attr != nullptr) {
+    if (Status s = LoadAttribution(*attr, &report); !s.ok())
+      return Result<RunReport>(std::move(s));
+  }
+  return report;
+}
+
+Result<RunReport> LoadRunReportFile(const std::string& path) {
+  auto doc = json::ParseFile(path);
+  if (!doc.ok()) return Result<RunReport>(doc.status());
+  return LoadRunReport(*doc);
+}
+
+std::string RenderReport(const RunReport& report) {
+  std::ostringstream os;
+  os << "schema " << report.schema << " | elapsed " << HumanTime(report.sim_elapsed)
+     << " | " << static_cast<long long>(report.span_count) << " spans";
+  if (report.spans_dropped > 0)
+    os << " (" << static_cast<long long>(report.spans_dropped) << " dropped at cap "
+       << static_cast<long long>(report.span_limit) << ")";
+  os << "\n";
+
+  if (report.has_attribution) {
+    os << "\n== time attribution ==\n";
+    Table table({"job", "ranks", "elapsed", "top categories"});
+    for (const LoadedJob& job : report.jobs) {
+      // The three largest categories tell the story; the JSON has the rest.
+      std::vector<std::pair<double, std::string>> ranked;
+      for (const auto& [name, seconds] : job.categories) ranked.push_back({seconds, name});
+      std::sort(ranked.rbegin(), ranked.rend());
+      std::string top;
+      const double total = job.attributed();
+      for (std::size_t i = 0; i < ranked.size() && i < 3; ++i) {
+        if (ranked[i].first <= 0) break;
+        if (!top.empty()) top += ", ";
+        top += ranked[i].second + " " +
+               Percent(total > 0 ? ranked[i].first / total : 0.0);
+      }
+      table.AddRow({job.name, std::to_string(job.ranks), HumanTime(job.elapsed), top});
+    }
+    os << table.ToString();
+    if (!report.critical_job.empty())
+      os << "critical path: " << report.critical_job << " rank " << report.critical_rank
+         << ", " << HumanTime(report.critical_elapsed) << " over "
+         << report.critical_segments << " segments\n";
+    if (!report.devices.empty()) {
+      os << "\n== device USE ==\n";
+      Table table2({"device", "util", "queue-depth-s", "degraded", "errors"});
+      for (const LoadedDevice& dev : report.devices)
+        table2.AddRow({dev.device, Percent(dev.utilization), FormatDouble(dev.saturation, 2),
+                       HumanTime(dev.degraded), std::to_string(dev.errors)});
+      os << table2.ToString();
+    }
+  }
+
+  if (!report.counters.empty()) {
+    os << "\n== counters ==\n";
+    Table table({"counter", "value"});
+    for (const auto& [name, value] : report.counters)
+      table.AddRow({name, FormatDouble(value, 0)});
+    os << table.ToString();
+  }
+  return os.str();
+}
+
+namespace {
+
+double RelChange(double before, double after) {
+  const double base = std::max(std::abs(before), std::abs(after));
+  if (base <= 0) return 0;
+  return std::abs(after - before) / base;
+}
+
+}  // namespace
+
+std::vector<std::string> DiffReports(const RunReport& before, const RunReport& after,
+                                     const DiffOptions& options) {
+  std::vector<std::string> shifts;
+  auto shift = [&shifts](std::string msg) { shifts.push_back(std::move(msg)); };
+
+  if (RelChange(before.sim_elapsed, after.sim_elapsed) > options.rel_tol)
+    shift("sim elapsed " + HumanTime(before.sim_elapsed) + " -> " +
+          HumanTime(after.sim_elapsed));
+
+  std::map<std::string, const LoadedJob*> before_jobs;
+  for (const LoadedJob& job : before.jobs) before_jobs[job.name] = &job;
+  for (const LoadedJob& job : after.jobs) {
+    auto it = before_jobs.find(job.name);
+    if (it == before_jobs.end()) {
+      shift("job '" + job.name + "' only in the new report");
+      continue;
+    }
+    const LoadedJob& old = *it->second;
+    before_jobs.erase(it);
+    if (RelChange(old.elapsed, job.elapsed) > options.rel_tol)
+      shift("job '" + job.name + "' elapsed " + HumanTime(old.elapsed) + " -> " +
+            HumanTime(job.elapsed));
+    // Category *shares* are scale-free, so a uniformly slower run does not
+    // double-report every category on top of the elapsed shift above.
+    const double old_total = old.attributed(), new_total = job.attributed();
+    for (const auto& [name, seconds] : job.categories) {
+      const double old_seconds =
+          old.categories.count(name) != 0 ? old.categories.at(name) : 0.0;
+      if (std::max(seconds, old_seconds) < options.min_seconds) continue;
+      const double old_share = old_total > 0 ? old_seconds / old_total : 0.0;
+      const double new_share = new_total > 0 ? seconds / new_total : 0.0;
+      if (std::abs(new_share - old_share) > options.share_tol)
+        shift("job '" + job.name + "' " + name + " share " + Percent(old_share) + " -> " +
+              Percent(new_share));
+    }
+  }
+  for (const auto& [name, job] : before_jobs)
+    shift("job '" + name + "' only in the old report");
+
+  if (before.critical_job == after.critical_job &&
+      RelChange(before.critical_elapsed, after.critical_elapsed) > options.rel_tol)
+    shift("critical path elapsed " + HumanTime(before.critical_elapsed) + " -> " +
+          HumanTime(after.critical_elapsed));
+
+  std::map<std::string, const LoadedDevice*> before_devices;
+  for (const LoadedDevice& dev : before.devices) before_devices[dev.device] = &dev;
+  for (const LoadedDevice& dev : after.devices) {
+    auto it = before_devices.find(dev.device);
+    if (it == before_devices.end()) continue;  // topology growth is not a regression
+    const LoadedDevice& old = *it->second;
+    if (std::abs(dev.utilization - old.utilization) > options.share_tol &&
+        std::max(dev.busy, old.busy) > options.min_seconds)
+      shift("device " + dev.device + " utilization " + Percent(old.utilization) + " -> " +
+            Percent(dev.utilization));
+    if (RelChange(old.saturation, dev.saturation) > options.rel_tol &&
+        std::max(old.saturation, dev.saturation) > options.min_seconds)
+      shift("device " + dev.device + " saturation " + FormatDouble(old.saturation, 2) +
+            " -> " + FormatDouble(dev.saturation, 2) + " queue-depth-seconds");
+    if (dev.errors != old.errors)
+      shift("device " + dev.device + " errors " + std::to_string(old.errors) + " -> " +
+            std::to_string(dev.errors));
+  }
+
+  if ((before.spans_dropped > 0) != (after.spans_dropped > 0))
+    shift("spans dropped " + FormatDouble(before.spans_dropped, 0) + " -> " +
+          FormatDouble(after.spans_dropped, 0) + " (cap changed or trace volume shifted)");
+
+  return shifts;
+}
+
+}  // namespace uvs::obs

@@ -1,0 +1,75 @@
+// Loading, rendering, and diffing of the metrics run report JSON
+// (univistor.metrics.v2, written by Recorder::WriteMetricsJson with an
+// optional embedded univistor.attribution.v1 object). Used by
+// tools/uvreport and the schema-validation tests; independent of the
+// Recorder so reports from other builds can be compared.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/json.hpp"
+#include "src/common/status.hpp"
+
+namespace uvs::obs {
+
+struct LoadedJob {
+  std::string name;
+  int program = 0;
+  bool is_server = false;
+  int ranks = 0;
+  double elapsed = 0;
+  double rank_window_seconds = 0;
+  std::map<std::string, double> categories;  // category name -> seconds
+
+  double attributed() const;
+};
+
+struct LoadedDevice {
+  std::string device;
+  double utilization = 0;
+  double saturation = 0;
+  double busy = 0;
+  double degraded = 0;
+  int errors = 0;
+};
+
+struct RunReport {
+  std::string schema;
+  double sim_elapsed = 0;
+  double span_count = 0;
+  double span_limit = 0;
+  double spans_dropped = 0;
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+
+  bool has_attribution = false;
+  std::string attribution_schema;
+  std::vector<LoadedJob> jobs;
+  std::string critical_job;
+  int critical_rank = -1;
+  double critical_elapsed = 0;
+  std::size_t critical_segments = 0;
+  std::vector<LoadedDevice> devices;
+};
+
+/// Validates the schema version and required keys while loading.
+Result<RunReport> LoadRunReport(const json::Value& root);
+Result<RunReport> LoadRunReportFile(const std::string& path);
+
+/// Human-readable rendering of a loaded report (counters, attribution).
+std::string RenderReport(const RunReport& report);
+
+struct DiffOptions {
+  double rel_tol = 0.10;      // relative change on elapsed/critical-path/busy
+  double share_tol = 0.02;    // absolute change on category share / utilization
+  double min_seconds = 0.05;  // ignore categories below this in both reports
+};
+
+/// Statistically meaningful shifts between two reports (empty = no shift).
+/// Jobs and devices are matched by name; appearing/disappearing counts.
+std::vector<std::string> DiffReports(const RunReport& before, const RunReport& after,
+                                     const DiffOptions& options);
+
+}  // namespace uvs::obs

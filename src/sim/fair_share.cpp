@@ -31,6 +31,7 @@ void FairSharePool::AdvanceToNow() {
     const Time dt = now - last_update_;
     vnow_ += dt * RatePerFlow(heap_.size());
     busy_time_ += dt;
+    if (heap_.size() > 1) queue_depth_seconds_ += dt * static_cast<double>(heap_.size() - 1);
   }
   last_update_ = now;
 }
@@ -61,6 +62,13 @@ void FairSharePool::SetPerFlowCap(Bandwidth cap) {
 Time FairSharePool::busy_time() const {
   Time t = busy_time_;
   if (!heap_.empty()) t += engine_->Now() - last_update_;
+  return t;
+}
+
+Time FairSharePool::queue_depth_seconds() const {
+  Time t = queue_depth_seconds_;
+  if (heap_.size() > 1)
+    t += (engine_->Now() - last_update_) * static_cast<double>(heap_.size() - 1);
   return t;
 }
 

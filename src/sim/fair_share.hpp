@@ -63,6 +63,14 @@ class FairSharePool {
   /// Per-flow rate the pool would grant with `n` active flows.
   Bandwidth RatePerFlow(std::size_t n) const;
 
+  /// Uncontended wall time a `bytes` transfer would take with this pool to
+  /// itself (the attribution profiler's "ideal" duration; the surplus over
+  /// it is fair-share queuing).
+  Time SoloTime(Bytes bytes) const {
+    const Bandwidth rate = RatePerFlow(1);
+    return rate > 0 ? static_cast<double>(bytes) / rate : 0.0;
+  }
+
   /// Changes aggregate capacity from the current instant onward (used when
   /// CPU shares are re-assigned, e.g. flush-time core migration).
   void SetCapacity(Bandwidth capacity);
@@ -80,6 +88,9 @@ class FairSharePool {
   Bytes total_bytes() const { return total_bytes_; }
   /// Integral of wall time during which >= 1 flow was active.
   Time busy_time() const;
+  /// Saturation integral: ∫ max(0, flows(t) - 1) dt — queue-depth-seconds
+  /// beyond the one flow the pool can serve at full rate (USE "saturation").
+  Time queue_depth_seconds() const;
   std::uint64_t completed_transfers() const { return completed_; }
 
  private:
@@ -118,6 +129,7 @@ class FairSharePool {
   Bytes total_bytes_ = 0;
   std::uint64_t completed_ = 0;
   Time busy_time_ = 0.0;
+  Time queue_depth_seconds_ = 0.0;
 };
 
 }  // namespace uvs::sim

@@ -111,8 +111,9 @@ Pfs::StreamPlan Pfs::PlanStreams(const FileInfo& info, Bytes offset, Bytes len,
 
 namespace {
 sim::Task NicLeg(sim::FairSharePool& pool, Bytes bytes) { co_await pool.Transfer(bytes); }
-sim::Task OstLeg(hw::PfsDevice& dev, int ost, Bytes bytes, double inflation) {
-  co_await dev.Access(ost, bytes, inflation);
+sim::Task OstLeg(hw::PfsDevice& dev, int ost, Bytes bytes, double inflation,
+                 obs::SpanRef parent) {
+  co_await dev.Access(ost, bytes, inflation, parent);
 }
 }  // namespace
 
@@ -122,8 +123,10 @@ sim::Task Pfs::Access(FileHandle file, Bytes offset, Bytes len, int node,
   auto& engine = cluster_->engine();
   if (len == 0) co_return;
 
+  const obs::SpanRef self = obs::NewSpanRef();
   obs::SpanTimer span(engine, "storage", read ? "pfs.read" : "pfs.write",
-                      obs::Track::PfsIo(node, file), len);
+                      obs::Track::PfsIo(node, file), len,
+                      {.cat = obs::Category::kPfs, .parent = options.parent, .self = self});
   obs::Count(read ? "storage.pfs.read.calls" : "storage.pfs.write.calls");
   obs::Count(read ? "storage.pfs.read.bytes" : "storage.pfs.write.bytes", len);
 
@@ -158,7 +161,7 @@ sim::Task Pfs::Access(FileHandle file, Bytes offset, Bytes len, int node,
   auto& nic = read ? cluster_->node(node).nic_rx() : cluster_->node(node).nic_tx();
   legs.push_back(NicLeg(nic, len));
   for (const auto& [ost, bytes] : plan.streams)
-    legs.push_back(OstLeg(cluster_->pfs(), ost, bytes, inflation));
+    legs.push_back(OstLeg(cluster_->pfs(), ost, bytes, inflation, self));
   co_await sim::WhenAll(engine, std::move(legs));
 
   --active;

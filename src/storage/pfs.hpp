@@ -24,6 +24,7 @@
 #include "src/common/status.hpp"
 #include "src/common/units.hpp"
 #include "src/hw/cluster.hpp"
+#include "src/obs/recorder.hpp"
 #include "src/sim/task.hpp"
 
 namespace uvs::storage {
@@ -70,6 +71,8 @@ class Pfs {
     std::vector<int> target_osts;
     /// false = requests randomly directed within the target set.
     bool coordinated = true;
+    /// Causal parent of this access's spans (obs::attribution DAG).
+    obs::SpanRef parent;
   };
 
   struct StreamPlan {

@@ -15,10 +15,12 @@ class UniviStorDriver : public vmpi::AdioDriver {
 
   const char* fs_type() const override { return "univistor"; }
 
-  sim::Task Open(vmpi::File& file, int rank) override;
-  sim::Task WriteAt(vmpi::File& file, int rank, Bytes offset, Bytes len) override;
-  sim::Task ReadAt(vmpi::File& file, int rank, Bytes offset, Bytes len) override;
-  sim::Task Close(vmpi::File& file, int rank) override;
+  sim::Task Open(vmpi::File& file, int rank, obs::SpanRef op) override;
+  sim::Task WriteAt(vmpi::File& file, int rank, Bytes offset, Bytes len,
+                    obs::SpanRef op) override;
+  sim::Task ReadAt(vmpi::File& file, int rank, Bytes offset, Bytes len,
+                   obs::SpanRef op) override;
+  sim::Task Close(vmpi::File& file, int rank, obs::SpanRef op) override;
   sim::Task WaitFlush(vmpi::File& file) override;
 
   UniviStor& system() { return *system_; }

@@ -16,9 +16,25 @@ namespace {
 
 sim::Task PoolLeg(sim::FairSharePool& pool, Bytes bytes) { co_await pool.Transfer(bytes); }
 
-sim::Task BbLeg(hw::BurstBuffer& bb, int bb_node, Bytes bytes) {
-  co_await bb.Access(bb_node, bytes, 1.0);
+sim::Task BbLeg(hw::BurstBuffer& bb, int bb_node, Bytes bytes, obs::SpanRef parent = {}) {
+  co_await bb.Access(bb_node, bytes, 1.0, parent);
 }
+
+/// Category-tagging wrapper for one concurrent leg: records a span on the
+/// issuing rank's track covering the leg's lifetime. Only instantiated when
+/// tracing is on (call sites pass the inner task straight through
+/// otherwise); awaiting `inner` is a symmetric transfer, so the wrapper
+/// adds no engine events either way.
+sim::Task Tagged(sim::Engine& engine, const char* name, obs::Track track, Bytes bytes,
+                 obs::SpanTag tag, sim::Task inner) {
+  obs::SpanTimer span(engine, "univistor", name, track, bytes, tag);
+  co_await std::move(inner);
+}
+
+/// Ideal (contention-free) duration of a pool transfer: what the leg would
+/// take alone on the device. The attribution pass splits the excess over
+/// this into fair-share queuing.
+Time SoloOf(const sim::FairSharePool& pool, Bytes bytes) { return pool.SoloTime(bytes); }
 
 /// Ranks of a block-mapped program that land on `node`.
 int LocalRanksOnNode(int node, int program_size, int nodes) {
@@ -165,38 +181,62 @@ placement::DhpWriterChain& UniviStor::Chain(FileInfo& info, vmpi::ProgramId prog
   return *it->second;
 }
 
-sim::Task UniviStor::MetadataRpc(int client_node, int server_idx, int ops) {
+sim::Task UniviStor::MetadataRpc(int client_node, int server_idx, int ops,
+                                 obs::Track rank_track, obs::SpanRef parent) {
   hw::Cluster& cluster = runtime_->cluster();
-  const Time start = cluster.engine().Now();
+  sim::Engine& engine = cluster.engine();
+  const int server_node = ServerNode(server_idx);
+  const Time start = engine.Now();
   obs::Count("meta.rpc.calls");
   obs::Count("meta.rpc.ops", static_cast<std::uint64_t>(ops));
-  co_await cluster.network().RoundTrip(client_node, ServerNode(server_idx));
+  co_await cluster.network().RoundTrip(client_node, server_node);
+  const Time queued = engine.Now();
   auto guard = co_await md_queue_[static_cast<std::size_t>(server_idx)]->Lock();
+  const Time serviced = engine.Now();
   {
     // Span covers only the serialized service section so spans on one
     // server's lane never overlap.
-    obs::SpanTimer span(cluster.engine(), "meta", "rpc.service",
-                        obs::Track::MetaServer(ServerNode(server_idx), server_idx));
-    co_await cluster.engine().Delay(static_cast<double>(ops) *
-                                    cluster.params().rpc_service_time);
+    obs::SpanTimer span(engine, "meta", "rpc.service",
+                        obs::Track::MetaServer(server_node, server_idx), obs::kNoBytes,
+                        {.parent = parent});
+    co_await engine.Delay(static_cast<double>(ops) * cluster.params().rpc_service_time);
   }
-  obs::Observe("meta.rpc.latency", cluster.engine().Now() - start);
+  if (obs::Recorder* r = obs::Recorder::Current()) {
+    // Rank-side decomposition of the RPC: network round-trip, wait for the
+    // server's serialized service queue, then the service time itself.
+    r->AddSpanTagged("meta", "md.roundtrip", rank_track, start, queued, obs::kNoBytes,
+                     {.cat = obs::Category::kNet, .parent = parent});
+    if (serviced > queued) {
+      r->AddSpanTagged("meta", "md.queue", rank_track, queued, serviced, obs::kNoBytes,
+                       {.cat = obs::Category::kQueue, .parent = parent});
+      // Mirror on the server's queue lane: the USE saturation integral is
+      // the sum of these (overlapping) waiter spans.
+      r->AddSpanTagged("meta", "md.queue", obs::Track::MetaServerQueue(server_node, server_idx),
+                       queued, serviced, obs::kNoBytes, {});
+    }
+    r->AddSpanTagged("meta", "md.service", rank_track, serviced, engine.Now(), obs::kNoBytes,
+                     {.cat = obs::Category::kMeta, .parent = parent});
+  }
+  obs::Observe("meta.rpc.latency", engine.Now() - start);
 }
 
-sim::Task UniviStor::OpenMetadata(vmpi::ProgramId program, int rank, storage::FileId fid) {
+sim::Task UniviStor::OpenMetadata(vmpi::ProgramId program, int rank, storage::FileId fid,
+                                  obs::SpanRef parent) {
   const int server = static_cast<int>(std::hash<storage::FileId>{}(fid) %
                                       static_cast<std::size_t>(total_servers_));
   const int node = runtime_->Rank(program, rank).node;
+  const obs::Track track = obs::Track::Rank(node, program, rank);
   if (config_.collective_open_close) {
     // Root-only metadata operation; the driver broadcasts the result.
-    if (rank == 0) co_await MetadataRpc(node, server, config_.md_ops_per_open);
+    if (rank == 0) co_await MetadataRpc(node, server, config_.md_ops_per_open, track, parent);
   } else {
-    co_await MetadataRpc(node, server, config_.md_ops_per_open);
+    co_await MetadataRpc(node, server, config_.md_ops_per_open, track, parent);
   }
 }
 
-sim::Task UniviStor::CloseMetadata(vmpi::ProgramId program, int rank, storage::FileId fid) {
-  return OpenMetadata(program, rank, fid);  // same traffic pattern
+sim::Task UniviStor::CloseMetadata(vmpi::ProgramId program, int rank, storage::FileId fid,
+                                   obs::SpanRef parent) {
+  return OpenMetadata(program, rank, fid, parent);  // same traffic pattern
 }
 
 int UniviStor::BbNodeOf(ProducerId producer) const {
@@ -215,38 +255,62 @@ storage::Pfs::FileHandle UniviStor::PfsDestination(FileInfo& info) {
 }
 
 sim::Task UniviStor::ChargeWrite(vmpi::ProgramId program, int rank, FileInfo& info,
-                                 placement::Placement placement, Bytes logical_offset) {
+                                 placement::Placement placement, Bytes logical_offset,
+                                 obs::SpanRef parent) {
   hw::Cluster& cluster = runtime_->cluster();
+  sim::Engine& engine = cluster.engine();
   const int node = runtime_->Rank(program, rank).node;
   const Bytes len = placement.extent.len;
+  const bool traced = obs::Enabled();
+  const obs::Track track = obs::Track::Rank(node, program, rank);
+  // Wraps one leg with a rank-track category span (tracing on only).
+  auto leg = [&](const char* name, obs::Category cat, Time ideal, sim::Task inner) {
+    return traced ? Tagged(engine, name, track, len,
+                           {.cat = cat, .parent = parent, .ideal = ideal}, std::move(inner))
+                  : std::move(inner);
+  };
   std::vector<sim::Task> legs;
-  legs.push_back(PoolLeg(runtime_->RankCpu(program, rank), len));
+  legs.push_back(leg("cpu.copy", obs::Category::kNet,
+                     SoloOf(runtime_->RankCpu(program, rank), len),
+                     PoolLeg(runtime_->RankCpu(program, rank), len)));
   switch (placement.layer) {
     case hw::Layer::kDram:
-      legs.push_back(PoolLeg(runtime_->RankDram(program, rank), len));
+      legs.push_back(leg("dram.write", obs::Category::kDram,
+                         SoloOf(runtime_->RankDram(program, rank), len),
+                         PoolLeg(runtime_->RankDram(program, rank), len)));
       break;
     case hw::Layer::kNodeLocalSsd:
-      legs.push_back(PoolLeg(cluster.node(node).local_ssd(), len));
+      legs.push_back(leg("ssd.write", obs::Category::kDram,
+                         SoloOf(cluster.node(node).local_ssd(), len),
+                         PoolLeg(cluster.node(node).local_ssd(), len)));
       break;
-    case hw::Layer::kSharedBurstBuffer:
-      legs.push_back(PoolLeg(cluster.node(node).nic_tx(), len));
-      legs.push_back(
-          BbLeg(cluster.burst_buffer(), BbNodeOf(MakeProducer(program, rank)), len));
+    case hw::Layer::kSharedBurstBuffer: {
+      const int bb_node = BbNodeOf(MakeProducer(program, rank));
+      legs.push_back(leg("nic.tx", obs::Category::kNet,
+                         SoloOf(cluster.node(node).nic_tx(), len),
+                         PoolLeg(cluster.node(node).nic_tx(), len)));
+      legs.push_back(leg("bb.write", obs::Category::kBb,
+                         cluster.burst_buffer().params().latency +
+                             SoloOf(cluster.burst_buffer().pool(bb_node), len),
+                         BbLeg(cluster.burst_buffer(), bb_node, len, parent)));
       break;
+    }
     case hw::Layer::kPfs: {
       // Spill tail / UniviStor-on-Disk: the bytes go straight into the
       // shared destination file on the PFS, paying the shared-file costs
       // the cache layers exist to avoid.
-      legs.push_back(pfs_->Write(PfsDestination(info), logical_offset, len, node,
-                                 {.layout = storage::AccessLayout::kSharedInterleaved}));
+      legs.push_back(leg("pfs.spill", obs::Category::kPfs, 0.0,
+                         pfs_->Write(PfsDestination(info), logical_offset, len, node,
+                                     {.layout = storage::AccessLayout::kSharedInterleaved,
+                                      .parent = parent})));
       break;
     }
   }
-  co_await sim::WhenAll(cluster.engine(), std::move(legs));
+  co_await sim::WhenAll(engine, std::move(legs));
 }
 
 sim::Task UniviStor::Write(vmpi::ProgramId program, int rank, storage::FileId fid,
-                           Bytes offset, Bytes len) {
+                           Bytes offset, Bytes len, obs::SpanRef parent) {
   FileInfo& info = Info(fid);
   placement::DhpWriterChain& chain = Chain(info, program, rank);
   const int node = runtime_->Rank(program, rank).node;
@@ -273,11 +337,12 @@ sim::Task UniviStor::Write(vmpi::ProgramId program, int rank, storage::FileId fi
   std::vector<sim::Task> legs;
   Bytes leg_cursor = offset;
   for (const auto& placement : placements) {
-    legs.push_back(ChargeWrite(program, rank, info, placement, leg_cursor));
+    legs.push_back(ChargeWrite(program, rank, info, placement, leg_cursor, parent));
     leg_cursor += placement.extent.len;
   }
   co_await sim::WhenAll(runtime_->engine(), std::move(legs));
-  for (int server : touched) co_await MetadataRpc(node, server, 1);
+  const obs::Track track = obs::Track::Rank(node, program, rank);
+  for (int server : touched) co_await MetadataRpc(node, server, 1, track, parent);
 
   // Resilience extension: replicate volatile-layer data to the BB in the
   // background (the client does not wait for it) — unless safe mode is
@@ -293,8 +358,17 @@ sim::Task UniviStor::Write(vmpi::ProgramId program, int rank, storage::FileId fi
         if (safe_mode) {
           safe_mode_bytes_ += placement.extent.len;
           obs::Count("fault.safe_mode_bytes", placement.extent.len);
-          co_await ReplicateTask(node, fid, producer, placement.layer, placement.extent.addr,
-                                 placement.extent.len);
+          // Safe mode: the write ack waits for the replica copy; account
+          // the stall as BB transfer time on the issuing rank.
+          if (obs::Enabled()) {
+            co_await Tagged(runtime_->engine(), "replica.wait", track, placement.extent.len,
+                            {.cat = obs::Category::kBb, .parent = parent},
+                            ReplicateTask(node, fid, producer, placement.layer,
+                                          placement.extent.addr, placement.extent.len));
+          } else {
+            co_await ReplicateTask(node, fid, producer, placement.layer, placement.extent.addr,
+                                   placement.extent.len);
+          }
         } else {
           runtime_->engine().Spawn(ReplicateTask(node, fid, producer, placement.layer,
                                                  placement.extent.addr, placement.extent.len),
@@ -478,17 +552,29 @@ void UniviStor::Promote(int node, const meta::MetadataRecord& record) {
 }
 
 sim::Task UniviStor::ReadRecord(vmpi::ProgramId program, int rank, FileInfo& info,
-                                const meta::MetadataRecord& record) {
+                                const meta::MetadataRecord& record, obs::SpanRef parent) {
   hw::Cluster& cluster = runtime_->cluster();
+  sim::Engine& engine = cluster.engine();
   const int reader_node = runtime_->Rank(program, rank).node;
   const Bytes len = record.len;
+  const bool traced = obs::Enabled();
+  const obs::Track track = obs::Track::Rank(reader_node, program, rank);
+  // Wraps one leg with a rank-track category span (tracing on only).
+  auto leg = [&](const char* name, obs::Category cat, Time ideal, Bytes bytes,
+                 sim::Task inner) {
+    return traced ? Tagged(engine, name, track, bytes,
+                           {.cat = cat, .parent = parent, .ideal = ideal}, std::move(inner))
+                  : std::move(inner);
+  };
 
   auto chain_it = info.chains.find(record.producer);
   if (chain_it == info.chains.end()) {
     // No cached copy (e.g. data only exists as the flushed PFS file).
     if (info.pfs_file >= 0) {
-      co_await pfs_->Read(info.pfs_file, record.offset, len, reader_node,
-                          {.layout = storage::AccessLayout::kAlignedRanges});
+      co_await leg("pfs.read.wait", obs::Category::kPfs, 0.0, len,
+                   pfs_->Read(info.pfs_file, record.offset, len, reader_node,
+                              {.layout = storage::AccessLayout::kAlignedRanges,
+                               .parent = parent}));
     }
     co_return;
   }
@@ -508,15 +594,25 @@ sim::Task UniviStor::ReadRecord(vmpi::ProgramId program, int rank, FileInfo& inf
       NodeFailed(producer_node)) {
     if (config_.replicate_volatile &&
         ReplicaCovers(record.fid, record.producer, decoded->layer, decoded->physical, len)) {
+      const int bb_node = BbNodeOf(record.producer);
       std::vector<sim::Task> replica_legs;
-      replica_legs.push_back(BbLeg(cluster.burst_buffer(), BbNodeOf(record.producer), len));
-      replica_legs.push_back(PoolLeg(cluster.node(reader_node).nic_rx(), len));
-      replica_legs.push_back(PoolLeg(runtime_->RankCpu(program, rank), len));
+      replica_legs.push_back(leg("bb.read", obs::Category::kBb,
+                                 cluster.burst_buffer().params().latency +
+                                     SoloOf(cluster.burst_buffer().pool(bb_node), len),
+                                 len, BbLeg(cluster.burst_buffer(), bb_node, len, parent)));
+      replica_legs.push_back(leg("nic.rx", obs::Category::kNet,
+                                 SoloOf(cluster.node(reader_node).nic_rx(), len), len,
+                                 PoolLeg(cluster.node(reader_node).nic_rx(), len)));
+      replica_legs.push_back(leg("cpu.copy", obs::Category::kNet,
+                                 SoloOf(runtime_->RankCpu(program, rank), len), len,
+                                 PoolLeg(runtime_->RankCpu(program, rank), len)));
       co_await sim::WhenAll(cluster.engine(), std::move(replica_legs));
     } else if (info.pfs_file >= 0 && DurableCovers(record.fid, record.producer, decoded->layer,
                                                    decoded->physical, len)) {
-      co_await pfs_->Read(info.pfs_file, record.offset, len, reader_node,
-                          {.layout = storage::AccessLayout::kAlignedRanges});
+      co_await leg("pfs.read.wait", obs::Category::kPfs, 0.0, len,
+                   pfs_->Read(info.pfs_file, record.offset, len, reader_node,
+                              {.layout = storage::AccessLayout::kAlignedRanges,
+                               .parent = parent}));
     } else {
       const Bytes newly_lost = AccountLost(record.fid, record.producer, record.va, len);
       if (newly_lost > 0) {
@@ -536,47 +632,82 @@ sim::Task UniviStor::ReadRecord(vmpi::ProgramId program, int rank, FileInfo& inf
         // Without LA the request detours through the co-located server and
         // pays an extra memory copy (§II-B4).
         const Bytes moved = la ? len : 2 * len;
-        legs.push_back(PoolLeg(runtime_->RankCpu(program, rank), moved));
+        legs.push_back(leg("cpu.copy", obs::Category::kNet,
+                           SoloOf(runtime_->RankCpu(program, rank), moved), moved,
+                           PoolLeg(runtime_->RankCpu(program, rank), moved)));
         if (decoded->layer == hw::Layer::kDram) {
-          legs.push_back(PoolLeg(runtime_->RankDram(program, rank), moved));
+          legs.push_back(leg("dram.read", obs::Category::kDram,
+                             SoloOf(runtime_->RankDram(program, rank), moved), moved,
+                             PoolLeg(runtime_->RankDram(program, rank), moved)));
         } else {
-          legs.push_back(PoolLeg(cluster.node(reader_node).local_ssd(), len));
+          legs.push_back(leg("ssd.read", obs::Category::kDram,
+                             SoloOf(cluster.node(reader_node).local_ssd(), len), len,
+                             PoolLeg(cluster.node(reader_node).local_ssd(), len)));
         }
       } else {
         // Remote segment: served by the server co-located with the data.
-        co_await cluster.network().RoundTrip(reader_node, producer_node);
+        {
+          obs::SpanTimer rt(engine, "univistor", "net.roundtrip", track, obs::kNoBytes,
+                            {.cat = obs::Category::kNet, .parent = parent});
+          co_await cluster.network().RoundTrip(reader_node, producer_node);
+        }
         const int remote_server =
             producer_node * config_.servers_per_node +
             static_cast<int>(record.va % static_cast<Bytes>(config_.servers_per_node));
-        legs.push_back(PoolLeg(runtime_->RankCpu(server_program_, remote_server), len));
+        legs.push_back(leg("remote.cpu", obs::Category::kNet,
+                           SoloOf(runtime_->RankCpu(server_program_, remote_server), len), len,
+                           PoolLeg(runtime_->RankCpu(server_program_, remote_server), len)));
         if (decoded->layer == hw::Layer::kDram) {
-          legs.push_back(PoolLeg(runtime_->RankDram(server_program_, remote_server), len));
+          legs.push_back(
+              leg("remote.dram", obs::Category::kDram,
+                  SoloOf(runtime_->RankDram(server_program_, remote_server), len), len,
+                  PoolLeg(runtime_->RankDram(server_program_, remote_server), len)));
         } else {
-          legs.push_back(PoolLeg(cluster.node(producer_node).local_ssd(), len));
+          legs.push_back(leg("remote.ssd", obs::Category::kDram,
+                             SoloOf(cluster.node(producer_node).local_ssd(), len), len,
+                             PoolLeg(cluster.node(producer_node).local_ssd(), len)));
         }
-        legs.push_back(cluster.network().Transfer(producer_node, reader_node, len));
-        legs.push_back(PoolLeg(runtime_->RankCpu(program, rank), len));
+        legs.push_back(leg("net.rx", obs::Category::kNet, 0.0, len,
+                           cluster.network().Transfer(producer_node, reader_node, len)));
+        legs.push_back(leg("cpu.copy", obs::Category::kNet,
+                           SoloOf(runtime_->RankCpu(program, rank), len), len,
+                           PoolLeg(runtime_->RankCpu(program, rank), len)));
       }
       break;
     }
     case hw::Layer::kSharedBurstBuffer: {
-      legs.push_back(BbLeg(cluster.burst_buffer(), BbNodeOf(record.producer), len));
-      legs.push_back(PoolLeg(cluster.node(reader_node).nic_rx(), len));
+      const int bb_node = BbNodeOf(record.producer);
+      legs.push_back(leg("bb.read", obs::Category::kBb,
+                         cluster.burst_buffer().params().latency +
+                             SoloOf(cluster.burst_buffer().pool(bb_node), len),
+                         len, BbLeg(cluster.burst_buffer(), bb_node, len, parent)));
+      legs.push_back(leg("nic.rx", obs::Category::kNet,
+                         SoloOf(cluster.node(reader_node).nic_rx(), len), len,
+                         PoolLeg(cluster.node(reader_node).nic_rx(), len)));
       if (la) {
-        legs.push_back(PoolLeg(runtime_->RankCpu(program, rank), len));
+        legs.push_back(leg("cpu.copy", obs::Category::kNet,
+                           SoloOf(runtime_->RankCpu(program, rank), len), len,
+                           PoolLeg(runtime_->RankCpu(program, rank), len)));
       } else {
         // Detour via the producer-side server: extra network hop + copy.
-        legs.push_back(cluster.network().Transfer(producer_node, reader_node, len));
-        legs.push_back(PoolLeg(runtime_->RankCpu(program, rank), 2 * len));
+        legs.push_back(leg("net.rx", obs::Category::kNet, 0.0, len,
+                           cluster.network().Transfer(producer_node, reader_node, len)));
+        legs.push_back(leg("cpu.copy", obs::Category::kNet,
+                           SoloOf(runtime_->RankCpu(program, rank), 2 * len), 2 * len,
+                           PoolLeg(runtime_->RankCpu(program, rank), 2 * len)));
       }
       break;
     }
     case hw::Layer::kPfs: {
       if (info.pfs_file >= 0) {
-        legs.push_back(pfs_->Read(info.pfs_file, record.offset, len, reader_node,
-                                  {.layout = storage::AccessLayout::kSharedInterleaved}));
+        legs.push_back(leg("pfs.read.wait", obs::Category::kPfs, 0.0, len,
+                           pfs_->Read(info.pfs_file, record.offset, len, reader_node,
+                                      {.layout = storage::AccessLayout::kSharedInterleaved,
+                                       .parent = parent})));
       }
-      legs.push_back(PoolLeg(runtime_->RankCpu(program, rank), len));
+      legs.push_back(leg("cpu.copy", obs::Category::kNet,
+                         SoloOf(runtime_->RankCpu(program, rank), len), len,
+                         PoolLeg(runtime_->RankCpu(program, rank), len)));
       break;
     }
   }
@@ -592,9 +723,18 @@ sim::Task UniviStor::ReadRecord(vmpi::ProgramId program, int rank, FileInfo& inf
 }
 
 sim::Task UniviStor::Read(vmpi::ProgramId program, int rank, storage::FileId fid,
-                          Bytes offset, Bytes len) {
+                          Bytes offset, Bytes len, obs::SpanRef parent) {
   FileInfo& info = Info(fid);
+  sim::Engine& engine = runtime_->engine();
   const int node = runtime_->Rank(program, rank).node;
+  const bool traced = obs::Enabled();
+  const obs::Track track = obs::Track::Rank(node, program, rank);
+  auto leg = [&](const char* name, obs::Category cat, Time ideal, Bytes bytes,
+                 sim::Task inner) {
+    return traced ? Tagged(engine, name, track, bytes,
+                           {.cat = cat, .parent = parent, .ideal = ideal}, std::move(inner))
+                  : std::move(inner);
+  };
 
   std::vector<std::pair<Bytes, Bytes>> pieces{{offset, len}};
 
@@ -608,15 +748,19 @@ sim::Task UniviStor::Read(vmpi::ProgramId program, int rank, storage::FileId fid
       Bytes cursor = piece_offset;
       for (const auto& hit : cache_index.Query(fid, piece_offset, piece_len)) {
         if (hit.offset > cursor) misses.emplace_back(cursor, hit.offset - cursor);
-        hit_legs.push_back(PoolLeg(runtime_->RankCpu(program, rank), hit.len));
-        hit_legs.push_back(PoolLeg(runtime_->RankDram(program, rank), hit.len));
+        hit_legs.push_back(leg("cpu.copy", obs::Category::kNet,
+                               SoloOf(runtime_->RankCpu(program, rank), hit.len), hit.len,
+                               PoolLeg(runtime_->RankCpu(program, rank), hit.len)));
+        hit_legs.push_back(leg("dram.read", obs::Category::kDram,
+                               SoloOf(runtime_->RankDram(program, rank), hit.len), hit.len,
+                               PoolLeg(runtime_->RankDram(program, rank), hit.len)));
         ++read_cache_hits_;
         cursor = hit.end();
       }
       if (cursor < piece_offset + piece_len)
         misses.emplace_back(cursor, piece_offset + piece_len - cursor);
     }
-    co_await sim::WhenAll(runtime_->engine(), std::move(hit_legs));
+    co_await sim::WhenAll(engine, std::move(hit_legs));
     pieces = std::move(misses);
   }
 
@@ -641,54 +785,87 @@ sim::Task UniviStor::Read(vmpi::ProgramId program, int rank, storage::FileId fid
   } else {
     uncovered = pieces;
     // The request is delegated to the co-located server (§II-A).
-    co_await runtime_->cluster().network().RoundTrip(node, node);
+    {
+      obs::SpanTimer rt(engine, "univistor", "md.delegate", track, obs::kNoBytes,
+                        {.cat = obs::Category::kNet, .parent = parent});
+      co_await runtime_->cluster().network().RoundTrip(node, node);
+    }
   }
 
   // Distributed metadata lookup for everything not resolved locally.
   for (const auto& [piece_offset, piece_len] : uncovered) {
     for (int server : metadata_->partitioner().ServersFor(piece_offset, piece_len))
-      co_await MetadataRpc(node, server, 1);
+      co_await MetadataRpc(node, server, 1, track, parent);
     auto records = metadata_->Query(fid, piece_offset, piece_len);
     to_read.insert(to_read.end(), records.begin(), records.end());
   }
 
   std::vector<sim::Task> legs;
   legs.reserve(to_read.size());
-  for (const auto& record : to_read) legs.push_back(ReadRecord(program, rank, info, record));
-  co_await sim::WhenAll(runtime_->engine(), std::move(legs));
+  for (const auto& record : to_read)
+    legs.push_back(ReadRecord(program, rank, info, record, parent));
+  co_await sim::WhenAll(engine, std::move(legs));
 }
 
 sim::Task UniviStor::ServerFlushShare(FileInfo& info, int server_idx, Bytes range_offset,
                                       Bytes dram_bytes, Bytes bb_bytes,
-                                      const placement::StripePlan& plan, bool coordinated) {
+                                      const placement::StripePlan& plan, bool coordinated,
+                                      obs::SpanRef flush_ref) {
   hw::Cluster& cluster = runtime_->cluster();
+  sim::Engine& engine = cluster.engine();
   const int node = ServerNode(server_idx);
+  const bool traced = obs::Enabled();
+  const obs::Track track = obs::Track::Rank(node, server_program_, server_idx);
   runtime_->SetRankBusy(server_program_, server_idx, true);
 
   // Transient transfer-timeout fault windows: back off and retry before
   // moving data. Guarded so unfaulted runs add no engine events.
-  if (faults_ != nullptr && config_.recovery.enabled) co_await AwaitTransferClearance();
+  if (faults_ != nullptr && config_.recovery.enabled) {
+    obs::SpanTimer backoff(engine, "univistor", "fault.backoff", track, obs::kNoBytes,
+                           {.cat = obs::Category::kQueue, .parent = flush_ref});
+    co_await AwaitTransferClearance();
+  }
 
   const Bytes total = dram_bytes + bb_bytes;
-  obs::SpanTimer span(cluster.engine(), "univistor", "flush.share",
-                      obs::Track::Rank(node, server_program_, server_idx), total);
+  const obs::SpanRef self = obs::NewSpanRef();
+  obs::SpanTimer span(engine, "univistor", "flush.share", track, total,
+                      {.parent = flush_ref, .self = self});
+  auto leg = [&](const char* name, obs::Category cat, Time ideal, Bytes bytes,
+                 sim::Task inner) {
+    return traced ? Tagged(engine, name, track, bytes,
+                           {.cat = cat, .parent = self, .ideal = ideal}, std::move(inner))
+                  : std::move(inner);
+  };
   std::vector<sim::Task> legs;
   if (dram_bytes > 0) {
-    legs.push_back(PoolLeg(runtime_->RankCpu(server_program_, server_idx), dram_bytes));
-    legs.push_back(PoolLeg(runtime_->RankDram(server_program_, server_idx), dram_bytes));
+    legs.push_back(leg("cpu.copy", obs::Category::kNet,
+                       SoloOf(runtime_->RankCpu(server_program_, server_idx), dram_bytes),
+                       dram_bytes, PoolLeg(runtime_->RankCpu(server_program_, server_idx),
+                                           dram_bytes)));
+    legs.push_back(leg("dram.read", obs::Category::kDram,
+                       SoloOf(runtime_->RankDram(server_program_, server_idx), dram_bytes),
+                       dram_bytes, PoolLeg(runtime_->RankDram(server_program_, server_idx),
+                                           dram_bytes)));
   }
   if (bb_bytes > 0) {
-    legs.push_back(BbLeg(cluster.burst_buffer(),
-                         server_idx % cluster.burst_buffer().node_count(), bb_bytes));
-    legs.push_back(PoolLeg(cluster.node(node).nic_rx(), bb_bytes));
+    const int bb_node = server_idx % cluster.burst_buffer().node_count();
+    legs.push_back(leg("bb.read", obs::Category::kBb,
+                       cluster.burst_buffer().params().latency +
+                           SoloOf(cluster.burst_buffer().pool(bb_node), bb_bytes),
+                       bb_bytes, BbLeg(cluster.burst_buffer(), bb_node, bb_bytes, self)));
+    legs.push_back(leg("nic.rx", obs::Category::kNet,
+                       SoloOf(cluster.node(node).nic_rx(), bb_bytes), bb_bytes,
+                       PoolLeg(cluster.node(node).nic_rx(), bb_bytes)));
   }
   if (total > 0) {
-    legs.push_back(pfs_->Write(info.pfs_file, range_offset, total, node,
-                               {.layout = storage::AccessLayout::kAlignedRanges,
-                                .target_osts = plan.TargetsFor(server_idx),
-                                .coordinated = coordinated}));
+    legs.push_back(leg("pfs.write.wait", obs::Category::kPfs, 0.0, total,
+                       pfs_->Write(info.pfs_file, range_offset, total, node,
+                                   {.layout = storage::AccessLayout::kAlignedRanges,
+                                    .target_osts = plan.TargetsFor(server_idx),
+                                    .coordinated = coordinated,
+                                    .parent = self})));
   }
-  co_await sim::WhenAll(cluster.engine(), std::move(legs));
+  co_await sim::WhenAll(engine, std::move(legs));
   runtime_->SetRankBusy(server_program_, server_idx, false);
 }
 
@@ -747,7 +924,7 @@ sim::Task UniviStor::FlushTask(storage::FileId fid) {
                   : 0;
     const Bytes bb_share = share - dram_share;
     shares.push_back(ServerFlushShare(info, s, range_offset, dram_share, bb_share, plan,
-                                      config_.adaptive_striping));
+                                      config_.adaptive_striping, info.flush_span));
     range_offset += share;
   }
   co_await sim::WhenAll(cluster.engine(), std::move(shares));
@@ -772,8 +949,8 @@ sim::Task UniviStor::FlushTask(storage::FileId fid) {
   if (obs::Recorder* rec = obs::Recorder::Current()) {
     // Mirrors flush_stats_ so the metrics file agrees with the timing
     // summary printed by the tools.
-    rec->AddSpan("univistor", "flush", obs::Track::Flush(fid), start,
-                 cluster.engine().Now(), total);
+    rec->AddSpanTagged("univistor", "flush", obs::Track::Flush(fid), start,
+                       cluster.engine().Now(), total, {.self = info.flush_span});
     obs::Count("flush.count");
     obs::Count("flush.bytes", total);
     obs::Observe("flush.duration", duration);
@@ -785,8 +962,14 @@ void UniviStor::TriggerFlush(storage::FileId fid) {
   FileInfo& info = Info(fid);
   if (info.flush_in_flight) return;
   info.flush_in_flight = true;
+  info.flush_span = obs::NewSpanRef();  // causal id the flush span will carry
   info.flush_process =
       runtime_->engine().Spawn(FlushTask(fid), "flush:" + info.name);
+}
+
+obs::SpanRef UniviStor::FlushSpan(storage::FileId fid) const {
+  const FileInfo* info = FindInfo(fid);
+  return info != nullptr ? info->flush_span : obs::SpanRef{};
 }
 
 sim::Task UniviStor::WaitFlush(storage::FileId fid) {

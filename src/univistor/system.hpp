@@ -20,6 +20,7 @@
 #include "src/common/rng.hpp"
 #include "src/meta/record_index.hpp"
 #include "src/meta/service.hpp"
+#include "src/obs/recorder.hpp"
 #include "src/placement/dhp.hpp"
 #include "src/sim/sync.hpp"
 #include "src/storage/pfs.hpp"
@@ -83,18 +84,22 @@ class UniviStor {
   const std::string& FileName(storage::FileId fid) const;
 
   // --- Client request paths, invoked by the ADIO driver. ---
+  // Every verb takes the causal parent span of the MPI-IO operation that
+  // issued it (obs::attribution DAG); anonymous ({}) when tracing is off.
   /// Metadata open/close traffic for one collective operation.
-  sim::Task OpenMetadata(vmpi::ProgramId program, int rank, storage::FileId fid);
-  sim::Task CloseMetadata(vmpi::ProgramId program, int rank, storage::FileId fid);
+  sim::Task OpenMetadata(vmpi::ProgramId program, int rank, storage::FileId fid,
+                         obs::SpanRef parent = {});
+  sim::Task CloseMetadata(vmpi::ProgramId program, int rank, storage::FileId fid,
+                          obs::SpanRef parent = {});
 
   /// Caches `len` bytes of `fid` at logical `offset`, written by (program,
   /// rank), into the DHP hierarchy; inserts metadata records.
   sim::Task Write(vmpi::ProgramId program, int rank, storage::FileId fid, Bytes offset,
-                  Bytes len);
+                  Bytes len, obs::SpanRef parent = {});
 
   /// Location-aware read of [offset, offset+len).
   sim::Task Read(vmpi::ProgramId program, int rank, storage::FileId fid, Bytes offset,
-                 Bytes len);
+                 Bytes len, obs::SpanRef parent = {});
 
   /// Asynchronous server-side flush of `fid` to the PFS; returns once the
   /// flush has been *started* (it runs as its own simulation process).
@@ -105,6 +110,9 @@ class UniviStor {
   sim::Task WaitAllFlushes();
 
   const FlushStats& flush_stats() const { return flush_stats_; }
+  /// Span id of the most recent flush of `fid` ({} if never flushed with
+  /// tracing on); the driver links close ops to the flush they triggered.
+  obs::SpanRef FlushSpan(storage::FileId fid) const;
   /// Bytes of `fid` currently cached per layer (summed over producers).
   Bytes CachedOn(storage::FileId fid, hw::Layer layer) const;
 
@@ -193,6 +201,7 @@ class UniviStor {
     storage::Pfs::FileHandle pfs_file = -1;  // destination / spill target
     sim::Process flush_process;
     bool flush_in_flight = false;
+    obs::SpanRef flush_span;  // causal id of the in-flight/last flush
     Bytes flushed_watermark = 0;  // cached bytes already persisted
     std::map<ProducerId, ProducerRecovery> recovery;
   };
@@ -204,27 +213,32 @@ class UniviStor {
   placement::DhpWriterChain& Chain(FileInfo& info, vmpi::ProgramId program, int rank);
 
   /// Metadata RPC from a client node to metadata server `server_idx`
-  /// (service time is serialized per server).
-  sim::Task MetadataRpc(int client_node, int server_idx, int ops);
+  /// (service time is serialized per server). Emits the rank-side
+  /// md.roundtrip / md.queue / md.service decomposition on `rank_track`
+  /// plus a queue-wait mirror on the server's MetaServerQueue lane.
+  sim::Task MetadataRpc(int client_node, int server_idx, int ops, obs::Track rank_track,
+                        obs::SpanRef parent);
 
   int ServerNode(int server_idx) const { return server_idx / config_.servers_per_node; }
 
   /// Device-charging legs for one placed extent written by (program, rank)
   /// at logical file offset `logical_offset`.
   sim::Task ChargeWrite(vmpi::ProgramId program, int rank, FileInfo& info,
-                        placement::Placement placement, Bytes logical_offset);
+                        placement::Placement placement, Bytes logical_offset,
+                        obs::SpanRef parent);
 
   /// Lazily creates the file's PFS destination (shared, striped wide).
   storage::Pfs::FileHandle PfsDestination(FileInfo& info);
 
   /// Read one metadata record's bytes to (program, rank).
   sim::Task ReadRecord(vmpi::ProgramId program, int rank, FileInfo& info,
-                       const meta::MetadataRecord& record);
+                       const meta::MetadataRecord& record, obs::SpanRef parent);
 
   sim::Task FlushTask(storage::FileId fid);
   sim::Task ServerFlushShare(FileInfo& info, int server_idx, Bytes range_offset,
                              Bytes dram_bytes, Bytes bb_bytes,
-                             const placement::StripePlan& plan, bool coordinated);
+                             const placement::StripePlan& plan, bool coordinated,
+                             obs::SpanRef flush_ref);
 
   int BbNodeOf(ProducerId producer) const;
 

@@ -40,9 +40,15 @@ sim::Task CollectiveIo::Run(int rank, Bytes offset, Bytes len, bool read) {
   auto& runtime = file_->runtime();
   auto& comm = file_->comm();
   round_.extents[static_cast<std::size_t>(rank)] = {offset, len};
+  const obs::Track barrier_track =
+      obs::Track::Rank(runtime.Rank(file_->program(), rank).node, file_->program(), rank);
 
   // Everyone's extents must be posted before domains can be planned.
-  co_await comm.Barrier(rank);
+  {
+    obs::SpanTimer wait(runtime.engine(), "vmpi", "barrier", barrier_track, obs::kNoBytes,
+                        {.cat = obs::Category::kQueue});
+    co_await comm.Barrier(rank);
+  }
   if (!round_.planned) {
     round_.lo = round_.hi = round_.extents[0].first;
     for (const auto& [off, l] : round_.extents) {
@@ -72,10 +78,15 @@ sim::Task CollectiveIo::Run(int rank, Bytes offset, Bytes len, bool read) {
         shuffle_bytes += hi - lo;
       }
       obs::Count("vmpi.collective.shuffle_bytes", shuffle_bytes);
-      obs::SpanTimer span(runtime.engine(), "vmpi", "cb.shuffle", my_track, shuffle_bytes);
+      obs::SpanTimer span(runtime.engine(), "vmpi", "cb.shuffle", my_track, shuffle_bytes,
+                          {.cat = obs::Category::kNet});
       co_await sim::WhenAll(runtime.engine(), std::move(shuffles));
     }
-    co_await comm.Barrier(rank);  // exchange complete
+    {
+      obs::SpanTimer wait(runtime.engine(), "vmpi", "barrier", my_track, obs::kNoBytes,
+                          {.cat = obs::Category::kQueue});
+      co_await comm.Barrier(rank);  // exchange complete
+    }
 
     // Phase 2: aggregators write their (contiguous) file domains.
     for (int agg = 0; agg < naggs; ++agg) {
@@ -96,7 +107,11 @@ sim::Task CollectiveIo::Run(int rank, Bytes offset, Bytes len, bool read) {
         co_await file_->ReadAt(rank, dlo, dhi - dlo);
       }
     }
-    co_await comm.Barrier(rank);  // domains resident at the aggregators
+    {
+      obs::SpanTimer wait(runtime.engine(), "vmpi", "barrier", my_track, obs::kNoBytes,
+                          {.cat = obs::Category::kQueue});
+      co_await comm.Barrier(rank);  // domains resident at the aggregators
+    }
 
     // Phase 2: scatter to the requesting ranks.
     {
@@ -112,13 +127,18 @@ sim::Task CollectiveIo::Run(int rank, Bytes offset, Bytes len, bool read) {
         shuffle_bytes += hi - lo;
       }
       obs::Count("vmpi.collective.shuffle_bytes", shuffle_bytes);
-      obs::SpanTimer span(runtime.engine(), "vmpi", "cb.shuffle", my_track, shuffle_bytes);
+      obs::SpanTimer span(runtime.engine(), "vmpi", "cb.shuffle", my_track, shuffle_bytes,
+                          {.cat = obs::Category::kNet});
       co_await sim::WhenAll(runtime.engine(), std::move(shuffles));
     }
   }
 
   // Collective completion; reset the round for reuse.
-  co_await comm.Barrier(rank);
+  {
+    obs::SpanTimer wait(runtime.engine(), "vmpi", "barrier", my_track, obs::kNoBytes,
+                        {.cat = obs::Category::kQueue});
+    co_await comm.Barrier(rank);
+  }
   round_.planned = false;
 }
 

@@ -14,44 +14,48 @@ sim::Task AdioDriver::WaitFlush(File& file) {
 
 namespace {
 sim::Task TracedOp(sim::Engine& engine, const char* name, obs::Track track, Bytes bytes,
-                   sim::Task inner) {
-  obs::SpanTimer span(engine, "vmpi", name, track, bytes);
+                   obs::SpanRef self, sim::Task inner) {
+  obs::SpanTimer span(engine, "vmpi", name, track, bytes, {.self = self});
   co_await std::move(inner);
 }
 }  // namespace
 
 sim::Task File::Open(int rank) {
-  if (!obs::Enabled()) return driver_->Open(*this, rank);
+  if (!obs::Enabled()) return driver_->Open(*this, rank, {});
   obs::Count("vmpi.open.calls");
   const RankInfo& info = runtime_->Rank(program_, rank);
+  const obs::SpanRef op = obs::NewSpanRef();
   return TracedOp(runtime_->engine(), "open", obs::Track::Rank(info.node, program_, rank),
-                  obs::kNoBytes, driver_->Open(*this, rank));
+                  obs::kNoBytes, op, driver_->Open(*this, rank, op));
 }
 
 sim::Task File::WriteAt(int rank, Bytes offset, Bytes len) {
-  if (!obs::Enabled()) return driver_->WriteAt(*this, rank, offset, len);
+  if (!obs::Enabled()) return driver_->WriteAt(*this, rank, offset, len, {});
   obs::Count("vmpi.write.calls");
   obs::Count("vmpi.write.bytes", len);
   const RankInfo& info = runtime_->Rank(program_, rank);
+  const obs::SpanRef op = obs::NewSpanRef();
   return TracedOp(runtime_->engine(), "write", obs::Track::Rank(info.node, program_, rank),
-                  len, driver_->WriteAt(*this, rank, offset, len));
+                  len, op, driver_->WriteAt(*this, rank, offset, len, op));
 }
 
 sim::Task File::ReadAt(int rank, Bytes offset, Bytes len) {
-  if (!obs::Enabled()) return driver_->ReadAt(*this, rank, offset, len);
+  if (!obs::Enabled()) return driver_->ReadAt(*this, rank, offset, len, {});
   obs::Count("vmpi.read.calls");
   obs::Count("vmpi.read.bytes", len);
   const RankInfo& info = runtime_->Rank(program_, rank);
+  const obs::SpanRef op = obs::NewSpanRef();
   return TracedOp(runtime_->engine(), "read", obs::Track::Rank(info.node, program_, rank),
-                  len, driver_->ReadAt(*this, rank, offset, len));
+                  len, op, driver_->ReadAt(*this, rank, offset, len, op));
 }
 
 sim::Task File::Close(int rank) {
-  if (!obs::Enabled()) return driver_->Close(*this, rank);
+  if (!obs::Enabled()) return driver_->Close(*this, rank, {});
   obs::Count("vmpi.close.calls");
   const RankInfo& info = runtime_->Rank(program_, rank);
+  const obs::SpanRef op = obs::NewSpanRef();
   return TracedOp(runtime_->engine(), "close", obs::Track::Rank(info.node, program_, rank),
-                  obs::kNoBytes, driver_->Close(*this, rank));
+                  obs::kNoBytes, op, driver_->Close(*this, rank, op));
 }
 
 Status DriverRegistry::Register(AdioDriver& driver) {

@@ -14,6 +14,7 @@
 
 #include "src/common/status.hpp"
 #include "src/common/units.hpp"
+#include "src/obs/recorder.hpp"
 #include "src/sim/task.hpp"
 #include "src/vmpi/comm.hpp"
 #include "src/vmpi/runtime.hpp"
@@ -43,10 +44,13 @@ class AdioDriver {
   /// All four are collective from the application's point of view: every
   /// rank of the file's program calls them. The driver decides how much
   /// communication that costs (e.g. UniviStor's collective open/close).
-  virtual sim::Task Open(File& file, int rank) = 0;
-  virtual sim::Task WriteAt(File& file, int rank, Bytes offset, Bytes len) = 0;
-  virtual sim::Task ReadAt(File& file, int rank, Bytes offset, Bytes len) = 0;
-  virtual sim::Task Close(File& file, int rank) = 0;
+  /// `op` is the identity of the rank-side span covering the whole call
+  /// (anonymous when recording is off); drivers tag the spans they emit
+  /// with it so the recorder can reconstruct the causal DAG.
+  virtual sim::Task Open(File& file, int rank, obs::SpanRef op) = 0;
+  virtual sim::Task WriteAt(File& file, int rank, Bytes offset, Bytes len, obs::SpanRef op) = 0;
+  virtual sim::Task ReadAt(File& file, int rank, Bytes offset, Bytes len, obs::SpanRef op) = 0;
+  virtual sim::Task Close(File& file, int rank, obs::SpanRef op) = 0;
 
   /// Completes when any asynchronous flush of this file has drained
   /// (immediately for synchronous file systems — the default).

@@ -43,6 +43,10 @@ const std::string& Runtime::ProgramName(ProgramId prog) const {
   return programs_.at(static_cast<std::size_t>(prog)).name;
 }
 
+bool Runtime::IsServer(ProgramId prog) const {
+  return programs_.at(static_cast<std::size_t>(prog)).is_server;
+}
+
 const RankInfo& Runtime::Rank(ProgramId prog, int rank) const {
   return programs_.at(static_cast<std::size_t>(prog))
       .ranks.at(static_cast<std::size_t>(rank));

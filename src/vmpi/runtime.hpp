@@ -45,6 +45,9 @@ class Runtime {
   int program_count() const { return static_cast<int>(programs_.size()); }
   int ProgramSize(ProgramId prog) const;
   const std::string& ProgramName(ProgramId prog) const;
+  /// True for storage-system server programs (launched with is_server);
+  /// attribution reports separate them from application jobs.
+  bool IsServer(ProgramId prog) const;
   const RankInfo& Rank(ProgramId prog, int rank) const;
   Comm& comm(ProgramId prog);
 

@@ -127,7 +127,7 @@ TEST(GoldenTrace, MicroWriteTraceDigestIsStable) {
   recorder.Install();
   RunOnce(42, sched::PlacementPolicy::kInterferenceAware);
   recorder.Uninstall();
-  CheckDigest("micro_write_ia", Fnv1a(recorder.ChromeTraceJson()), 0x895548e574031df8ull);
+  CheckDigest("micro_write_ia", Fnv1a(recorder.ChromeTraceJson()), 0x26f61f42bf80607cull);
 }
 
 TEST(GoldenTrace, VpicTraceDigestIsStable) {
@@ -156,7 +156,7 @@ TEST(GoldenTrace, VpicTraceDigestIsStable) {
                                            .file_prefix = "g"});
   }
   recorder.Uninstall();
-  CheckDigest("vpic_ia", Fnv1a(recorder.ChromeTraceJson()), 0x4b0fac897c9abba2ull);
+  CheckDigest("vpic_ia", Fnv1a(recorder.ChromeTraceJson()), 0xd53fcb3c7146867eull);
 }
 
 sim::Task RecordCompletion(sim::Engine& engine, sim::FairSharePool& pool, Bytes bytes,

@@ -1,0 +1,205 @@
+// Tests for the JSON parser, run-report schema validation, and the
+// uvreport diff logic (the CI regression gate).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/json.hpp"
+#include "src/obs/attribution.hpp"
+#include "src/obs/recorder.hpp"
+#include "src/obs/report.hpp"
+#include "src/univistor/driver.hpp"
+#include "src/univistor/system.hpp"
+#include "src/workload/hdf_micro.hpp"
+#include "src/workload/scenario.hpp"
+
+namespace uvs {
+namespace {
+
+// --- json parser --------------------------------------------------------
+
+TEST(Json, ParsesScalarsAndContainers) {
+  auto doc = json::Parse(R"({"a":1.5,"b":[true,false,null],"c":{"d":"x\n\"y\""},"e":-2e3})");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_DOUBLE_EQ(doc->NumberOr("a", 0), 1.5);
+  const json::Value* b = doc->Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->AsArray().size(), 3u);
+  EXPECT_TRUE(b->AsArray()[0].AsBool());
+  EXPECT_TRUE(b->AsArray()[2].is_null());
+  const json::Value* c = doc->Find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->StringOr("d", ""), "x\n\"y\"");
+  EXPECT_DOUBLE_EQ(doc->NumberOr("e", 0), -2000.0);
+}
+
+TEST(Json, ParsesUnicodeEscapes) {
+  auto doc = json::Parse(R"(["Aé€"])");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->AsArray()[0].AsString(), "A\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_FALSE(json::Parse("{").ok());
+  EXPECT_FALSE(json::Parse("{}x").ok()) << "trailing garbage";
+  EXPECT_FALSE(json::Parse("{\"a\":1,}").ok()) << "trailing comma";
+  EXPECT_FALSE(json::Parse("[1 2]").ok());
+  EXPECT_FALSE(json::Parse("nan").ok());
+  EXPECT_FALSE(json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(json::Parse("01").ok() && json::Parse("01")->is_number() &&
+               json::Parse("01")->AsNumber() != 1.0)
+      << "leading zeros must not silently misparse";
+  EXPECT_FALSE(json::Parse("1e999").ok()) << "overflow to inf rejected";
+}
+
+TEST(Json, RoundTripsTheMetricsReport) {
+  obs::Recorder recorder;
+  recorder.Install();
+  obs::Count("meta.rpc.calls", 7);
+  obs::SetGauge("dram.bytes", 123.0);
+  recorder.Uninstall();
+  auto doc = json::Parse(recorder.MetricsJson(2.5));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->StringOr("schema", ""), "univistor.metrics.v2");
+  EXPECT_DOUBLE_EQ(doc->NumberOr("sim_elapsed_seconds", 0), 2.5);
+}
+
+// --- run-report schema validation (satellite 3) -------------------------
+
+/// Traced micro-write run with attribution, serialized exactly the way
+/// uvsim --metrics --attribution writes it.
+std::string RunAndSerialize(obs::Recorder& recorder, std::uint64_t seed,
+                            double degrade_factor = 0.0) {
+  recorder.Install();
+  std::string metrics_json;
+  {
+    workload::ScenarioOptions options;
+    options.procs = 64;
+    options.policy = sched::PlacementPolicy::kInterferenceAware;
+    options.cluster_params = hw::CoriPreset(64);
+    options.cluster_params.seed = seed;
+    workload::Scenario scenario(options);
+    if (degrade_factor > 0) {
+      hw::PfsDevice* pfs = &scenario.cluster().pfs();
+      scenario.engine().Schedule(0.01, [pfs, degrade_factor] {
+        pfs->Degrade(0, degrade_factor);
+      });
+    }
+    univistor::UniviStor system(scenario.runtime(), scenario.pfs(), scenario.workflow(),
+                                univistor::Config{});
+    univistor::UniviStorDriver driver(system);
+    auto app = scenario.runtime().LaunchProgram("app", 64);
+    workload::RunHdfMicro(scenario, app, driver,
+                          workload::MicroParams{.bytes_per_proc = 64_MiB,
+                                                .file_name = "r.h5"});
+    scenario.cluster().pfs().FlushDegradeSpans();
+    scenario.cluster().burst_buffer().FlushDegradeSpans();
+    std::vector<obs::JobSpec> jobs;
+    for (int p = 0; p < scenario.runtime().program_count(); ++p)
+      jobs.push_back({p, scenario.runtime().ProgramName(p), scenario.runtime().IsServer(p),
+                      scenario.runtime().ProgramSize(p)});
+    const obs::Report report =
+        obs::Analyze(recorder, jobs, scenario.engine().Now());
+    metrics_json =
+        recorder.MetricsJson(scenario.engine().Now(), obs::AttributionJson(report));
+  }
+  recorder.Uninstall();
+  return metrics_json;
+}
+
+void ExpectAllNumbersFinite(const json::Value& v) {
+  switch (v.kind()) {
+    case json::Value::Kind::kNumber:
+      EXPECT_TRUE(std::isfinite(v.AsNumber()));
+      break;
+    case json::Value::Kind::kArray:
+      for (const auto& item : v.AsArray()) ExpectAllNumbersFinite(item);
+      break;
+    case json::Value::Kind::kObject:
+      for (const auto& [key, value] : v.AsObject()) ExpectAllNumbersFinite(value);
+      break;
+    default: break;
+  }
+}
+
+TEST(RunReport, SchemaValidatesOnARealRun) {
+  obs::Recorder recorder;
+  const std::string serialized = RunAndSerialize(recorder, 42);
+
+  auto doc = json::Parse(serialized);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ExpectAllNumbersFinite(*doc);
+
+  auto report = obs::LoadRunReport(*doc);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->schema, "univistor.metrics.v2");
+  EXPECT_GT(report->sim_elapsed, 0.0);
+  EXPECT_GT(report->span_count, 0.0);
+  EXPECT_GE(report->span_limit, report->span_count);
+  EXPECT_EQ(report->spans_dropped, 0.0);
+
+  // Required counter keys a traced UniviStor write run always produces.
+  for (const char* key : {"meta.rpc.calls", "meta.rpc.ops", "flush.count", "flush.bytes"})
+    EXPECT_EQ(report->counters.count(key), 1u) << key;
+
+  // Attribution present, schema-checked, and categories sum to the rank
+  // windows within 0.1% (the acceptance tolerance).
+  ASSERT_TRUE(report->has_attribution);
+  EXPECT_EQ(report->attribution_schema, "univistor.attribution.v1");
+  ASSERT_FALSE(report->jobs.empty());
+  for (const obs::LoadedJob& job : report->jobs) {
+    if (job.rank_window_seconds <= 0) continue;
+    EXPECT_NEAR(job.attributed(), job.rank_window_seconds,
+                1e-3 * job.rank_window_seconds)
+        << job.name;
+  }
+  EXPECT_FALSE(report->critical_job.empty());
+  EXPECT_GT(report->critical_segments, 0u);
+  EXPECT_FALSE(report->devices.empty());
+}
+
+TEST(RunReport, LoaderRejectsWrongOrBrokenSchemas) {
+  auto v1 = json::Parse(R"({"schema":"univistor.metrics.v1","sim_elapsed_seconds":1})");
+  ASSERT_TRUE(v1.ok());
+  EXPECT_FALSE(obs::LoadRunReport(*v1).ok()) << "v1 reports are not silently accepted";
+
+  auto missing = json::Parse(R"({"schema":"univistor.metrics.v2"})");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_FALSE(obs::LoadRunReport(*missing).ok()) << "sim_elapsed_seconds required";
+
+  auto bad_attr = json::Parse(
+      R"({"schema":"univistor.metrics.v2","sim_elapsed_seconds":1,
+          "counters":{},"gauges":{},"attribution":{"schema":"bogus.v9"}})");
+  ASSERT_TRUE(bad_attr.ok());
+  EXPECT_FALSE(obs::LoadRunReport(*bad_attr).ok());
+}
+
+// --- diff gate (tentpole part 4 / satellite 5) --------------------------
+
+TEST(RunReportDiff, SameSeedRerunIsClean) {
+  obs::Recorder a, b;
+  const std::string ja = RunAndSerialize(a, 42);
+  const std::string jb = RunAndSerialize(b, 42);
+  EXPECT_EQ(ja, jb) << "same seed, same bytes";
+  auto ra = obs::LoadRunReport(*json::Parse(ja));
+  auto rb = obs::LoadRunReport(*json::Parse(jb));
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_TRUE(obs::DiffReports(*ra, *rb, obs::DiffOptions{}).empty());
+}
+
+TEST(RunReportDiff, SlowedOstRunIsFlagged) {
+  obs::Recorder a, b;
+  auto ra = obs::LoadRunReport(*json::Parse(RunAndSerialize(a, 42)));
+  auto rb = obs::LoadRunReport(*json::Parse(RunAndSerialize(b, 42, /*degrade_factor=*/0.02)));
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  const auto shifts = obs::DiffReports(*ra, *rb, obs::DiffOptions{});
+  EXPECT_FALSE(shifts.empty()) << "a 50x slower OST must trip the gate";
+  bool device_blamed = false;
+  for (const std::string& shift : shifts)
+    if (shift.find("ost0") != std::string::npos) device_blamed = true;
+  EXPECT_TRUE(device_blamed) << "the diff names the degraded device";
+}
+
+}  // namespace
+}  // namespace uvs

@@ -112,13 +112,13 @@ TEST(Comm, BarrierCostScalesLogarithmically) {
 class NullDriver : public AdioDriver {
  public:
   const char* fs_type() const override { return "null"; }
-  sim::Task Open(File&, int) override { co_return; }
-  sim::Task WriteAt(File&, int, Bytes, Bytes len) override {
+  sim::Task Open(File&, int, obs::SpanRef) override { co_return; }
+  sim::Task WriteAt(File&, int, Bytes, Bytes len, obs::SpanRef) override {
     written += len;
     co_return;
   }
-  sim::Task ReadAt(File&, int, Bytes, Bytes) override { co_return; }
-  sim::Task Close(File&, int) override { co_return; }
+  sim::Task ReadAt(File&, int, Bytes, Bytes, obs::SpanRef) override { co_return; }
+  sim::Task Close(File&, int, obs::SpanRef) override { co_return; }
   Bytes written = 0;
 };
 

@@ -25,6 +25,7 @@
 #include "src/fault/plan.hpp"
 #include "src/hw/probes.hpp"
 #include "src/hw/utilization.hpp"
+#include "src/obs/attribution.hpp"
 #include "src/obs/recorder.hpp"
 #include "src/obs/sampler.hpp"
 #include "src/testkit/invariants.hpp"
@@ -55,6 +56,8 @@ struct Args {
   std::string trace;    // Chrome trace-event JSON output path
   std::string metrics;  // metrics JSON (or series CSV) output path
   double sample_interval = -1;  // simulated seconds; <0 = default
+  bool attribution = false;     // causal attribution analysis + tables
+  long long span_limit = -1;    // recorder span cap; <0 = default
 };
 
 void PrintUsage(std::FILE* out) {
@@ -85,6 +88,12 @@ void PrintUsage(std::FILE* out) {
                "  --sample-interval=S             gauge sampling period in simulated\n"
                "                                  seconds (default 1 when observability\n"
                "                                  is on; 0 disables sampling)\n"
+               "  --attribution                   run the causal wait-state analysis:\n"
+               "                                  per-job time attribution, critical\n"
+               "                                  path, device USE rollups; embedded in\n"
+               "                                  --metrics JSON (diff with uvreport)\n"
+               "  --span-limit=N                  cap recorder span memory at N spans\n"
+               "                                  (excess dropped and counted)\n"
                "  --help                          show this message\n"
                "Environment: UVS_LOG_LEVEL=trace|debug|info|warn|error|off\n");
 }
@@ -115,6 +124,9 @@ Args Parse(int argc, char** argv) {
     else if (ParseFlag(arg, "--metrics", &value)) args.metrics = value;
     else if (ParseFlag(arg, "--sample-interval", &value))
       args.sample_interval = std::atof(value.c_str());
+    else if (std::strcmp(arg, "--attribution") == 0) args.attribution = true;
+    else if (ParseFlag(arg, "--span-limit", &value))
+      args.span_limit = std::atoll(value.c_str());
     else if (std::strcmp(arg, "--read") == 0) args.read = true;
     else if (std::strcmp(arg, "--report") == 0) args.report = true;
     else if (std::strcmp(arg, "--check") == 0) args.check = true;
@@ -138,7 +150,8 @@ int Run(const Args& args) {
   // The recorder outlives the scenario (spans are emitted from coroutine
   // frames destroyed during engine teardown).
   obs::Recorder recorder;
-  const bool obs_on = !args.trace.empty() || !args.metrics.empty();
+  const bool obs_on = !args.trace.empty() || !args.metrics.empty() || args.attribution;
+  if (args.span_limit >= 0) recorder.SetSpanLimit(static_cast<std::size_t>(args.span_limit));
   if (obs_on) recorder.Install();
 
   workload::ScenarioOptions options;
@@ -320,6 +333,30 @@ int Run(const Args& args) {
   if (args.report)
     std::printf("%s", hw::CollectUtilization(scenario.cluster()).ToString().c_str());
 
+  // Close any open degradation windows so they appear as spans before the
+  // analysis and the trace/metrics exports (totals are unchanged).
+  if (obs_on) {
+    scenario.cluster().pfs().FlushDegradeSpans();
+    scenario.cluster().burst_buffer().FlushDegradeSpans();
+  }
+
+  std::string attribution_json;
+  if (args.attribution) {
+    std::vector<obs::JobSpec> jobs;
+    vmpi::Runtime& runtime = scenario.runtime();
+    for (int p = 0; p < runtime.program_count(); ++p)
+      jobs.push_back({p, runtime.ProgramName(p), runtime.IsServer(p), runtime.ProgramSize(p)});
+    const obs::Report attribution =
+        obs::Analyze(recorder, jobs, scenario.engine().Now());
+    std::printf("%s", obs::ToText(attribution).c_str());
+    if (recorder.spans_dropped() > 0)
+      std::printf("attribution: %llu spans dropped at cap %zu — categories "
+                  "undercount accordingly\n",
+                  static_cast<unsigned long long>(recorder.spans_dropped()),
+                  recorder.span_limit());
+    attribution_json = obs::AttributionJson(attribution);
+  }
+
   if (!args.trace.empty()) {
     if (Status s = recorder.WriteChromeTrace(args.trace); !s.ok()) {
       std::fprintf(stderr, "uvsim: writing %s: %s\n", args.trace.c_str(),
@@ -333,7 +370,8 @@ int Run(const Args& args) {
     const bool csv = args.metrics.size() >= 4 &&
                      args.metrics.compare(args.metrics.size() - 4, 4, ".csv") == 0;
     Status s = csv ? recorder.WriteSeriesCsv(args.metrics)
-                   : recorder.WriteMetricsJson(args.metrics, scenario.engine().Now());
+                   : recorder.WriteMetricsJson(args.metrics, scenario.engine().Now(),
+                                               attribution_json);
     if (!s.ok()) {
       std::fprintf(stderr, "uvsim: writing %s: %s\n", args.metrics.c_str(),
                    s.ToString().c_str());
