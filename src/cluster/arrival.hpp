@@ -1,0 +1,41 @@
+// Arrival processes for multi-tenant mixes: seeded Poisson job mixes and
+// trace-driven arrivals parsed from one-line job descriptions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/status.hpp"
+#include "src/cluster/job.hpp"
+
+namespace uvs::cluster {
+
+/// Knobs of the seeded mix sampler. Menus are small so smoke-scale
+/// machines still see real contention.
+struct MixParams {
+  int jobs = 8;
+  /// Mean of the exponential interarrival draw; 0 lands every job at t=0.
+  Time mean_interarrival = 0.01;
+  /// Bias the mix toward BB-first jobs (the policy-ordering mixes).
+  bool bb_bound = false;
+  /// Fraction of jobs running the Lustre baseline instead of UniviStor.
+  double lustre_fraction = 0.0;
+};
+
+/// Deterministically samples a job mix: same (seed, params) -> same mix.
+/// New draws must be appended after existing ones so historical seeds keep
+/// their mixes (the testkit:: sampler stability discipline).
+std::vector<JobSpec> SampleJobMix(std::uint64_t seed, const MixParams& params);
+
+/// Parses one trace line of the form
+///   `at=0.25 kind=vpic system=univistor procs=8 mb=4 steps=2 layer=0`
+/// (any order; `at` and `procs` required, the rest defaulted). `compute`
+/// gives the inter-step compute seconds for vpic jobs.
+Result<JobSpec> ParseJobLine(const std::string& line);
+
+/// Parses a whole trace (one job per non-empty line; '#' comments),
+/// assigning ids in file order and sorting by arrival time (stable).
+Result<std::vector<JobSpec>> ParseJobTrace(const std::string& text);
+
+}  // namespace uvs::cluster

@@ -1,0 +1,125 @@
+#include "src/cluster/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace uvs::cluster {
+
+const char* PolicyName(Policy policy) {
+  switch (policy) {
+    case Policy::kFcfs: return "fcfs";
+    case Policy::kEasyBackfill: return "easy";
+    case Policy::kBbAware: return "bb";
+  }
+  return "?";
+}
+
+Result<Policy> ParsePolicy(const std::string& name) {
+  if (name == "fcfs") return Policy::kFcfs;
+  if (name == "easy") return Policy::kEasyBackfill;
+  if (name == "bb") return Policy::kBbAware;
+  return InvalidArgumentError("unknown cluster policy: " + name +
+                              " (want fcfs|easy|bb)");
+}
+
+namespace {
+
+/// Reservation for a blocked head job: walk running jobs in estimated
+/// finish order accumulating released nodes (and BB bytes) until the head
+/// fits. Returns the shadow time plus the nodes/BB spare at that moment
+/// beyond the head's own needs — the room backfill may use past the
+/// shadow. When even all running jobs' resources cannot satisfy the head
+/// (it wants more than the machine has), there is no reservation to
+/// protect and backfill is unconstrained.
+struct Reservation {
+  bool exists = false;
+  Time shadow = 0;
+  int spare_nodes = 0;
+  Bytes spare_bb = 0;
+};
+
+Reservation ReserveHead(const SchedState& state, const SchedJob& head, bool bb_aware) {
+  std::vector<RunningJob> order = state.running;
+  std::stable_sort(order.begin(), order.end(),
+                   [](const RunningJob& a, const RunningJob& b) {
+                     return a.est_finish < b.est_finish;
+                   });
+  int nodes = state.free_nodes;
+  Bytes bb = state.bb_free;
+  for (const RunningJob& run : order) {
+    if (nodes >= head.nodes_needed && (!bb_aware || bb >= head.bb_demand)) break;
+    nodes += run.nodes;
+    bb += run.bb_reserved;
+    if (nodes >= head.nodes_needed && (!bb_aware || bb >= head.bb_demand)) {
+      Reservation res;
+      res.exists = true;
+      res.shadow = std::max(run.est_finish, state.now);
+      res.spare_nodes = nodes - head.nodes_needed;
+      res.spare_bb = bb_aware ? bb - head.bb_demand : bb;
+      return res;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<Admission> Decide(const SchedState& state, Policy policy) {
+  const bool bb_aware = policy == Policy::kBbAware;
+  std::vector<Admission> admissions;
+  int free_nodes = state.free_nodes;
+  Bytes bb_free = state.bb_free;
+
+  auto admit = [&](const SchedJob& job) {
+    Admission adm;
+    adm.id = job.id;
+    adm.nodes = job.nodes_needed;
+    adm.bb_grant = bb_aware ? job.bb_demand : std::min(job.bb_demand, bb_free);
+    assert(adm.nodes <= free_nodes && adm.bb_grant <= bb_free);
+    free_nodes -= adm.nodes;
+    bb_free -= adm.bb_grant;
+    admissions.push_back(adm);
+  };
+
+  // In-order phase: admit from the head while it fits.
+  std::size_t head = 0;
+  while (head < state.pending.size()) {
+    const SchedJob& job = state.pending[head];
+    if (job.nodes_needed > free_nodes || (bb_aware && job.bb_demand > bb_free)) break;
+    admit(job);
+    ++head;
+  }
+  if (policy == Policy::kFcfs || head >= state.pending.size()) return admissions;
+
+  // Backfill phase: the head is blocked; compute its reservation over the
+  // running set (including jobs just admitted in-order), then fill around
+  // it. A backfill job either drains before the shadow time or fits the
+  // spare capacity beyond the head's needs — spare is consumed as jobs
+  // take it so two backfills cannot claim the same room.
+  SchedState after = state;
+  after.free_nodes = free_nodes;
+  after.bb_free = bb_free;
+  for (std::size_t i = 0; i < admissions.size(); ++i)
+    after.running.push_back(RunningJob{state.now + state.pending[i].est_runtime,
+                                       admissions[i].nodes, admissions[i].bb_grant});
+
+  Reservation res = ReserveHead(after, state.pending[head], bb_aware);
+  for (std::size_t i = head + 1; i < state.pending.size(); ++i) {
+    const SchedJob& job = state.pending[i];
+    if (job.nodes_needed > free_nodes || (bb_aware && job.bb_demand > bb_free)) continue;
+    if (res.exists) {
+      const bool before_shadow = state.now + job.est_runtime <= res.shadow;
+      if (!before_shadow) {
+        const bool within_spare = job.nodes_needed <= res.spare_nodes &&
+                                  (!bb_aware || job.bb_demand <= res.spare_bb);
+        if (!within_spare) continue;
+        res.spare_nodes -= job.nodes_needed;
+        res.spare_bb -= bb_aware ? job.bb_demand : 0;
+      }
+    }
+    admit(job);
+  }
+  return admissions;
+}
+
+}  // namespace uvs::cluster

@@ -1,0 +1,75 @@
+// Pluggable cluster-level job scheduler (distinct from the per-node CPU
+// sched::NodeScheduler): decides which pending jobs start now, against
+// free compute nodes and — for the BB-aware policy — unreserved
+// burst-buffer bytes.
+//
+// Policies, after the burst-buffer scheduling comparison of
+// arXiv 2111.10200:
+//   * kFcfs          — strict arrival order; the head blocks the queue
+//                      until enough nodes free up. BB-blind: an admitted
+//                      job is granted whatever unreserved BB remains
+//                      (possibly none — its writes then spill to the PFS).
+//   * kEasyBackfill  — FCFS plus EASY backfill: a reservation (shadow
+//                      time) is computed for the blocked head from running
+//                      jobs' runtime estimates, and later jobs may jump
+//                      ahead if they fit free nodes without pushing the
+//                      head past its reservation. Still BB-blind.
+//   * kBbAware       — EASY structure, but a job is only admitted when its
+//                      full BB demand fits the unreserved BB (shadow
+//                      accounting covers BB bytes too), so admitted jobs
+//                      never spill for lack of reservation.
+//
+// Decide() is a pure function of the snapshot: same state -> same
+// admissions, which is what makes same-seed cluster replays bit-identical.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.hpp"
+#include "src/common/units.hpp"
+
+namespace uvs::cluster {
+
+enum class Policy : std::uint8_t { kFcfs, kEasyBackfill, kBbAware };
+const char* PolicyName(Policy policy);
+Result<Policy> ParsePolicy(const std::string& name);
+
+/// One pending job as the scheduler sees it.
+struct SchedJob {
+  int id = 0;
+  int nodes_needed = 1;
+  Bytes bb_demand = 0;
+  Time est_runtime = 0;  // walltime estimate (solo time x fudge)
+};
+
+/// One running job's footprint.
+struct RunningJob {
+  Time est_finish = 0;
+  int nodes = 0;
+  Bytes bb_reserved = 0;
+};
+
+/// Scheduler-visible cluster state at one decision point.
+struct SchedState {
+  Time now = 0;
+  int free_nodes = 0;   // alive and unallocated
+  Bytes bb_free = 0;    // unreserved BB bytes
+  std::vector<SchedJob> pending;   // arrival order
+  std::vector<RunningJob> running;
+};
+
+/// An admitted job: start it now with this grant. `bb_grant` is the full
+/// demand under kBbAware and min(demand, remaining) under the BB-blind
+/// policies.
+struct Admission {
+  int id = 0;
+  int nodes = 0;
+  Bytes bb_grant = 0;
+};
+
+/// Jobs to start now, in admission order. Never admits more nodes or BB
+/// bytes than the snapshot has free.
+std::vector<Admission> Decide(const SchedState& state, Policy policy);
+
+}  // namespace uvs::cluster

@@ -1,0 +1,412 @@
+#include "src/cluster/simulation.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+#include "src/fault/injector.hpp"
+#include "src/obs/recorder.hpp"
+
+namespace uvs::cluster {
+
+namespace {
+
+hw::Layer FirstLayer(int layer) {
+  switch (layer) {
+    case 2: return hw::Layer::kSharedBurstBuffer;
+    case 3: return hw::Layer::kPfs;
+    default: return hw::Layer::kDram;
+  }
+}
+
+std::string FmtDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Memoization key: every job field that shapes the solo run.
+std::string SoloKey(const JobSpec& spec, int width, Bytes bb_grant) {
+  return std::string(JobKindName(spec.kind)) + "/" + JobSystemName(spec.system) + "/p" +
+         std::to_string(spec.procs) + "/b" + std::to_string(spec.bytes_per_rank) + "/s" +
+         std::to_string(spec.steps) + "/c" + FmtDouble(spec.compute_time) + "/l" +
+         std::to_string(spec.first_layer) + "/w" + std::to_string(width) + "/g" +
+         std::to_string(bb_grant);
+}
+
+}  // namespace
+
+ClusterSim::ClusterSim(workload::Scenario& scenario, std::vector<JobSpec> jobs,
+                       ClusterOptions options)
+    : scenario_(&scenario), options_(options) {
+  jobs_.reserve(jobs.size());
+  for (JobSpec& spec : jobs) {
+    JobState state;
+    state.spec = std::move(spec);
+    state.start_event = std::make_unique<sim::Event>(scenario.engine());
+    jobs_.push_back(std::move(state));
+  }
+  qos_.resize(jobs_.size());
+  for (std::size_t i = 0; i < jobs_.size(); ++i) qos_[i].id = jobs_[i].spec.id;
+  const auto nodes = static_cast<std::size_t>(scenario.cluster().node_count());
+  node_free_.assign(nodes, 1);
+  node_alive_.assign(nodes, 1);
+  bb_capacity_ = scenario.cluster().burst_buffer().total_capacity();
+}
+
+ClusterSim::~ClusterSim() = default;
+
+void ClusterSim::AttachInjector(fault::Injector& injector) {
+  injector_ = &injector;
+  injector.set_cluster(&scenario_->cluster());
+  injector.AddCrashHandler([this](int node) { OnNodeCrash(node); });
+}
+
+int ClusterSim::AliveNodes() const {
+  int alive = 0;
+  for (char a : node_alive_) alive += a != 0;
+  return alive;
+}
+
+int ClusterSim::NodesNeeded(const JobSpec& spec) const {
+  const int ppn = std::max(options_.procs_per_node, 1);
+  const int want = (spec.procs + ppn - 1) / ppn;
+  return std::clamp(want, 1, std::max(AliveNodes(), 1));
+}
+
+Bytes ClusterSim::ClampedDemand(const JobSpec& spec) const {
+  return std::min(spec.BbDemand(), bb_capacity_);
+}
+
+const univistor::UniviStor* ClusterSim::system(int job) const {
+  return jobs_.at(static_cast<std::size_t>(job)).system.get();
+}
+
+bool ClusterSim::JobOnNode(int job, int node) const {
+  const std::vector<int>& nodes = jobs_.at(static_cast<std::size_t>(job)).nodes;
+  return std::find(nodes.begin(), nodes.end(), node) != nodes.end();
+}
+
+Time ClusterSim::StarvationHorizon() const {
+  Time last_arrival = 0;
+  Time serial = 0;
+  for (const JobState& job : jobs_) {
+    last_arrival = std::max(last_arrival, job.spec.arrival);
+    serial += std::max(job.solo_elapsed, 1e-3);
+  }
+  // Serial-execution bound with a generous contention allowance: even a
+  // policy that runs every job alone, back to back, with each run inflated
+  // 20x by spill and interference, finishes inside this horizon.
+  return last_arrival + 10.0 + 20.0 * serial;
+}
+
+void ClusterSim::PrecomputeSolo() {
+  // Solo baselines run in private engines; keep their spans and metrics
+  // out of the main run's recorder.
+  obs::Recorder* recorder = obs::Recorder::Current();
+  if (recorder != nullptr) recorder->Uninstall();
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const SoloStats stats = SoloRun(jobs_[i].spec);
+    jobs_[i].solo_elapsed = stats.elapsed;
+    jobs_[i].solo_flush_wait = stats.flush_wait;
+    qos_[i].solo_time = stats.elapsed;
+  }
+  if (recorder != nullptr) recorder->Install();
+}
+
+ClusterSim::SoloStats ClusterSim::SoloRun(const JobSpec& spec) {
+  const int ppn = std::max(options_.procs_per_node, 1);
+  const int width = std::clamp((spec.procs + ppn - 1) / ppn, 1,
+                               scenario_->cluster().node_count());
+  const Bytes bb_grant = ClampedDemand(spec);
+  const std::string key = SoloKey(spec, width, bb_grant);
+  if (auto it = solo_memo_.find(key); it != solo_memo_.end()) return it->second;
+
+  workload::ScenarioOptions opts;
+  opts.procs = scenario_->options().procs;
+  opts.policy = scenario_->options().policy;
+  opts.workflow_enabled = scenario_->options().workflow_enabled;
+  opts.cluster_params = scenario_->cluster().params();
+  workload::Scenario solo(opts);
+
+  JobState job;
+  job.spec = spec;
+  job.spec.arrival = 0;
+  job.nodes.resize(static_cast<std::size_t>(width));
+  for (int n = 0; n < width; ++n) job.nodes[static_cast<std::size_t>(n)] = n;
+  job.bb_grant = bb_grant;
+
+  solo.engine().Spawn(ExecuteJob(solo, job, /*live=*/false), "solo-" + spec.Name());
+  solo.engine().Run();
+
+  SoloStats stats;
+  stats.elapsed = job.finished >= 0 ? job.finished : solo.engine().Now();
+  // Contention-free drain baseline: total seconds this job's flushes (BB ->
+  // PFS drains, including the flush-on-close wait) take when it runs alone.
+  stats.flush_wait = job.system != nullptr ? job.system->flush_stats().total_flush_time : 0;
+  solo_memo_.emplace(key, stats);
+  return stats;
+}
+
+void ClusterSim::Run() {
+  PrecomputeSolo();
+  sim::Engine& engine = scenario_->engine();
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const int idx = static_cast<int>(i);
+    engine.Schedule(jobs_[i].spec.arrival, [this, idx] {
+      scenario_->engine().Spawn(JobLifecycle(idx),
+                                "cluster-" + jobs_[static_cast<std::size_t>(idx)].spec.Name());
+    });
+  }
+  engine.Run();
+}
+
+sim::Task ClusterSim::JobLifecycle(int idx) {
+  JobState& job = jobs_[static_cast<std::size_t>(idx)];
+  JobQos& qos = qos_[static_cast<std::size_t>(idx)];
+  sim::Engine& engine = scenario_->engine();
+
+  ++arrived_;
+  obs::Count("cluster.jobs_arrived");
+  qos.arrival = engine.Now();
+  {
+    obs::SpanTimer pending_span(engine, "cluster", "job.pending",
+                                obs::Track::ClusterJob(job.spec.id));
+    EnqueueAndSchedule(idx);
+    co_await job.start_event->Wait();
+  }
+
+  qos.start = engine.Now();
+  qos.bb_granted = job.bb_grant;
+  qos.nodes_granted = static_cast<int>(job.nodes.size());
+  obs::Count("cluster.jobs_started");
+  {
+    obs::SpanTimer run_span(engine, "cluster", "job.run", obs::Track::ClusterJob(job.spec.id),
+                            job.spec.TotalBytes());
+    co_await ExecuteJob(*scenario_, job, /*live=*/true);
+  }
+  OnJobFinish(idx);
+}
+
+sim::Task ClusterSim::ExecuteJob(workload::Scenario& sc, JobState& job, bool live) {
+  const JobSpec& spec = job.spec;
+  vmpi::AdioDriver* driver = nullptr;
+  if (spec.system == JobSystem::kUniviStor) {
+    univistor::Config cfg = options_.base_config;
+    cfg.first_cache_layer = FirstLayer(spec.first_layer);
+    // A zero grant must mean "no BB layer", but bb_capacity_limit == 0
+    // means "the whole BB" — 1 byte is below any chunk size, so the
+    // cascade drops the BB log and spills to the PFS instead.
+    cfg.bb_capacity_limit = std::max<Bytes>(job.bb_grant, 1);
+    job.system =
+        std::make_unique<univistor::UniviStor>(sc.runtime(), sc.pfs(), sc.workflow(), cfg);
+    if (live) {
+      for (int n = 0; n < static_cast<int>(node_alive_.size()); ++n)
+        if (node_alive_[static_cast<std::size_t>(n)] == 0) job.system->FailNode(n);
+      if (injector_ != nullptr) job.system->AttachFaults(injector_);
+    }
+    job.uvs_driver = std::make_unique<univistor::UniviStorDriver>(*job.system);
+    driver = job.uvs_driver.get();
+  } else {
+    baselines::LustreDriver::Options opt;
+    opt.stripe.stripe_count = sc.pfs().ost_count();
+    job.lustre_driver =
+        std::make_unique<baselines::LustreDriver>(sc.runtime(), sc.pfs(), opt);
+    driver = job.lustre_driver.get();
+  }
+
+  job.program = sc.runtime().LaunchProgramOn(spec.Name(), spec.procs, job.nodes);
+
+  if (spec.kind == JobKind::kVpic) {
+    workload::VpicParams params;
+    params.steps = spec.steps;
+    params.vars = 4;
+    params.bytes_per_var = std::max<Bytes>(spec.bytes_per_rank / 4, 1);
+    params.compute_time = spec.compute_time;
+    params.file_prefix = spec.Name();
+    job.vpic = std::make_unique<workload::VpicRun>(sc, job.program, *driver, params);
+    job.vpic->Start();
+    co_await job.vpic->done().Wait();
+  } else {
+    const bool read_back = spec.kind == JobKind::kMicroReadBack;
+    job.files.push_back(std::make_unique<h5lite::H5File>(
+        sc.runtime(), job.program, spec.Name() + ".h5", vmpi::FileMode::kWriteOnly, *driver,
+        std::vector<h5lite::DatasetSpec>{{"data", 8, spec.bytes_per_rank / 8}}));
+    job.ranks_left = spec.procs;
+    job.ranks_done = std::make_unique<sim::Event>(sc.engine());
+    for (int r = 0; r < spec.procs; ++r)
+      sc.engine().Spawn(MicroRank(job, r, read_back),
+                        spec.Name() + "-rank" + std::to_string(r));
+    co_await job.ranks_done->Wait();
+  }
+  job.client_done = sc.engine().Now();
+  if (job.system != nullptr) co_await job.system->WaitAllFlushes();
+  job.finished = sc.engine().Now();
+}
+
+sim::Task ClusterSim::MicroRank(JobState& job, int rank, bool read_back) {
+  h5lite::H5File& file = *job.files.front();
+  co_await file.Open(rank);
+  for (int d = 0; d < file.dataset_count(); ++d) co_await file.WriteSlice(rank, d);
+  if (read_back)
+    for (int d = 0; d < file.dataset_count(); ++d) co_await file.ReadSlice(rank, d);
+  co_await file.Close(rank);
+  if (--job.ranks_left == 0) job.ranks_done->Trigger();
+}
+
+void ClusterSim::EnqueueAndSchedule(int idx) {
+  pending_.push_back(idx);
+  obs::SetGauge("cluster.queue_depth", static_cast<double>(pending_.size()));
+  TrySchedule();
+}
+
+void ClusterSim::TrySchedule() {
+  if (pending_.empty()) return;
+  SchedState state;
+  state.now = scenario_->engine().Now();
+  for (std::size_t n = 0; n < node_free_.size(); ++n)
+    state.free_nodes += node_free_[n] != 0 && node_alive_[n] != 0;
+  state.bb_free = bb_capacity_ - bb_reserved_;
+  for (int idx : pending_) {
+    const JobState& job = jobs_[static_cast<std::size_t>(idx)];
+    SchedJob sched;
+    sched.id = idx;
+    sched.nodes_needed = NodesNeeded(job.spec);
+    sched.bb_demand = ClampedDemand(job.spec);
+    sched.est_runtime = std::max(job.solo_elapsed, 1e-3) * options_.estimate_fudge;
+    state.pending.push_back(sched);
+  }
+  for (const JobState& job : jobs_) {
+    if (!job.started || job.completed) continue;
+    RunningJob running;
+    running.est_finish = job.est_finish;
+    for (int node : job.nodes) running.nodes += node_alive_[static_cast<std::size_t>(node)] != 0;
+    running.bb_reserved = job.bb_grant;
+    state.running.push_back(running);
+  }
+
+  const std::vector<Admission> admissions = Decide(state, options_.policy);
+  for (const Admission& adm : admissions) {
+    JobState& job = jobs_[static_cast<std::size_t>(adm.id)];
+    job.nodes.clear();
+    for (std::size_t n = 0; n < node_free_.size() && static_cast<int>(job.nodes.size()) < adm.nodes;
+         ++n) {
+      if (node_free_[n] == 0 || node_alive_[n] == 0) continue;
+      node_free_[n] = 0;
+      job.nodes.push_back(static_cast<int>(n));
+    }
+    assert(static_cast<int>(job.nodes.size()) == adm.nodes);
+    job.bb_grant = adm.bb_grant;
+    bb_reserved_ += adm.bb_grant;
+    peak_bb_reserved_ = std::max(peak_bb_reserved_, bb_reserved_);
+    assert(bb_reserved_ <= bb_capacity_);
+    job.est_finish =
+        state.now + std::max(job.solo_elapsed, 1e-3) * options_.estimate_fudge;
+    job.started = true;
+    pending_.erase(std::find(pending_.begin(), pending_.end(), adm.id));
+    job.start_event->Trigger();
+  }
+  obs::SetGauge("cluster.queue_depth", static_cast<double>(pending_.size()));
+  obs::SetGauge("cluster.bb_reserved_bytes", static_cast<double>(bb_reserved_));
+}
+
+void ClusterSim::OnJobFinish(int idx) {
+  JobState& job = jobs_[static_cast<std::size_t>(idx)];
+  JobQos& qos = qos_[static_cast<std::size_t>(idx)];
+  job.completed = true;
+  ++completed_;
+  qos.finish = scenario_->engine().Now();
+  // Seconds this job's flush drains took beyond its contention-free solo
+  // drains: BB drain interference from co-running tenants.
+  const Time drain = job.system != nullptr ? job.system->flush_stats().total_flush_time
+                                           : (job.client_done >= 0 ? qos.finish - job.client_done : 0);
+  qos.drain_interference = std::max(0.0, drain - job.solo_flush_wait);
+  if (job.system != nullptr) {
+    for (int f = 0; f < job.system->file_count(); ++f)
+      qos.bytes_written += job.system->BytesWritten(static_cast<storage::FileId>(f));
+    qos.lost_bytes = job.system->lost_bytes();
+  } else {
+    qos.bytes_written = job.spec.TotalBytes();
+  }
+  for (int node : job.nodes)
+    if (node_alive_[static_cast<std::size_t>(node)] != 0)
+      node_free_[static_cast<std::size_t>(node)] = 1;
+  assert(bb_reserved_ >= job.bb_grant);
+  bb_reserved_ -= job.bb_grant;
+  obs::Count("cluster.jobs_completed");
+  obs::Observe("cluster.stretch", qos.stretch());
+  obs::Observe("cluster.wait", qos.wait());
+  obs::SetGauge("cluster.bb_reserved_bytes", static_cast<double>(bb_reserved_));
+  TrySchedule();
+}
+
+void ClusterSim::OnNodeCrash(int node) {
+  if (node < 0 || node >= static_cast<int>(node_alive_.size())) return;
+  if (node_alive_[static_cast<std::size_t>(node)] == 0) return;
+  node_alive_[static_cast<std::size_t>(node)] = 0;
+  node_free_[static_cast<std::size_t>(node)] = 0;
+  obs::Count("cluster.node_crashes");
+  // Only jobs actually placed on the crashed node lose extents; everyone
+  // else keeps running untouched (the multi-tenant crash-targeting fix).
+  for (JobState& job : jobs_) {
+    if (!job.started || job.system == nullptr) continue;
+    if (std::find(job.nodes.begin(), job.nodes.end(), node) == job.nodes.end()) continue;
+    job.system->FailNode(node);
+  }
+  TrySchedule();
+}
+
+std::string ClusterSim::JobTraceJson() const {
+  std::string out;
+  out += "{\"schema\":\"uvs-cluster-trace-v1\",";
+  out += "\"policy\":\"" + std::string(PolicyName(options_.policy)) + "\",";
+  out += "\"nodes\":" + std::to_string(node_alive_.size()) + ",";
+  out += "\"bb_capacity\":" + std::to_string(bb_capacity_) + ",";
+  out += "\"peak_bb_reserved\":" + std::to_string(peak_bb_reserved_) + ",";
+  out += "\"jobs\":[";
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const JobState& job = jobs_[i];
+    const JobQos& qos = qos_[i];
+    if (i > 0) out += ",";
+    out += "{\"id\":" + std::to_string(job.spec.id);
+    out += ",\"name\":\"" + job.spec.Name() + "\"";
+    out += ",\"kind\":\"" + std::string(JobKindName(job.spec.kind)) + "\"";
+    out += ",\"system\":\"" + std::string(JobSystemName(job.spec.system)) + "\"";
+    out += ",\"procs\":" + std::to_string(job.spec.procs);
+    out += ",\"bytes_per_rank\":" + std::to_string(job.spec.bytes_per_rank);
+    out += ",\"steps\":" + std::to_string(job.spec.steps);
+    out += ",\"first_layer\":" + std::to_string(job.spec.first_layer);
+    out += ",\"arrival\":" + FmtDouble(qos.arrival);
+    out += ",\"start\":" + FmtDouble(qos.start);
+    out += ",\"finish\":" + FmtDouble(qos.finish);
+    out += ",\"solo\":" + FmtDouble(qos.solo_time);
+    out += ",\"wait\":" + FmtDouble(qos.wait());
+    out += ",\"stretch\":" + FmtDouble(qos.stretch());
+    out += ",\"bb_demand\":" + std::to_string(ClampedDemand(job.spec));
+    out += ",\"bb_granted\":" + std::to_string(qos.bb_granted);
+    out += ",\"nodes\":[";
+    for (std::size_t n = 0; n < job.nodes.size(); ++n) {
+      if (n > 0) out += ",";
+      out += std::to_string(job.nodes[n]);
+    }
+    out += "]";
+    out += ",\"bytes_written\":" + std::to_string(qos.bytes_written);
+    out += ",\"lost_bytes\":" + std::to_string(qos.lost_bytes);
+    out += ",\"drain_interference\":" + FmtDouble(qos.drain_interference);
+    out += "}";
+  }
+  out += "],";
+  const QosSummary s = summary();
+  out += "\"qos\":{\"jobs\":" + std::to_string(s.jobs);
+  out += ",\"completed\":" + std::to_string(s.completed);
+  out += ",\"mean_stretch\":" + FmtDouble(s.mean_stretch);
+  out += ",\"p50_stretch\":" + FmtDouble(s.p50_stretch);
+  out += ",\"p99_stretch\":" + FmtDouble(s.p99_stretch);
+  out += ",\"mean_wait\":" + FmtDouble(s.mean_wait);
+  out += ",\"p99_wait\":" + FmtDouble(s.p99_wait);
+  out += ",\"drain_interference\":" + FmtDouble(s.total_drain_interference);
+  out += "}}";
+  return out;
+}
+
+}  // namespace uvs::cluster

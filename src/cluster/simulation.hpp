@@ -1,0 +1,162 @@
+// Multi-tenant cluster simulation: a pending queue + pluggable scheduler
+// (scheduler.hpp) driving full per-job storage-system runs over one shared
+// simulated machine.
+//
+// Each admitted job builds its own univistor::UniviStor instance (or
+// Lustre baseline driver), launches its client program on the
+// scheduler-allocated node subset, runs its workload, and drains its
+// flushes; jobs contend physically through the shared burst buffer, OSTs,
+// NICs and per-node CPU schedulers. Burst-buffer reservations are
+// DataWarp-style per-job grants enforced via Config::bb_capacity_limit —
+// a job granted less than it writes spills the excess synchronously to
+// the PFS.
+//
+// QoS per tenant: wait, stretch (turnaround over the job's memoized
+// contention-free solo run), and BB drain-interference seconds (flush
+// drain beyond the solo drain). Everything is deterministic for a given
+// (mix, policy): same seed -> identical job trace JSON.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/baselines/lustre_driver.hpp"
+#include "src/cluster/job.hpp"
+#include "src/cluster/scheduler.hpp"
+#include "src/h5lite/h5file.hpp"
+#include "src/sim/event.hpp"
+#include "src/univistor/config.hpp"
+#include "src/univistor/driver.hpp"
+#include "src/univistor/system.hpp"
+#include "src/workload/scenario.hpp"
+#include "src/workload/vpic.hpp"
+
+namespace uvs::fault {
+class Injector;
+}
+
+namespace uvs::cluster {
+
+struct ClusterOptions {
+  Policy policy = Policy::kBbAware;
+  /// Template for every job's UniviStor instance; first_cache_layer and
+  /// bb_capacity_limit are overridden per job.
+  univistor::Config base_config;
+  /// Client ranks per allocated node (nodes_needed = ceil(procs / ppn)).
+  int procs_per_node = 4;
+  /// Walltime estimate fed to backfill: solo time x fudge.
+  double estimate_fudge = 3.0;
+};
+
+class ClusterSim {
+ public:
+  ClusterSim(workload::Scenario& scenario, std::vector<JobSpec> jobs,
+             ClusterOptions options);
+  ClusterSim(const ClusterSim&) = delete;
+  ClusterSim& operator=(const ClusterSim&) = delete;
+  ~ClusterSim();
+
+  /// Routes the injector's node crashes to the jobs actually placed on
+  /// the crashed node (and degradation windows to the shared hardware).
+  /// Call before Run(); the injector must outlive the ClusterSim.
+  void AttachInjector(fault::Injector& injector);
+
+  /// Precomputes solo baselines, schedules arrivals, drains the engine.
+  void Run();
+
+  const std::vector<JobQos>& qos() const { return qos_; }
+  QosSummary summary() const { return Summarize(qos_); }
+  /// Deterministic JSON job trace + QoS rollup (schema
+  /// uvs-cluster-trace-v1).
+  std::string JobTraceJson() const;
+
+  int job_count() const { return static_cast<int>(jobs_.size()); }
+  int arrived_jobs() const { return arrived_; }
+  int completed_jobs() const { return completed_; }
+  const JobSpec& spec(int job) const { return jobs_.at(static_cast<std::size_t>(job)).spec; }
+  /// The job's UniviStor instance; nullptr before start or for Lustre jobs.
+  const univistor::UniviStor* system(int job) const;
+  const std::vector<int>& job_nodes(int job) const {
+    return jobs_.at(static_cast<std::size_t>(job)).nodes;
+  }
+  bool JobOnNode(int job, int node) const;
+
+  Bytes bb_capacity() const { return bb_capacity_; }
+  /// High-water mark of concurrently reserved BB bytes (conservation:
+  /// never exceeds bb_capacity()).
+  Bytes peak_bb_reserved() const { return peak_bb_reserved_; }
+  /// Generous bound by which every job of the mix must have finished (the
+  /// starvation invariant): last arrival + a serial-execution bound over
+  /// memoized solo times with a contention allowance.
+  Time StarvationHorizon() const;
+
+ private:
+  /// One job's live storage system + workload state.
+  struct JobState {
+    JobSpec spec;
+    std::vector<int> nodes;   // allocation (node indices)
+    Bytes bb_grant = 0;
+    Time est_finish = 0;
+    Time solo_elapsed = 0;
+    Time solo_flush_wait = 0;
+    Time client_done = -1;
+    Time finished = -1;
+    bool started = false;
+    bool completed = false;
+    std::unique_ptr<sim::Event> start_event;
+    std::unique_ptr<univistor::UniviStor> system;
+    std::unique_ptr<univistor::UniviStorDriver> uvs_driver;
+    std::unique_ptr<baselines::LustreDriver> lustre_driver;
+    std::vector<std::unique_ptr<h5lite::H5File>> files;
+    std::unique_ptr<workload::VpicRun> vpic;
+    vmpi::ProgramId program = -1;
+    int ranks_left = 0;
+    std::unique_ptr<sim::Event> ranks_done;
+  };
+
+  struct SoloStats {
+    Time elapsed = 0;
+    Time flush_wait = 0;
+  };
+
+  int NodesNeeded(const JobSpec& spec) const;
+  Bytes ClampedDemand(const JobSpec& spec) const;
+  void PrecomputeSolo();
+  /// Runs `spec` alone on a private engine with the same cluster params;
+  /// memoized by job shape.
+  SoloStats SoloRun(const JobSpec& spec);
+
+  sim::Task JobLifecycle(int idx);
+  /// Builds the job's system + client program on `sc` and runs the
+  /// workload to client completion plus flush drain. `live` wires crashed
+  /// nodes and the injector in; solo baselines pass false.
+  sim::Task ExecuteJob(workload::Scenario& sc, JobState& job, bool live);
+  static sim::Task MicroRank(JobState& job, int rank, bool read_back);
+
+  void EnqueueAndSchedule(int idx);
+  void TrySchedule();
+  void OnJobFinish(int idx);
+  void OnNodeCrash(int node);
+  int AliveNodes() const;
+
+  workload::Scenario* scenario_;
+  ClusterOptions options_;
+  fault::Injector* injector_ = nullptr;
+
+  std::vector<JobState> jobs_;
+  std::vector<JobQos> qos_;
+  std::vector<int> pending_;  // job indices, arrival order
+  std::vector<char> node_free_;
+  std::vector<char> node_alive_;
+  Bytes bb_capacity_ = 0;
+  Bytes bb_reserved_ = 0;
+  Bytes peak_bb_reserved_ = 0;
+  int arrived_ = 0;
+  int completed_ = 0;
+  std::map<std::string, SoloStats> solo_memo_;
+};
+
+}  // namespace uvs::cluster

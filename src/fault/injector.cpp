@@ -23,7 +23,8 @@ void Injector::Apply(const FaultEvent& ev) {
       if (cluster_ != nullptr && (ev.target < 0 || ev.target >= cluster_->node_count())) break;
       ++stats_.crashes;
       obs::Count("fault.node_crashes");
-      if (crash_handler_) crash_handler_(ev.target);
+      for (const auto& handler : crash_handlers_)
+        if (handler) handler(ev.target);
       break;
     case EventKind::kOstDegrade:
       if (cluster_ == nullptr || ev.target >= cluster_->pfs().ost_count()) break;

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "src/fault/plan.hpp"
 #include "src/hw/cluster.hpp"
@@ -32,8 +33,19 @@ class Injector {
   void set_cluster(hw::Cluster* cluster) { cluster_ = cluster; }
 
   /// Called with the node index when a kNodeCrash event fires (typically
-  /// UniviStor::FailNode). Optional.
-  void SetCrashHandler(std::function<void(int)> handler) { crash_handler_ = std::move(handler); }
+  /// UniviStor::FailNode). Optional. Replaces any handlers added so far.
+  void SetCrashHandler(std::function<void(int)> handler) {
+    crash_handlers_.clear();
+    crash_handlers_.push_back(std::move(handler));
+  }
+
+  /// Adds a crash handler alongside the existing ones. Multi-tenant runs
+  /// register one handler per job; each checks whether the job actually
+  /// occupies the crashed node, so a crash only kills extents of jobs
+  /// placed there.
+  void AddCrashHandler(std::function<void(int)> handler) {
+    crash_handlers_.push_back(std::move(handler));
+  }
 
   /// Schedules every plan event on the engine. Call once, before Run();
   /// events whose time already passed fire immediately. Targets out of
@@ -56,7 +68,7 @@ class Injector {
   sim::Engine* engine_;
   Plan plan_;
   hw::Cluster* cluster_ = nullptr;
-  std::function<void(int)> crash_handler_;
+  std::vector<std::function<void(int)>> crash_handlers_;
   Stats stats_;
   int active_timeouts_ = 0;
   bool armed_ = false;

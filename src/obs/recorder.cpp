@@ -87,6 +87,7 @@ std::string Track::TidName() const {
     return "rank " + std::to_string(lane % 100000) + " (prog " +
            std::to_string(lane / 100000) + ")";
   }
+  if (tid >= kClusterTidBase) return "cluster job " + std::to_string(tid - kClusterTidBase);
   if (tid >= kMetaQueueTidBase) return "md queue " + std::to_string(tid - kMetaQueueTidBase);
   if (tid >= kPfsIoTidBase) return "pfs file " + std::to_string(tid - kPfsIoTidBase);
   if (tid >= kFlushTidBase) return "flush file " + std::to_string(tid - kFlushTidBase);

@@ -100,6 +100,7 @@ struct Track {
   static constexpr std::int32_t kFlushTidBase = 2000000;    // + file id
   static constexpr std::int32_t kPfsIoTidBase = 3000000;    // + PFS file handle
   static constexpr std::int32_t kMetaQueueTidBase = 4000000;  // + server index
+  static constexpr std::int32_t kClusterTidBase = 5000000;    // + cluster job id
   static constexpr std::int32_t kRankTidBase = 10000000;    // + program*100000 + rank
 
   static Track Rank(int node, int program, int rank) {
@@ -119,6 +120,8 @@ struct Track {
   static Track PfsIo(int node, int file_handle) {
     return {kNodePidBase + node, kPfsIoTidBase + file_handle};
   }
+  /// Lifecycle lane of one multi-tenant cluster job (pending/run spans).
+  static Track ClusterJob(int job_id) { return {kSimPid, kClusterTidBase + job_id}; }
   static Track BbNode(int bb_node) { return {kBbPidBase + bb_node, kDeviceTid}; }
   static Track Ost(int ost) { return {kOstPidBase + ost, kDeviceTid}; }
 

@@ -179,6 +179,33 @@ void CheckPoolConservation(workload::Scenario& scenario, InvariantReport& report
   for (int o = 0; o < cluster.pfs().ost_count(); ++o) CheckPool(cluster.pfs().ost(o), report);
 }
 
+Bytes ExpectedLostBytes(const univistor::UniviStor& system, vmpi::Runtime& runtime) {
+  Bytes lost = 0;
+  for (int f = 0; f < system.file_count(); ++f) {
+    const auto fid = static_cast<storage::FileId>(f);
+    const bool has_pfs = system.HasPfsCopy(fid);
+    for (const auto& rec : system.metadata().Query(fid, 0, system.LogicalSize(fid))) {
+      const placement::DhpWriterChain* chain = system.FindChain(fid, rec.producer);
+      if (chain == nullptr) continue;
+      const auto decoded = chain->codec().Decode(rec.va);
+      if (!decoded.ok()) continue;
+      if (decoded->layer != hw::Layer::kDram && decoded->layer != hw::Layer::kNodeLocalSsd)
+        continue;
+      const auto program = univistor::ProducerProgram(rec.producer);
+      const int rank = univistor::ProducerRank(rec.producer);
+      if (!system.NodeFailed(runtime.Rank(program, rank).node)) continue;
+      if (system.config().replicate_volatile &&
+          system.ReplicaCovers(fid, rec.producer, decoded->layer, decoded->physical, rec.len))
+        continue;
+      if (has_pfs &&
+          system.DurableCovers(fid, rec.producer, decoded->layer, decoded->physical, rec.len))
+        continue;
+      lost += rec.len;
+    }
+  }
+  return lost;
+}
+
 void CheckQuiescence(const sim::Engine& engine, InvariantReport& report) {
   if (engine.live_processes() == 0) return;
   std::ostringstream out;

@@ -71,4 +71,17 @@ void CheckPoolConservation(workload::Scenario& scenario, InvariantReport& report
 /// After Run() has drained: no live (stranded) processes remain.
 void CheckQuiescence(const sim::Engine& engine, InvariantReport& report);
 
+/// Lost-byte expectation after node failure, derived record by record from
+/// the metadata: a read is lost iff its record sits on a volatile layer
+/// (DRAM/SSD) of a failed node, the BB replica watermark does not cover its
+/// physical extent, and neither does the PFS durability watermark. This is
+/// deliberately NOT short-circuited on replicate_volatile or HasPfsCopy:
+/// replication and flushes are watermarks, so a file can have a PFS copy
+/// and still lose the extents written after the flush snapshot (the
+/// historical FailNode under-reporting bug). Exact when the failure happens
+/// at a drained point and each written byte is read back at most once; an
+/// upper bound for seed-timed plans, where reads that beat the crash
+/// succeed but still qualify here.
+Bytes ExpectedLostBytes(const univistor::UniviStor& system, vmpi::Runtime& runtime);
+
 }  // namespace uvs::testkit

@@ -1,5 +1,6 @@
 #include "src/testkit/runner.hpp"
 
+#include <cmath>
 #include <exception>
 #include <memory>
 #include <string>
@@ -7,6 +8,9 @@
 
 #include "src/baselines/data_elevator.hpp"
 #include "src/baselines/lustre_driver.hpp"
+#include "src/cluster/job.hpp"
+#include "src/cluster/simulation.hpp"
+#include "src/common/rng.hpp"
 #include "src/fault/injector.hpp"
 #include "src/fault/plan.hpp"
 #include "src/hw/params.hpp"
@@ -93,45 +97,6 @@ SystemUnderTest BuildSystem(const ScenarioSpec& spec, workload::Scenario& scenar
       break;
   }
   return sut;
-}
-
-/// Lost-byte expectation after node failure, derived record by record from
-/// the metadata: a read is lost iff its record sits on a volatile layer
-/// (DRAM/SSD) of a failed node, the BB replica watermark does not cover its
-/// physical extent, and neither does the PFS durability watermark. This is
-/// deliberately NOT short-circuited on replicate_volatile or HasPfsCopy:
-/// replication and flushes are watermarks, so a file can have a PFS copy
-/// and still lose the extents written after the flush snapshot (the
-/// historical FailNode under-reporting bug). Every workload below reads
-/// each written byte at most once, so summing qualifying record lengths is
-/// exact when the failure happens at a drained point (kAfterWrites,
-/// kDuringFlush) and an upper bound for seed-timed plans, where reads that
-/// beat the crash succeed but still qualify here.
-Bytes ExpectedLostBytes(const univistor::UniviStor& system, vmpi::Runtime& runtime) {
-  Bytes lost = 0;
-  for (int f = 0; f < system.file_count(); ++f) {
-    const auto fid = static_cast<storage::FileId>(f);
-    const bool has_pfs = system.HasPfsCopy(fid);
-    for (const auto& rec : system.metadata().Query(fid, 0, system.LogicalSize(fid))) {
-      const placement::DhpWriterChain* chain = system.FindChain(fid, rec.producer);
-      if (chain == nullptr) continue;
-      const auto decoded = chain->codec().Decode(rec.va);
-      if (!decoded.ok()) continue;
-      if (decoded->layer != hw::Layer::kDram && decoded->layer != hw::Layer::kNodeLocalSsd)
-        continue;
-      const auto program = univistor::ProducerProgram(rec.producer);
-      const int rank = univistor::ProducerRank(rec.producer);
-      if (!system.NodeFailed(runtime.Rank(program, rank).node)) continue;
-      if (system.config().replicate_volatile &&
-          system.ReplicaCovers(fid, rec.producer, decoded->layer, decoded->physical, rec.len))
-        continue;
-      if (has_pfs &&
-          system.DurableCovers(fid, rec.producer, decoded->layer, decoded->physical, rec.len))
-        continue;
-      lost += rec.len;
-    }
-  }
-  return lost;
 }
 
 /// Fails the spec'd node at the spec'd point and records the exact
@@ -275,9 +240,141 @@ void RunDifferential(const ScenarioSpec& spec, RunOutcome& outcome) {
   }
 }
 
+/// Derives the multi-tenant job mix for a jobs>1 spec: every job has the
+/// spec's workload shape with procs/jobs client ranks, and arrivals are
+/// Poisson with mean `spec.arrival` (all at t=0 when it is zero). Purely
+/// seed-deterministic.
+std::vector<cluster::JobSpec> BuildJobMix(const ScenarioSpec& spec) {
+  Rng rng(spec.seed ^ 0x5c1ed01eull);
+  std::vector<cluster::JobSpec> jobs;
+  jobs.reserve(static_cast<std::size_t>(spec.jobs));
+  Time clock = 0;
+  for (int j = 0; j < spec.jobs; ++j) {
+    cluster::JobSpec job;
+    job.id = j;
+    job.arrival = clock;
+    if (spec.arrival > 0) clock += -spec.arrival * std::log(1.0 - rng.NextDouble());
+    job.kind = spec.workload == WorkloadKind::kVpic ? cluster::JobKind::kVpic
+               : spec.workload == WorkloadKind::kMicroReadBack
+                   ? cluster::JobKind::kMicroReadBack
+                   : cluster::JobKind::kMicroWrite;
+    job.system = cluster::JobSystem::kUniviStor;  // parse rejects baselines for jobs>1
+    job.procs = std::max(1, spec.procs / spec.jobs);
+    job.bytes_per_rank = spec.bytes_per_rank;
+    job.steps = spec.workload == WorkloadKind::kVpic ? spec.steps : 1;
+    job.compute_time = spec.compute_time;
+    job.first_layer = spec.first_layer;
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+/// The jobs>1 path: one shared machine, one ClusterSim, per-job UniviStor
+/// instances contending through it. Cluster-level invariants (starvation
+/// horizon, BB reservation conservation, per-job lost-byte accounting)
+/// ride on top of the per-system checks.
+RunOutcome RunClusterScenario(const ScenarioSpec& spec, const RunOptions& options) {
+  RunOutcome outcome;
+  outcome.spec = spec;
+  try {
+    workload::ScenarioOptions scenario_options{
+        .procs = spec.procs,
+        .policy = spec.ia ? sched::PlacementPolicy::kInterferenceAware
+                          : sched::PlacementPolicy::kCfs,
+        .workflow_enabled = false,
+        .cluster_params = BuildClusterParams(spec)};
+    workload::Scenario scenario(scenario_options);
+
+    cluster::ClusterOptions cluster_options;
+    cluster_options.policy = static_cast<cluster::Policy>(spec.csched);
+    cluster_options.base_config = BuildConfig(spec);
+    cluster_options.procs_per_node = spec.procs_per_node;
+    cluster::ClusterSim sim(scenario, BuildJobMix(spec), cluster_options);
+
+    std::unique_ptr<fault::Injector> injector;
+    if (spec.failure == FailureMode::kPlan) {
+      auto plan = fault::ParsePlan(spec.fault_plan);
+      if (!plan.ok()) {
+        outcome.report.Add("fault-plan", plan.status().message());
+        return outcome;
+      }
+      injector = std::make_unique<fault::Injector>(scenario.engine(), *plan);
+      sim.AttachInjector(*injector);
+      injector->Arm();
+    }
+
+    sim.Run();
+    outcome.sim_time = scenario.engine().Now();
+    for (int j = 0; j < sim.job_count(); ++j) {
+      if (const univistor::UniviStor* sys = sim.system(j)) {
+        outcome.lost_bytes += sys->lost_bytes();
+        for (int f = 0; f < sys->file_count(); ++f) {
+          const auto fid = static_cast<storage::FileId>(f);
+          outcome.file_sizes[sys->FileName(fid)] = sys->LogicalSize(fid);
+        }
+      }
+    }
+
+    if (options.check_invariants) {
+      CheckQuiescence(scenario.engine(), outcome.report);
+      CheckPoolConservation(scenario, outcome.report);
+      if (sim.arrived_jobs() != sim.job_count()) {
+        outcome.report.Add("cluster-conservation",
+                           std::to_string(sim.arrived_jobs()) + " of " +
+                               std::to_string(sim.job_count()) + " jobs arrived");
+      }
+      if (sim.completed_jobs() != sim.arrived_jobs()) {
+        outcome.report.Add("cluster-starvation",
+                           std::to_string(sim.arrived_jobs() - sim.completed_jobs()) +
+                               " arrived jobs never completed (queued or stranded)");
+      }
+      if (outcome.sim_time > sim.StarvationHorizon()) {
+        outcome.report.Add("cluster-starvation",
+                           "mix drained at t=" + std::to_string(outcome.sim_time) +
+                               ", past the bounded horizon " +
+                               std::to_string(sim.StarvationHorizon()));
+      }
+      if (sim.peak_bb_reserved() > sim.bb_capacity()) {
+        outcome.report.Add("cluster-bb-capacity",
+                           "peak BB reservation " + std::to_string(sim.peak_bb_reserved()) +
+                               " exceeds capacity " + std::to_string(sim.bb_capacity()));
+      }
+      for (int j = 0; j < sim.job_count(); ++j) {
+        const univistor::UniviStor* sys = sim.system(j);
+        if (sys == nullptr) continue;
+        CheckUniviStor(*sys, outcome.report);
+        const std::string label = "job " + std::to_string(j);
+        const Bytes lost = sys->lost_bytes();
+        if (spec.failure == FailureMode::kPlan) {
+          // Plan crashes land at arbitrary points, so the metadata-derived
+          // expectation is an upper bound per tenant (see ExpectedLostBytes).
+          const Bytes bound = ExpectedLostBytes(*sys, scenario.runtime());
+          outcome.expected_lost_bytes += bound;
+          if (lost > bound) {
+            outcome.report.Add("cluster-lost-bound",
+                               label + " reports " + std::to_string(lost) +
+                                   " lost bytes, above its metadata-derived bound of " +
+                                   std::to_string(bound));
+          }
+        } else if (lost != 0) {
+          outcome.report.Add("cluster-lost-accounting",
+                             label + " reports " + std::to_string(lost) +
+                                 " lost bytes with no fault injected");
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    outcome.report.Add("exception", e.what());
+  } catch (...) {
+    outcome.report.Add("exception", "non-standard exception escaped the run");
+  }
+  return outcome;
+}
+
 }  // namespace
 
 RunOutcome RunScenario(const ScenarioSpec& spec, const RunOptions& options) {
+  if (spec.jobs > 1) return RunClusterScenario(spec, options);
   RunOutcome outcome;
   outcome.spec = spec;
   try {

@@ -115,6 +115,20 @@ ScenarioSpec SampleScenario(std::uint64_t seed) {
     }
     spec.recovery = Chance(rng, 0.30);
   }
+
+  // Multi-tenant cluster mixes (cluster::). Appended after all earlier
+  // draws — same stability discipline as the fault-plan block above.
+  // Workflow runs stay single-job (the workflow manager pairs programs
+  // itself), as do the legacy point-failure modes.
+  const bool cluster_eligible =
+      spec.system == SystemKind::kUniviStor && spec.workload != WorkloadKind::kWorkflow &&
+      (spec.failure == FailureMode::kNone || spec.failure == FailureMode::kPlan) &&
+      spec.procs >= 4;
+  if (cluster_eligible && Chance(rng, 0.20)) {
+    spec.jobs = Pick(rng, {2, 3});
+    spec.arrival = Chance(rng, 0.5) ? 0.0 : Pick(rng, {1, 5, 20}) * 0.001;
+    spec.csched = Pick(rng, {0, 1, 2});
+  }
   return spec;
 }
 
@@ -133,6 +147,10 @@ std::string ScenarioSpec::ToString() const {
       << " steps=" << steps << " compute=" << compute_time
       << " fail=" << FailureModeName(failure) << " fail_node=" << failed_node
       << " recov=" << (recovery ? 1 : 0);
+  // Cluster keys print only for multi-job specs so historical single-job
+  // strings round-trip unchanged.
+  if (jobs > 1)
+    out << " jobs=" << jobs << " arrival=" << arrival << " csched=" << csched;
   if (!fault_plan.empty()) out << " fplan=" << fault_plan;
   return out.str();
 }
@@ -205,6 +223,12 @@ Result<ScenarioSpec> ParseScenarioSpec(const std::string& text) {
       spec.compute_time = *parsed;
       continue;
     }
+    if (key == "arrival") {
+      auto parsed = ParseDouble(value);
+      if (!parsed.ok()) return parsed.status();
+      spec.arrival = *parsed;
+      continue;
+    }
     if (key == "seed") {  // full uint64 range; must not go through strtoll
       char* end = nullptr;
       spec.seed = std::strtoull(value.c_str(), &end, 10);
@@ -238,6 +262,8 @@ Result<ScenarioSpec> ParseScenarioSpec(const std::string& text) {
     else if (key == "steps") spec.steps = static_cast<int>(n);
     else if (key == "fail_node") spec.failed_node = static_cast<int>(n);
     else if (key == "recov") spec.recovery = n != 0;
+    else if (key == "jobs") spec.jobs = static_cast<int>(n);
+    else if (key == "csched") spec.csched = static_cast<int>(n);
     else return InvalidArgumentError("unknown key '" + key + "'");
   }
 
@@ -253,6 +279,18 @@ Result<ScenarioSpec> ParseScenarioSpec(const std::string& text) {
   if (!spec.fault_plan.empty()) {
     auto plan = fault::ParsePlan(spec.fault_plan);
     if (!plan.ok()) return plan.status();
+  }
+  if (spec.jobs < 1) return InvalidArgumentError("jobs must be >= 1");
+  if (spec.arrival < 0) return InvalidArgumentError("arrival must be >= 0");
+  if (spec.csched < 0 || spec.csched > 2)
+    return InvalidArgumentError("csched must be 0 (fcfs), 1 (easy), or 2 (bb)");
+  if (spec.jobs > 1) {
+    if (spec.system != SystemKind::kUniviStor)
+      return InvalidArgumentError("jobs > 1 requires system=univistor");
+    if (spec.workload == WorkloadKind::kWorkflow)
+      return InvalidArgumentError("jobs > 1 does not support workload=workflow");
+    if (spec.failure == FailureMode::kAfterWrites || spec.failure == FailureMode::kDuringFlush)
+      return InvalidArgumentError("jobs > 1 supports only fail=none or fail=plan");
   }
   return spec;
 }

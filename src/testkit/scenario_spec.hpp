@@ -67,6 +67,16 @@ struct ScenarioSpec {
   /// Enables univistor::Config::recovery (retries, re-striping, safe mode).
   bool recovery = false;
 
+  // --- Multi-tenant cluster mix (cluster::, jobs > 1). ---
+  /// Concurrent jobs in the mix; 1 = the classic single-job run. Each job
+  /// gets procs/jobs client ranks of the same workload shape and the mix
+  /// runs through cluster::ClusterSim instead of the single-job runner.
+  int jobs = 1;
+  /// Mean Poisson interarrival in sim seconds; 0 = all jobs arrive at t=0.
+  double arrival = 0.0;
+  /// Cluster scheduling policy (cluster::Policy): 0 fcfs, 1 easy, 2 bb.
+  int csched = 2;
+
   /// Number of compute nodes this spec's cluster has.
   int Nodes() const { return (procs + procs_per_node - 1) / procs_per_node; }
 

@@ -21,12 +21,20 @@ void Normalize(ScenarioSpec& spec) {
   if (spec.failure != FailureMode::kPlan) spec.fault_plan.clear();
   if (spec.failure == FailureMode::kPlan && spec.fault_plan.empty())
     spec.failure = FailureMode::kNone;
+  spec.jobs = std::max(spec.jobs, 1);
+  if (spec.jobs == 1) {
+    // Single-job specs keep the (unprinted) cluster defaults so shrunk
+    // strings stay canonical.
+    spec.arrival = 0.0;
+    spec.csched = 2;
+  }
 }
 
 using Transform = void (*)(ScenarioSpec&);
 
 // Ordered big-win-first: structural reductions before toggle resets.
 constexpr Transform kTransforms[] = {
+    [](ScenarioSpec& s) { s.jobs /= 2; },
     [](ScenarioSpec& s) { s.procs /= 2; },
     [](ScenarioSpec& s) { s.steps /= 2; },
     [](ScenarioSpec& s) { s.bytes_per_rank /= 2; },
@@ -45,6 +53,7 @@ constexpr Transform kTransforms[] = {
       else s.fault_plan.resize(semi);
     },
     [](ScenarioSpec& s) { s.failure = FailureMode::kNone; },
+    [](ScenarioSpec& s) { s.arrival = 0.0; },
     [](ScenarioSpec& s) { s.recovery = false; },
     [](ScenarioSpec& s) { s.compute_time = 0.0; },
     [](ScenarioSpec& s) { s.has_ssd = false; },

@@ -41,6 +41,12 @@ struct Config {
   /// Log-file chunk size (§II-B1).
   Bytes chunk_size = 32_MiB;
 
+  /// Burst-buffer bytes this instance may occupy (a DataWarp-style per-job
+  /// reservation when several jobs share one BB). 0 means the whole BB.
+  /// A limit below one chunk drops the BB layer from the cascade entirely,
+  /// so writes spill straight to the PFS.
+  Bytes bb_capacity_limit = 0;
+
   /// Metadata offset-range size (§II-B3).
   Bytes metadata_range_size = 8_MiB;
 

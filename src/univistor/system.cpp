@@ -36,12 +36,6 @@ sim::Task Tagged(sim::Engine& engine, const char* name, obs::Track track, Bytes 
 /// this into fair-share queuing.
 Time SoloOf(const sim::FairSharePool& pool, Bytes bytes) { return pool.SoloTime(bytes); }
 
-/// Ranks of a block-mapped program that land on `node`.
-int LocalRanksOnNode(int node, int program_size, int nodes) {
-  const int per_node = (program_size + nodes - 1) / nodes;
-  return std::clamp(program_size - node * per_node, 0, per_node);
-}
-
 }  // namespace
 
 UniviStor::UniviStor(vmpi::Runtime& runtime, storage::Pfs& pfs,
@@ -66,9 +60,12 @@ UniviStor::UniviStor(vmpi::Runtime& runtime, storage::Pfs& pfs,
                                   cluster.params().node.ssd_capacity, config_.chunk_size)
                             : nullptr);
   }
-  bb_store_ = std::make_unique<storage::LayerStore>(
-      hw::Layer::kSharedBurstBuffer, cluster.burst_buffer().total_capacity(),
-      config_.chunk_size);
+  const Bytes bb_capacity =
+      config_.bb_capacity_limit > 0
+          ? std::min(config_.bb_capacity_limit, cluster.burst_buffer().total_capacity())
+          : cluster.burst_buffer().total_capacity();
+  bb_store_ = std::make_unique<storage::LayerStore>(hw::Layer::kSharedBurstBuffer,
+                                                    bb_capacity, config_.chunk_size);
 
   metadata_ = std::make_unique<meta::DistributedMetadataService>(total_servers_,
                                                                  config_.metadata_range_size);
@@ -149,10 +146,11 @@ placement::DhpWriterChain& UniviStor::Chain(FileInfo& info, vmpi::ProgramId prog
   if (auto it = info.chains.find(producer); it != info.chains.end()) return *it->second;
 
   const int node = runtime_->Rank(program, rank).node;
-  const int nodes = runtime_->cluster().node_count();
   const int program_size = runtime_->ProgramSize(program);
-  const int local_clients =
-      std::max(1, LocalRanksOnNode(node, program_size, nodes));
+  // Count the program's actual ranks on this node: cluster-scheduler
+  // allocations place programs on node subsets, where the old block-map
+  // arithmetic over all nodes under-counted co-located writers.
+  const int local_clients = std::max(1, runtime_->RanksOnNode(program, node));
 
   std::vector<storage::LayerStore*> stores;
   std::vector<Bytes> requested;

@@ -1,5 +1,8 @@
 #include "src/vmpi/runtime.hpp"
 
+#include <algorithm>
+#include <cassert>
+
 #include "src/vmpi/comm.hpp"
 
 namespace uvs::vmpi {
@@ -17,15 +20,24 @@ Runtime::Runtime(hw::Cluster& cluster, sched::PlacementPolicy policy)
 Runtime::~Runtime() = default;
 
 ProgramId Runtime::LaunchProgram(std::string name, int nprocs, bool is_server) {
+  std::vector<int> all_nodes(static_cast<std::size_t>(cluster_->node_count()));
+  for (int n = 0; n < cluster_->node_count(); ++n)
+    all_nodes[static_cast<std::size_t>(n)] = n;
+  return LaunchProgramOn(std::move(name), nprocs, all_nodes, is_server);
+}
+
+ProgramId Runtime::LaunchProgramOn(std::string name, int nprocs,
+                                   const std::vector<int>& nodes, bool is_server) {
+  assert(!nodes.empty());
   const auto prog_id = static_cast<ProgramId>(programs_.size());
   Program prog;
   prog.name = std::move(name);
   prog.is_server = is_server;
   prog.ranks.reserve(static_cast<std::size_t>(nprocs));
-  const int nodes = cluster_->node_count();
-  const int per_node = (nprocs + nodes - 1) / nodes;
+  const int width = static_cast<int>(nodes.size());
+  const int per_node = (nprocs + width - 1) / width;
   for (int r = 0; r < nprocs; ++r) {
-    const int node = std::min(r / per_node, nodes - 1);
+    const int node = nodes.at(static_cast<std::size_t>(std::min(r / per_node, width - 1)));
     const int sched_proc = Scheduler(node).AddProcess(prog_id, is_server);
     prog.ranks.push_back(RankInfo{node, sched_proc});
   }
@@ -33,6 +45,13 @@ ProgramId Runtime::LaunchProgram(std::string name, int nprocs, bool is_server) {
       std::make_unique<Comm>(cluster_->engine(), nprocs, cluster_->params().rpc_latency);
   programs_.push_back(std::move(prog));
   return prog_id;
+}
+
+int Runtime::RanksOnNode(ProgramId prog, int node) const {
+  int count = 0;
+  for (const RankInfo& info : programs_.at(static_cast<std::size_t>(prog)).ranks)
+    if (info.node == node) ++count;
+  return count;
 }
 
 int Runtime::ProgramSize(ProgramId prog) const {

@@ -42,6 +42,17 @@ class Runtime {
   /// node scheduler; handles the MPI_Init-time connection bookkeeping.
   ProgramId LaunchProgram(std::string name, int nprocs, bool is_server = false);
 
+  /// Launches `nprocs` ranks block-mapped across an explicit node subset
+  /// (a cluster-scheduler allocation). Rank r lands on
+  /// nodes[r / ceil(nprocs / nodes.size())]. `nodes` must be non-empty and
+  /// every entry a valid node index.
+  ProgramId LaunchProgramOn(std::string name, int nprocs, const std::vector<int>& nodes,
+                            bool is_server = false);
+
+  /// Number of ranks of `prog` placed on `node` (subset launches make the
+  /// block-map arithmetic unreliable, so callers should count).
+  int RanksOnNode(ProgramId prog, int node) const;
+
   int program_count() const { return static_cast<int>(programs_.size()); }
   int ProgramSize(ProgramId prog) const;
   const std::string& ProgramName(ProgramId prog) const;

@@ -1,0 +1,125 @@
+// 64-seed cluster smoke battery (CI runs this under ASan/UBSan): sampled
+// multi-tenant mixes across all scheduling policies must complete, conserve
+// pool bytes, and never over-reserve the burst buffer; plus the testkit
+// cluster path (ScenarioSpec with jobs > 1) end to end, including a
+// seed-timed node-crash plan.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/arrival.hpp"
+#include "src/cluster/job.hpp"
+#include "src/cluster/scheduler.hpp"
+#include "src/cluster/simulation.hpp"
+#include "src/hw/params.hpp"
+#include "src/testkit/invariants.hpp"
+#include "src/testkit/runner.hpp"
+#include "src/testkit/scenario_spec.hpp"
+#include "src/workload/scenario.hpp"
+
+namespace uvs::cluster {
+namespace {
+
+/// Small machine: 4 nodes, tiny caches, a burst buffer that genuinely
+/// binds against the sampled mixes.
+workload::ScenarioOptions SmokeOptions(std::uint64_t seed) {
+  hw::ClusterParams params = hw::CoriPreset(16, 4);
+  params.node.cores = 8;
+  params.node.dram_cache_capacity = 32_MiB;
+  params.bb.bb_nodes = 2;
+  params.bb.capacity_per_bb_node = 64_MiB;
+  params.pfs.osts = 4;
+  params.seed = seed;
+  workload::ScenarioOptions options;
+  options.procs = 16;
+  options.cluster_params = params;
+  return options;
+}
+
+TEST(ClusterSmoke, SixtyFourSeeds) {
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    MixParams mix;
+    mix.jobs = 3 + static_cast<int>(seed % 3);
+    mix.mean_interarrival = (seed % 2) ? 0.005 : 0.0;
+    mix.bb_bound = seed % 2 == 0;
+    mix.lustre_fraction = (seed % 4 == 0) ? 0.25 : 0.0;
+    const Policy policy = static_cast<Policy>(seed % 3);
+
+    workload::Scenario scenario(SmokeOptions(seed));
+    ClusterOptions options;
+    options.policy = policy;
+    options.base_config.chunk_size = 1_MiB;
+    ClusterSim sim(scenario, SampleJobMix(seed, mix), options);
+    sim.Run();
+
+    const std::string label =
+        "seed " + std::to_string(seed) + " policy " + PolicyName(policy);
+    ASSERT_EQ(sim.completed_jobs(), sim.job_count()) << label;
+    EXPECT_LE(sim.peak_bb_reserved(), sim.bb_capacity()) << label;
+    EXPECT_LE(scenario.engine().Now(), sim.StarvationHorizon()) << label;
+    testkit::InvariantReport report;
+    testkit::CheckQuiescence(scenario.engine(), report);
+    testkit::CheckPoolConservation(scenario, report);
+    for (int j = 0; j < sim.job_count(); ++j) {
+      if (const univistor::UniviStor* sys = sim.system(j)) {
+        testkit::CheckUniviStor(*sys, report);
+        EXPECT_EQ(sys->lost_bytes(), 0u) << label << " job " << j;
+      }
+    }
+    ASSERT_TRUE(report.ok()) << label << ": " << report.ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Testkit cluster path: ScenarioSpec with jobs > 1 routes through
+// RunClusterScenario and its invariant battery.
+
+testkit::ScenarioSpec ClusterSpec(int csched) {
+  testkit::ScenarioSpec spec;
+  spec.seed = 400 + static_cast<std::uint64_t>(csched);
+  spec.procs = 16;
+  spec.procs_per_node = 4;
+  spec.osts = 4;
+  spec.workload = testkit::WorkloadKind::kMicro;
+  spec.bytes_per_rank = 2_MiB;
+  spec.jobs = 3;
+  spec.arrival = 0.005;
+  spec.csched = csched;
+  return spec;
+}
+
+TEST(ClusterSmoke, TestkitPathAcrossPolicies) {
+  for (int csched = 0; csched < 3; ++csched) {
+    const auto outcome = testkit::RunScenario(ClusterSpec(csched), {});
+    EXPECT_TRUE(outcome.report.ok())
+        << "csched " << csched << ": " << outcome.report.ToString();
+    EXPECT_EQ(outcome.lost_bytes, 0u) << "csched " << csched;
+  }
+}
+
+TEST(ClusterSmoke, TestkitPathWithCrashPlan) {
+  testkit::ScenarioSpec spec = ClusterSpec(2);
+  spec.seed = 77;
+  spec.failure = testkit::FailureMode::kPlan;
+  spec.fault_plan = "crash@0.02:node=0";
+  const auto outcome = testkit::RunScenario(spec, {});
+  // Lost bytes (if any) must stay within the metadata-derived bound; the
+  // runner reports a cluster-lost-bound violation otherwise.
+  EXPECT_TRUE(outcome.report.ok()) << outcome.report.ToString();
+}
+
+TEST(ClusterSmoke, SpecRoundTripsClusterKeys) {
+  testkit::ScenarioSpec spec = ClusterSpec(1);
+  const auto parsed = testkit::ParseScenarioSpec(spec.ToString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, spec);
+  // Pre-cluster spec strings (no jobs/arrival/csched keys) still parse,
+  // defaulting to the classic single-job run.
+  const auto legacy = testkit::ParseScenarioSpec("seed=5 procs=8 ppn=4");
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  EXPECT_EQ(legacy->jobs, 1);
+}
+
+}  // namespace
+}  // namespace uvs::cluster

@@ -163,6 +163,78 @@ TEST(Dram, ProcessUsesItsSocketPool) {
   EXPECT_NE(&sched.dram(a), &sched.dram(b));  // spread across sockets
 }
 
+TEST(MultiProgram, OversubscriptionPlacesEveryProgram) {
+  // Multi-tenant node: servers plus clients of three concurrent jobs, more
+  // procs than cores. Nothing is dropped, every core stays bounded, and
+  // each program keeps procs on both sockets.
+  Fixture f;
+  auto sched = f.Make(PlacementPolicy::kInterferenceAware);
+  for (int i = 0; i < 2; ++i) sched.AddProcess(0, true);
+  for (int prog = 1; prog <= 3; ++prog)
+    for (int i = 0; i < 14; ++i) sched.AddProcess(prog, false);
+  EXPECT_EQ(sched.process_count(), 44);
+  int placed = 0;
+  for (int c = 0; c < 32; ++c) {
+    placed += sched.ProcsOnCore(c);
+    EXPECT_LE(sched.ProcsOnCore(c), 2) << "core " << c;
+  }
+  EXPECT_EQ(placed, 44);
+  for (int prog = 1; prog <= 3; ++prog) {
+    EXPECT_GT(sched.ProgramProcsOnSocket(prog, 0), 0) << "program " << prog;
+    EXPECT_GT(sched.ProgramProcsOnSocket(prog, 1), 0) << "program " << prog;
+  }
+}
+
+TEST(MultiProgram, SetBusyChurnDuringFlushMigration) {
+  // SetBusy toggles while clients are migrated off server cores must not
+  // corrupt placement: counts stay conserved through the churn and the
+  // original layout returns after EndServerFlush.
+  Fixture f;
+  auto sched = f.Make(PlacementPolicy::kInterferenceAware);
+  std::vector<int> servers;
+  for (int i = 0; i < 2; ++i) servers.push_back(sched.AddProcess(0, true));
+  std::vector<int> clients;
+  for (int i = 0; i < 32; ++i) clients.push_back(sched.AddProcess(1, false));
+  std::vector<int> home(clients.size());
+  for (std::size_t i = 0; i < clients.size(); ++i) home[i] = sched.CoreOf(clients[i]);
+
+  sched.BeginServerFlush();
+  ASSERT_TRUE(sched.flush_in_progress());
+  // Checkpoint cycle: every client goes idle mid-flush, then wakes again.
+  for (int c : clients) sched.SetBusy(c, false);
+  for (int s : servers) EXPECT_DOUBLE_EQ(sched.CpuShare(s), 1.0);
+  for (int c : clients) sched.SetBusy(c, true);
+  int placed = 0;
+  for (int c = 0; c < 32; ++c) placed += sched.ProcsOnCore(c);
+  EXPECT_EQ(placed, 34) << "churn during migration lost a process";
+  sched.EndServerFlush();
+
+  for (std::size_t i = 0; i < clients.size(); ++i)
+    EXPECT_EQ(sched.CoreOf(clients[i]), home[i]) << "client " << i;
+  for (int c : clients) EXPECT_TRUE(sched.IsBusy(c));
+}
+
+TEST(CpuShare, ConservedAcrossJobsSharingACore) {
+  // Two jobs' clients plus servers oversubscribe the node: on every core
+  // the busy shares sum to exactly the context-switch-discounted budget —
+  // csw(k) = 0.85 for k >= 2 sharers, 1.0 for an exclusive core — and
+  // never exceed the core.
+  Fixture f;
+  auto sched = f.Make(PlacementPolicy::kInterferenceAware);
+  for (int i = 0; i < 2; ++i) sched.AddProcess(0, true);
+  for (int i = 0; i < 20; ++i) sched.AddProcess(1, false);
+  for (int i = 0; i < 20; ++i) sched.AddProcess(2, false);
+  for (int c = 0; c < 32; ++c) {
+    const int busy = sched.BusyProcsOnCore(c);
+    if (busy == 0) continue;
+    double total = 0;
+    for (int p = 0; p < sched.process_count(); ++p)
+      if (sched.CoreOf(p) == c && sched.IsBusy(p)) total += sched.CpuShare(p);
+    EXPECT_LE(total, 1.0 + 1e-12) << "core " << c;
+    EXPECT_DOUBLE_EQ(total, busy > 1 ? 0.85 : 1.0) << "core " << c;
+  }
+}
+
 class OversubscriptionSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(OversubscriptionSweep, AllCoresBounded) {

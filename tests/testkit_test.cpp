@@ -175,6 +175,7 @@ TEST(RunnerTest, CleanUniviStorRunHoldsAllInvariants) {
   ScenarioSpec spec = SampleScenario(2);  // univistor micro_read
   spec.system = SystemKind::kUniviStor;
   spec.failure = FailureMode::kNone;
+  spec.jobs = 1;  // the classic single-job runner path
   const RunOutcome outcome = RunScenario(spec);
   EXPECT_TRUE(outcome.ok()) << outcome.report.ToString();
   ASSERT_FALSE(outcome.file_sizes.empty());
@@ -197,7 +198,8 @@ TEST(RunnerTest, FailureInjectionAccountsLostBytesExactly) {
   ScenarioSpec spec = SampleScenario(2);
   spec.system = SystemKind::kUniviStor;
   spec.workload = WorkloadKind::kMicroReadBack;
-  spec.failure = FailureMode::kAfterWrites;
+  spec.failure = FailureMode::kAfterWrites;  // point failure: single-job only
+  spec.jobs = 1;
   spec.failed_node = 0;
   spec.flush_on_close = false;  // no PFS fallback -> volatile bytes are lost
   spec.replicate_volatile = false;
@@ -212,7 +214,8 @@ TEST(RunnerTest, ReplicationPreventsDataLoss) {
   ScenarioSpec spec = SampleScenario(2);
   spec.system = SystemKind::kUniviStor;
   spec.workload = WorkloadKind::kMicroReadBack;
-  spec.failure = FailureMode::kAfterWrites;
+  spec.failure = FailureMode::kAfterWrites;  // point failure: single-job only
+  spec.jobs = 1;
   spec.failed_node = 0;
   spec.flush_on_close = false;
   spec.replicate_volatile = true;  // BB replica saves the volatile layers

@@ -15,10 +15,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "src/baselines/data_elevator.hpp"
 #include "src/baselines/lustre_driver.hpp"
+#include "src/cluster/arrival.hpp"
+#include "src/cluster/simulation.hpp"
 #include "src/common/log.hpp"
 #include "src/common/strings.hpp"
 #include "src/fault/injector.hpp"
@@ -58,6 +62,20 @@ struct Args {
   double sample_interval = -1;  // simulated seconds; <0 = default
   bool attribution = false;     // causal attribution analysis + tables
   long long span_limit = -1;    // recorder span cap; <0 = default
+
+  // --cluster mode: multi-tenant job mix through cluster::ClusterSim.
+  bool cluster = false;
+  int jobs = 8;                  // sampled mix size
+  std::string csched = "bb";     // fcfs | easy | bb
+  double interarrival = 0.01;    // mean Poisson interarrival (sim seconds)
+  unsigned long long seed = 42;  // mix sampling seed
+  bool bb_bound = false;         // sample a BB-heavy mix
+  double lustre_frac = 0.0;      // fraction of Lustre-baseline jobs
+  int bb_mb = 64;                // BB capacity per BB node (MiB)
+  int osts = 4;                  // PFS OSTs (few, so spilling hurts)
+  int ppn = 4;                   // client ranks per allocated node
+  std::string job_file;          // input job trace (at=.. procs=.. lines)
+  std::string job_trace;         // output JSON job trace path
 };
 
 void PrintUsage(std::FILE* out) {
@@ -94,6 +112,24 @@ void PrintUsage(std::FILE* out) {
                "                                  --metrics JSON (diff with uvreport)\n"
                "  --span-limit=N                  cap recorder span memory at N spans\n"
                "                                  (excess dropped and counted)\n"
+               "  --cluster                       multi-tenant mode: run a job mix through\n"
+               "                                  the cluster scheduler and print per-job\n"
+               "                                  QoS (wait, stretch, BB interference)\n"
+               "  --jobs=N                        cluster: sampled mix size (default 8)\n"
+               "  --csched=fcfs|easy|bb           cluster: scheduling policy (default bb)\n"
+               "  --interarrival=S                cluster: mean Poisson interarrival in\n"
+               "                                  sim seconds (default 0.01; 0 = all at t=0)\n"
+               "  --seed=N                        cluster: mix sampling seed (default 42)\n"
+               "  --bb-bound                      cluster: sample a BB-heavy mix\n"
+               "  --lustre-frac=F                 cluster: fraction of Lustre jobs\n"
+               "  --bb-mb=N                       cluster: BB capacity per BB node in MiB\n"
+               "                                  (default 64 — small, so BB binds)\n"
+               "  --osts=N                        cluster: PFS OSTs (default 4 — few, so\n"
+               "                                  spilling past the BB hurts)\n"
+               "  --ppn=N                         cluster: client ranks per node (default 4)\n"
+               "  --job-file=FILE                 cluster: read the mix from a job trace\n"
+               "                                  (lines of 'at=T procs=N [kind=..] ...')\n"
+               "  --job-trace=FILE                cluster: write the JSON job trace\n"
                "  --help                          show this message\n"
                "Environment: UVS_LOG_LEVEL=trace|debug|info|warn|error|off\n");
 }
@@ -127,6 +163,19 @@ Args Parse(int argc, char** argv) {
     else if (std::strcmp(arg, "--attribution") == 0) args.attribution = true;
     else if (ParseFlag(arg, "--span-limit", &value))
       args.span_limit = std::atoll(value.c_str());
+    else if (std::strcmp(arg, "--cluster") == 0) args.cluster = true;
+    else if (ParseFlag(arg, "--jobs", &value)) args.jobs = std::atoi(value.c_str());
+    else if (ParseFlag(arg, "--csched", &value)) args.csched = value;
+    else if (ParseFlag(arg, "--interarrival", &value))
+      args.interarrival = std::atof(value.c_str());
+    else if (ParseFlag(arg, "--seed", &value)) args.seed = std::strtoull(value.c_str(), nullptr, 10);
+    else if (std::strcmp(arg, "--bb-bound") == 0) args.bb_bound = true;
+    else if (ParseFlag(arg, "--lustre-frac", &value)) args.lustre_frac = std::atof(value.c_str());
+    else if (ParseFlag(arg, "--bb-mb", &value)) args.bb_mb = std::atoi(value.c_str());
+    else if (ParseFlag(arg, "--osts", &value)) args.osts = std::atoi(value.c_str());
+    else if (ParseFlag(arg, "--ppn", &value)) args.ppn = std::atoi(value.c_str());
+    else if (ParseFlag(arg, "--job-file", &value)) args.job_file = value;
+    else if (ParseFlag(arg, "--job-trace", &value)) args.job_trace = value;
     else if (std::strcmp(arg, "--read") == 0) args.read = true;
     else if (std::strcmp(arg, "--report") == 0) args.report = true;
     else if (std::strcmp(arg, "--check") == 0) args.check = true;
@@ -146,7 +195,182 @@ Args Parse(int argc, char** argv) {
   return args;
 }
 
+/// Multi-tenant mode: sample (or read) a job mix, run it through
+/// cluster::ClusterSim under the chosen policy, print per-job QoS and the
+/// mix rollup, optionally dump the deterministic JSON job trace.
+int RunCluster(const Args& args) {
+  obs::Recorder recorder;
+  const bool obs_on = !args.trace.empty() || !args.metrics.empty();
+  if (args.span_limit >= 0) recorder.SetSpanLimit(static_cast<std::size_t>(args.span_limit));
+  if (obs_on) recorder.Install();
+
+  const auto policy = cluster::ParsePolicy(args.csched);
+  if (!policy.ok()) {
+    std::fprintf(stderr, "uvsim: --csched: %s\n", policy.status().ToString().c_str());
+    return 2;
+  }
+
+  // Testkit-scale machine: small per-node caches and a small shared BB so
+  // the mix genuinely contends (a Cori-sized BB never binds at these job
+  // sizes and every policy degenerates to FCFS).
+  hw::ClusterParams params = hw::CoriPreset(args.procs, args.ppn);
+  params.node.cores = 8;
+  params.node.dram_cache_capacity = 32_MiB;
+  params.bb.bb_nodes = 2;
+  params.bb.capacity_per_bb_node = static_cast<Bytes>(args.bb_mb) * 1_MiB;
+  params.pfs.osts = args.osts;
+  params.seed = static_cast<std::uint64_t>(args.seed);
+
+  workload::ScenarioOptions options;
+  options.procs = args.procs;
+  options.policy = sched::PlacementPolicy::kInterferenceAware;
+  options.cluster_params = params;
+  workload::Scenario scenario(options);
+
+  const double interval =
+      args.sample_interval >= 0 ? args.sample_interval : (obs_on ? 1.0 : 0.0);
+  obs::Sampler sampler(scenario.engine(), recorder, interval);
+  if (obs_on) hw::RegisterClusterGauges(sampler, scenario.cluster());
+
+  std::vector<cluster::JobSpec> jobs;
+  if (!args.job_file.empty()) {
+    std::ifstream in(args.job_file);
+    if (!in) {
+      std::fprintf(stderr, "uvsim: cannot read --job-file=%s\n", args.job_file.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto parsed = cluster::ParseJobTrace(text.str());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "uvsim: --job-file: %s\n", parsed.status().ToString().c_str());
+      return 2;
+    }
+    jobs = *std::move(parsed);
+  } else {
+    cluster::MixParams mix;
+    mix.jobs = args.jobs;
+    mix.mean_interarrival = args.interarrival;
+    mix.bb_bound = args.bb_bound;
+    mix.lustre_fraction = args.lustre_frac;
+    jobs = cluster::SampleJobMix(static_cast<std::uint64_t>(args.seed), mix);
+  }
+  if (jobs.empty()) {
+    std::fprintf(stderr, "uvsim: empty job mix\n");
+    return 2;
+  }
+
+  cluster::ClusterOptions cluster_options;
+  cluster_options.policy = *policy;
+  cluster_options.procs_per_node = args.ppn;
+  // Jobs at this scale write 1-8 MiB per rank; the Cori-scale 32 MiB
+  // default chunk would make every per-rank BB log come out below one
+  // chunk and silently drop the BB layer even under a full reservation.
+  cluster_options.base_config.chunk_size = 1_MiB;
+  cluster::ClusterSim sim(scenario, std::move(jobs), cluster_options);
+
+  std::unique_ptr<fault::Injector> injector;
+  if (!args.faults.empty()) {
+    auto plan = fault::ParsePlan(args.faults);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "uvsim: --faults: %s\n", plan.status().ToString().c_str());
+      return 2;
+    }
+    injector = std::make_unique<fault::Injector>(scenario.engine(), *plan);
+    sim.AttachInjector(*injector);
+    injector->Arm();
+    std::printf("faults: %s\n", plan->ToString().c_str());
+  }
+
+  std::printf("uvsim cluster: policy=%s jobs=%d seed=%llu nodes=%d bb=%s\n",
+              cluster::PolicyName(*policy), sim.job_count(),
+              static_cast<unsigned long long>(args.seed),
+              scenario.cluster().node_count(), HumanBytes(sim.bb_capacity()).c_str());
+
+  sampler.Kick();
+  sim.Run();
+
+  std::printf("%4s %-10s %-9s %5s %8s %9s %9s %8s %9s %10s\n", "job", "kind", "system",
+              "procs", "arrival", "wait", "stretch", "bb", "drain-if", "lost");
+  for (const auto& q : sim.qos()) {
+    const cluster::JobSpec& spec = sim.spec(q.id);
+    std::printf("%4d %-10s %-9s %5d %8.3f %9.3f %9.2f %8s %9.3f %10s\n", q.id,
+                cluster::JobKindName(spec.kind), cluster::JobSystemName(spec.system),
+                spec.procs, q.arrival, q.wait(), q.stretch(),
+                HumanBytes(q.bb_granted).c_str(), q.drain_interference,
+                HumanBytes(q.lost_bytes).c_str());
+  }
+  const cluster::QosSummary summary = sim.summary();
+  std::printf("qos: %d/%d completed | stretch mean %.2f p50 %.2f p99 %.2f | "
+              "wait mean %.3f p99 %.3f | drain interference %s | peak BB %s of %s\n",
+              summary.completed, summary.jobs, summary.mean_stretch, summary.p50_stretch,
+              summary.p99_stretch, summary.mean_wait, summary.p99_wait,
+              HumanTime(summary.total_drain_interference).c_str(),
+              HumanBytes(sim.peak_bb_reserved()).c_str(),
+              HumanBytes(sim.bb_capacity()).c_str());
+  std::printf("simulated %s in %llu events\n", HumanTime(scenario.engine().Now()).c_str(),
+              static_cast<unsigned long long>(scenario.engine().processed_events()));
+
+  if (args.check) {
+    testkit::InvariantReport check_report;
+    testkit::CheckQuiescence(scenario.engine(), check_report);
+    testkit::CheckPoolConservation(scenario, check_report);
+    for (int j = 0; j < sim.job_count(); ++j)
+      if (const univistor::UniviStor* sys = sim.system(j))
+        testkit::CheckUniviStor(*sys, check_report);
+    if (sim.completed_jobs() != sim.job_count() && injector == nullptr) {
+      check_report.Add("cluster-starvation",
+                       std::to_string(sim.job_count() - sim.completed_jobs()) +
+                           " jobs never completed");
+    }
+    if (sim.peak_bb_reserved() > sim.bb_capacity()) {
+      check_report.Add("cluster-bb-capacity",
+                       "peak BB reservation " + std::to_string(sim.peak_bb_reserved()) +
+                           " exceeds capacity " + std::to_string(sim.bb_capacity()));
+    }
+    if (!check_report.ok()) {
+      std::fprintf(stderr, "uvsim: invariant violations:\n%s",
+                   check_report.ToString().c_str());
+      return 1;
+    }
+    std::printf("check: all invariants hold\n");
+  }
+
+  if (!args.job_trace.empty()) {
+    std::ofstream out(args.job_trace);
+    if (!out) {
+      std::fprintf(stderr, "uvsim: cannot write --job-trace=%s\n", args.job_trace.c_str());
+      return 1;
+    }
+    out << sim.JobTraceJson();
+    std::printf("job trace: %s\n", args.job_trace.c_str());
+  }
+  if (!args.trace.empty()) {
+    if (Status s = recorder.WriteChromeTrace(args.trace); !s.ok()) {
+      std::fprintf(stderr, "uvsim: writing %s: %s\n", args.trace.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace: %s (%zu spans, %zu samples)\n", args.trace.c_str(),
+                recorder.span_count(), recorder.sample_count());
+  }
+  if (!args.metrics.empty()) {
+    const bool csv = args.metrics.size() >= 4 &&
+                     args.metrics.compare(args.metrics.size() - 4, 4, ".csv") == 0;
+    Status s = csv ? recorder.WriteSeriesCsv(args.metrics)
+                   : recorder.WriteMetricsJson(args.metrics, scenario.engine().Now(), {});
+    if (!s.ok()) {
+      std::fprintf(stderr, "uvsim: writing %s: %s\n", args.metrics.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics: %s\n", args.metrics.c_str());
+  }
+  return 0;
+}
+
 int Run(const Args& args) {
+  if (args.cluster) return RunCluster(args);
   // The recorder outlives the scenario (spans are emitted from coroutine
   // frames destroyed during engine teardown).
   obs::Recorder recorder;
