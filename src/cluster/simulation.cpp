@@ -38,7 +38,7 @@ std::string SoloKey(const JobSpec& spec, int width, Bytes bb_grant) {
 
 ClusterSim::ClusterSim(workload::Scenario& scenario, std::vector<JobSpec> jobs,
                        ClusterOptions options)
-    : scenario_(&scenario), options_(options) {
+    : scenario_(&scenario), options_(std::move(options)) {
   jobs_.reserve(jobs.size());
   for (JobSpec& spec : jobs) {
     JobState state;
@@ -52,9 +52,19 @@ ClusterSim::ClusterSim(workload::Scenario& scenario, std::vector<JobSpec> jobs,
   node_free_.assign(nodes, 1);
   node_alive_.assign(nodes, 1);
   bb_capacity_ = scenario.cluster().burst_buffer().total_capacity();
+  if (options_.telemetry.enabled) {
+    if (options_.telemetry.slos.empty()) options_.telemetry.slos = obs::DefaultSloSpecs();
+    for (const obs::SloSpec& spec : options_.telemetry.slos) cluster_slos_.emplace_back(spec);
+    job_slo_violated_.assign(jobs_.size(), 0);
+  }
 }
 
-ClusterSim::~ClusterSim() = default;
+ClusterSim::~ClusterSim() {
+  // The prune hook captures `this`; never leave it dangling on a recorder
+  // that outlives the sim.
+  if (prune_hook_set_)
+    if (obs::Recorder* rec = obs::Recorder::Current()) rec->SetPruneHook(nullptr);
+}
 
 void ClusterSim::AttachInjector(fault::Injector& injector) {
   injector_ = &injector;
@@ -150,6 +160,13 @@ ClusterSim::SoloStats ClusterSim::SoloRun(const JobSpec& spec) {
 
 void ClusterSim::Run() {
   PrecomputeSolo();
+  // Tail-based retention: installed after PrecomputeSolo (which swaps the
+  // recorder out around the solo baselines) so the hook sees the live run.
+  if (options_.telemetry.enabled)
+    if (obs::Recorder* rec = obs::Recorder::Current()) {
+      rec->SetPruneHook([this](obs::Recorder& r) { return PruneSpans(r); });
+      prune_hook_set_ = true;
+    }
   sim::Engine& engine = scenario_->engine();
   for (std::size_t i = 0; i < jobs_.size(); ++i) {
     const int idx = static_cast<int>(i);
@@ -169,6 +186,8 @@ sim::Task ClusterSim::JobLifecycle(int idx) {
   ++arrived_;
   obs::Count("cluster.jobs_arrived");
   qos.arrival = engine.Now();
+  obs::FlightNote(qos.arrival, "cluster", "arrive " + job.spec.Name(),
+                  static_cast<double>(job.spec.procs), TenantKey(job.spec));
   {
     obs::SpanTimer pending_span(engine, "cluster", "job.pending",
                                 obs::Track::ClusterJob(job.spec.id));
@@ -216,6 +235,13 @@ sim::Task ClusterSim::ExecuteJob(workload::Scenario& sc, JobState& job, bool liv
   }
 
   job.program = sc.runtime().LaunchProgramOn(spec.Name(), spec.procs, job.nodes);
+  if (live) {
+    // Rank-span attribution for the tail-retention prune hook; solo
+    // baseline programs run on private engines and never get here.
+    program_job_[job.program] = static_cast<int>(&job - jobs_.data());
+    obs::FlightNote(sc.engine().Now(), "cluster", "start " + spec.Name(),
+                    static_cast<double>(job.nodes.size()));
+  }
 
   if (spec.kind == JobKind::kVpic) {
     workload::VpicParams params;
@@ -337,7 +363,139 @@ void ClusterSim::OnJobFinish(int idx) {
   obs::Observe("cluster.stretch", qos.stretch());
   obs::Observe("cluster.wait", qos.wait());
   obs::SetGauge("cluster.bb_reserved_bytes", static_cast<double>(bb_reserved_));
+  obs::FlightNote(qos.finish, "cluster", "finish " + job.spec.Name(), qos.stretch(),
+                  TenantKey(job.spec));
+  RecordTelemetry(idx);
   TrySchedule();
+}
+
+std::string ClusterSim::TenantKey(const JobSpec& spec) {
+  return std::string(JobSystemName(spec.system)) + "/" + JobKindName(spec.kind);
+}
+
+void ClusterSim::RecordTelemetry(int idx) {
+  if (!options_.telemetry.enabled) return;
+  const JobState& job = jobs_[static_cast<std::size_t>(idx)];
+  const JobQos& qos = qos_[static_cast<std::size_t>(idx)];
+  const Time now = qos.finish;
+  const std::string tenant = TenantKey(job.spec);
+  auto [it, inserted] = tenants_.try_emplace(tenant, options_.telemetry.sketch_error);
+  TenantTelemetry& tt = it->second;
+  if (inserted)
+    for (const obs::SloSpec& spec : options_.telemetry.slos) tt.slos.emplace_back(spec);
+
+  tt.stretch.Add(qos.stretch());
+  tt.wait.Add(qos.wait());
+
+  bool violated = false;
+  for (std::size_t s = 0; s < options_.telemetry.slos.size(); ++s) {
+    const obs::SloSpec& spec = options_.telemetry.slos[s];
+    double value = 0.0;
+    if (spec.metric == "stretch") value = qos.stretch();
+    else if (spec.metric == "wait") value = qos.wait();
+    else if (spec.metric == "lost") value = static_cast<double>(qos.lost_bytes);
+    cluster_slos_[s].Record(now, value);
+    const bool bad = tt.slos[s].Record(now, value);
+    const std::string label = spec.Label();
+    obs::Count(("cluster.slo." + label + (bad ? ".bad" : ".good")).c_str());
+    if (bad) {
+      violated = true;
+      obs::FlightNote(now, "slo", label + " " + job.spec.Name(), value, tenant);
+    }
+  }
+  job_slo_violated_[static_cast<std::size_t>(idx)] = violated ? 1 : 0;
+}
+
+int ClusterSim::SpanJob(const obs::Track& track) const {
+  if (!track.is_rank()) return -1;
+  const auto it = program_job_.find(track.rank_program());
+  return it == program_job_.end() ? -1 : it->second;
+}
+
+std::size_t ClusterSim::PruneSpans(obs::Recorder& rec) {
+  // Tail-based retention: under the span cap, full rank-level span sets
+  // are kept only for interesting jobs — still-running ones, the worst
+  // stretch decile so far, and SLO violators. Everything else keeps its
+  // two lifecycle spans (pending/run) and loses the rank detail.
+  std::vector<double> stretches;
+  for (const JobQos& qos : qos_)
+    if (qos.completed()) stretches.push_back(qos.stretch());
+  if (stretches.empty()) return 0;
+  const double cutoff = Quantile(stretches, 0.9);
+
+  std::vector<char> boring(jobs_.size(), 0);
+  bool any = false;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const JobQos& qos = qos_[i];
+    if (!qos.completed()) continue;
+    if (qos.stretch() >= cutoff) continue;
+    if (job_slo_violated_[i] != 0) continue;
+    boring[i] = 1;
+    any = true;
+  }
+  if (!any) return 0;
+
+  const std::size_t freed = rec.EraseSpansIf([this, &boring](const obs::Recorder::SpanEvent& s) {
+    const int j = SpanJob(s.track);
+    return j >= 0 && boring[static_cast<std::size_t>(j)] != 0;
+  });
+  if (freed > 0) obs::Count("cluster.spans_pruned", freed);
+  return freed;
+}
+
+const obs::QuantileSketch* ClusterSim::TenantStretchSketch(const std::string& tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? nullptr : &it->second.stretch;
+}
+
+obs::QuantileSketch ClusterSim::ClusterStretchSketch() const {
+  obs::QuantileSketch merged(options_.telemetry.sketch_error);
+  for (const auto& [tenant, tt] : tenants_) merged.Merge(tt.stretch);
+  return merged;
+}
+
+obs::QuantileSketch ClusterSim::ClusterWaitSketch() const {
+  obs::QuantileSketch merged(options_.telemetry.sketch_error);
+  for (const auto& [tenant, tt] : tenants_) merged.Merge(tt.wait);
+  return merged;
+}
+
+std::string ClusterSim::TelemetryJson() const {
+  std::string out = "{\"schema\":\"univistor.telemetry.v1\"";
+  out += ",\"relative_error\":" + FmtDouble(options_.telemetry.sketch_error);
+  out += ",\"tenants\":{";
+  bool first = true;
+  for (const auto& [tenant, tt] : tenants_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + tenant + "\":{\"stretch\":" + tt.stretch.ToJson() +
+           ",\"wait\":" + tt.wait.ToJson() + "}";
+  }
+  out += "},\"cluster\":{\"stretch\":" + ClusterStretchSketch().ToJson() +
+         ",\"wait\":" + ClusterWaitSketch().ToJson() + "}}";
+  return out;
+}
+
+std::string ClusterSim::SloJson() const {
+  std::string out = "{\"schema\":\"univistor.slo.v1\",\"cluster\":[";
+  for (std::size_t s = 0; s < cluster_slos_.size(); ++s) {
+    if (s > 0) out += ",";
+    out += cluster_slos_[s].ToJson();
+  }
+  out += "],\"tenants\":{";
+  bool first = true;
+  for (const auto& [tenant, tt] : tenants_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + tenant + "\":[";
+    for (std::size_t s = 0; s < tt.slos.size(); ++s) {
+      if (s > 0) out += ",";
+      out += tt.slos[s].ToJson();
+    }
+    out += "]";
+  }
+  out += "}}";
+  return out;
 }
 
 void ClusterSim::OnNodeCrash(int node) {

@@ -27,6 +27,8 @@
 #include "src/cluster/job.hpp"
 #include "src/cluster/scheduler.hpp"
 #include "src/h5lite/h5file.hpp"
+#include "src/obs/sketch.hpp"
+#include "src/obs/slo.hpp"
 #include "src/sim/event.hpp"
 #include "src/univistor/config.hpp"
 #include "src/univistor/driver.hpp"
@@ -40,6 +42,20 @@ class Injector;
 
 namespace uvs::cluster {
 
+/// Always-on per-tenant telemetry: bounded-memory quantile sketches over
+/// stretch/wait per tenant class, SLO burn-rate tracking, and tail-based
+/// span retention. Feeding happens at job completion only (pure
+/// observation — no engine events, no RNG), so same-seed runs stay
+/// bit-identical with telemetry on or off.
+struct TelemetryOptions {
+  bool enabled = false;
+  /// Sketch accuracy (see obs::QuantileSketch).
+  double sketch_error = obs::QuantileSketch::kDefaultRelativeError;
+  /// SLOs evaluated per tenant class and cluster-wide; empty means
+  /// obs::DefaultSloSpecs().
+  std::vector<obs::SloSpec> slos;
+};
+
 struct ClusterOptions {
   Policy policy = Policy::kBbAware;
   /// Template for every job's UniviStor instance; first_cache_layer and
@@ -49,6 +65,7 @@ struct ClusterOptions {
   int procs_per_node = 4;
   /// Walltime estimate fed to backfill: solo time x fudge.
   double estimate_fudge = 3.0;
+  TelemetryOptions telemetry;
 };
 
 class ClusterSim {
@@ -83,6 +100,27 @@ class ClusterSim {
     return jobs_.at(static_cast<std::size_t>(job)).nodes;
   }
   bool JobOnNode(int job, int node) const;
+
+  // --- telemetry ---------------------------------------------------------
+  bool telemetry_enabled() const { return options_.telemetry.enabled; }
+  /// Tenant class key a job feeds its telemetry under ("system/kind").
+  static std::string TenantKey(const JobSpec& spec);
+  /// nullptr before the tenant's first completion (or telemetry off).
+  const obs::QuantileSketch* TenantStretchSketch(const std::string& tenant) const;
+  /// Cluster-wide distributions, built by Merge()-ing every tenant sketch.
+  obs::QuantileSketch ClusterStretchSketch() const;
+  obs::QuantileSketch ClusterWaitSketch() const;
+  const std::vector<obs::SloTracker>& cluster_slos() const { return cluster_slos_; }
+  /// True when any completed job violated any SLO threshold.
+  bool JobViolatedSlo(int job) const {
+    return job_slo_violated_.at(static_cast<std::size_t>(job)) != 0;
+  }
+  /// The "telemetry" run-report block (univistor.telemetry.v1): per-tenant
+  /// sketch summaries plus the merged cluster-wide rollup. Deterministic.
+  std::string TelemetryJson() const;
+  /// The "slo" run-report block (univistor.slo.v1): per-tenant and
+  /// cluster-wide trackers with burn-rate figures and verdicts.
+  std::string SloJson() const;
 
   Bytes bb_capacity() const { return bb_capacity_; }
   /// High-water mark of concurrently reserved BB bytes (conservation:
@@ -142,6 +180,24 @@ class ClusterSim {
   void OnNodeCrash(int node);
   int AliveNodes() const;
 
+  /// Per-tenant-class telemetry state (key: TenantKey()).
+  struct TenantTelemetry {
+    obs::QuantileSketch stretch;
+    obs::QuantileSketch wait;
+    std::vector<obs::SloTracker> slos;  // parallel to options_.telemetry.slos
+    explicit TenantTelemetry(double err) : stretch(err), wait(err) {}
+  };
+
+  /// Feeds sketches and SLO trackers from job `idx`'s final QoS record.
+  /// Pure observation at completion time: no engine events, no RNG.
+  void RecordTelemetry(int idx);
+  /// Recorder prune hook: drop rank-level spans of completed jobs that are
+  /// neither in the worst stretch decile nor SLO violators. Returns spans
+  /// freed.
+  std::size_t PruneSpans(obs::Recorder& rec);
+  /// Job index a span's track belongs to, or -1 if not attributable.
+  int SpanJob(const obs::Track& track) const;
+
   workload::Scenario* scenario_;
   ClusterOptions options_;
   fault::Injector* injector_ = nullptr;
@@ -157,6 +213,15 @@ class ClusterSim {
   int arrived_ = 0;
   int completed_ = 0;
   std::map<std::string, SoloStats> solo_memo_;
+
+  // Telemetry (populated only when options_.telemetry.enabled).
+  std::map<std::string, TenantTelemetry> tenants_;
+  std::vector<obs::SloTracker> cluster_slos_;
+  std::vector<char> job_slo_violated_;
+  /// Live program id -> job index, for attributing rank spans in the
+  /// tail-retention prune hook (solo baseline programs are never entered).
+  std::map<int, int> program_job_;
+  bool prune_hook_set_ = false;
 };
 
 }  // namespace uvs::cluster

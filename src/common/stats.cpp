@@ -43,6 +43,8 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
 void Histogram::Add(double x) {
   const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
   auto idx = static_cast<long long>(std::floor((x - lo_) / width));
+  if (idx < 0) ++underflow_;
+  if (idx >= static_cast<long long>(counts_.size())) ++overflow_;
   idx = std::clamp<long long>(idx, 0, static_cast<long long>(counts_.size()) - 1);
   ++counts_[static_cast<std::size_t>(idx)];
   ++total_;

@@ -18,17 +18,26 @@ void Injector::Arm() {
 }
 
 void Injector::Apply(const FaultEvent& ev) {
+  const Time now = engine_->Now();
   switch (ev.kind) {
-    case EventKind::kNodeCrash:
+    case EventKind::kNodeCrash: {
       if (cluster_ != nullptr && (ev.target < 0 || ev.target >= cluster_->node_count())) break;
       ++stats_.crashes;
       obs::Count("fault.node_crashes");
+      obs::FlightNote(now, "fault", "node-crash", static_cast<double>(ev.target));
       for (const auto& handler : crash_handlers_)
         if (handler) handler(ev.target);
+      // A node crash is the canonical flight-recorder moment: freeze the
+      // ring right after the crash handlers ran, while it still holds the
+      // lead-up (what the dead node was doing when it died).
+      if (Status s = obs::FlightDump("node-crash"); !s.ok())
+        obs::Count("fault.flight_dump_errors");
       break;
+    }
     case EventKind::kOstDegrade:
       if (cluster_ == nullptr || ev.target >= cluster_->pfs().ost_count()) break;
       ++stats_.ost_windows;
+      obs::FlightNote(now, "fault", "ost-degrade", static_cast<double>(ev.target));
       cluster_->pfs().Degrade(ev.target, ev.factor);
       break;
     case EventKind::kBbStall: {
@@ -36,6 +45,7 @@ void Injector::Apply(const FaultEvent& ev) {
       hw::BurstBuffer& bb = cluster_->burst_buffer();
       if (ev.target >= bb.node_count()) break;
       ++stats_.bb_windows;
+      obs::FlightNote(now, "fault", "bb-stall", static_cast<double>(ev.target));
       if (ev.target < 0) {
         for (int i = 0; i < bb.node_count(); ++i) bb.Degrade(i, ev.factor);
       } else {
@@ -47,6 +57,7 @@ void Injector::Apply(const FaultEvent& ev) {
       ++stats_.timeout_windows;
       ++active_timeouts_;
       obs::Count("fault.timeout_windows");
+      obs::FlightNote(now, "fault", "transfer-timeout", static_cast<double>(ev.target));
       break;
   }
 }

@@ -1,0 +1,113 @@
+#include "src/obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace uvs::obs {
+
+namespace {
+
+std::string JsonNum(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  std::string s(buf);
+  if (s == "-0") s = "0";
+  return s;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  ring_.resize(capacity_);
+}
+
+FlightRecorder::~FlightRecorder() { Uninstall(); }
+
+void FlightRecorder::Install() {
+  assert(current_ == nullptr && "another obs::FlightRecorder is already installed");
+  current_ = this;
+}
+
+void FlightRecorder::Uninstall() {
+  if (current_ == this) current_ = nullptr;
+}
+
+void FlightRecorder::Note(Time t, const char* kind, std::string_view what, double value,
+                          std::string_view detail) {
+  // Assign into the reused slot: short strings stay in SSO storage and
+  // longer ones reuse the slot's capacity, so steady-state noting does not
+  // allocate.
+  Entry& e = ring_[next_];
+  e.t = t;
+  e.kind = kind;
+  e.what.assign(what);
+  e.value = value;
+  e.detail.assign(detail);
+  next_ = (next_ + 1) % capacity_;
+  ++noted_;
+}
+
+std::string FlightRecorder::ToJson(const std::string& reason) const {
+  const std::size_t n = size();
+  std::string out = "{\"schema\":\"univistor.flight.v1\"";
+  out += ",\"reason\":\"" + JsonEscape(reason) + "\"";
+  out += ",\"capacity\":" + std::to_string(capacity_);
+  out += ",\"total_noted\":" + std::to_string(noted_);
+  out += ",\"dropped\":" + std::to_string(noted_ - n);
+  out += ",\"entries\":[";
+  // Oldest entry first: when the ring has wrapped, that is the slot the
+  // next Note would overwrite.
+  const std::size_t start = noted_ > capacity_ ? next_ : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Entry& e = ring_[(start + i) % capacity_];
+    if (i > 0) out += ",";
+    out += "\n{\"t\":" + JsonNum(e.t);
+    out += ",\"kind\":\"" + JsonEscape(e.kind) + "\"";
+    out += ",\"what\":\"" + JsonEscape(e.what) + "\"";
+    if (e.value != 0.0) out += ",\"value\":" + JsonNum(e.value);
+    if (!e.detail.empty()) out += ",\"detail\":\"" + JsonEscape(e.detail) + "\"";
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status FlightRecorder::Dump(const std::string& reason) {
+  if (dump_path_.empty()) return Status::Ok();  // not counted: nothing was dumped
+  ++dumps_;
+  last_reason_ = reason;
+  const std::string body = ToJson(reason);
+  std::FILE* f = std::fopen(dump_path_.c_str(), "w");
+  if (f == nullptr) return UnavailableError("cannot open " + dump_path_ + " for writing");
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != body.size() || close_rc != 0)
+    return UnavailableError("short write to " + dump_path_);
+  return Status::Ok();
+}
+
+}  // namespace uvs::obs

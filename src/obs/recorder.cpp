@@ -106,6 +106,22 @@ void Recorder::Uninstall() {
   if (current_ == this) current_ = nullptr;
 }
 
+bool Recorder::MakeRoom() {
+  if (!prune_hook_ || pruning_) return false;
+  pruning_ = true;
+  const std::size_t freed = prune_hook_(*this);
+  pruning_ = false;
+  return freed > 0;
+}
+
+std::size_t Recorder::EraseSpansIf(const std::function<bool(const SpanEvent&)>& drop) {
+  const std::size_t before = spans_.size();
+  std::erase_if(spans_, drop);
+  const std::size_t removed = before - spans_.size();
+  spans_pruned_ += removed;
+  return removed;
+}
+
 void Recorder::Sample(Time now) {
   ++samples_taken_;
   for (const auto& [name, counter] : metrics_.counters())
@@ -180,14 +196,19 @@ std::string Recorder::ChromeTraceJson() const {
   return os.str();
 }
 
-std::string Recorder::MetricsJson(Time sim_elapsed, const std::string& attribution_json) const {
+std::string Recorder::MetricsJson(Time sim_elapsed, const std::string& attribution_json,
+                                  const std::string& telemetry_json,
+                                  const std::string& slo_json) const {
   std::ostringstream os;
-  os << "{\n\"schema\":\"univistor.metrics.v2\",\n";
+  os << "{\n\"schema\":\"univistor.metrics.v3\",\n";
   os << "\"sim_elapsed_seconds\":" << JsonNumber(sim_elapsed) << ",\n";
   os << "\"span_count\":" << spans_.size() << ",\n";
   os << "\"span_limit\":" << span_limit_ << ",\n";
   os << "\"spans_dropped\":" << spans_dropped_ << ",\n";
+  os << "\"spans_pruned\":" << spans_pruned_ << ",\n";
   if (!attribution_json.empty()) os << "\"attribution\":" << attribution_json << ",\n";
+  if (!telemetry_json.empty()) os << "\"telemetry\":" << telemetry_json << ",\n";
+  if (!slo_json.empty()) os << "\"slo\":" << slo_json << ",\n";
 
   os << "\"counters\":{";
   bool first = true;
@@ -220,6 +241,11 @@ std::string Recorder::MetricsJson(Time sim_elapsed, const std::string& attributi
       os << ",\"p50\":" << JsonNumber(h->Quantile(0.5))
          << ",\"p95\":" << JsonNumber(h->Quantile(0.95))
          << ",\"p99\":" << JsonNumber(h->Quantile(0.99));
+      // Out-of-range observations are clamped into the edge buckets, so
+      // the quantiles above saturate at the histogram bounds; the counts
+      // make that saturation visible instead of silent.
+      if (h->underflow() != 0 || h->overflow() != 0)
+        os << ",\"underflow\":" << h->underflow() << ",\"overflow\":" << h->overflow();
     }
     os << "}";
   }
@@ -251,8 +277,10 @@ Status Recorder::WriteChromeTrace(const std::string& path) const {
 }
 
 Status Recorder::WriteMetricsJson(const std::string& path, Time sim_elapsed,
-                                  const std::string& attribution_json) const {
-  return WriteWholeFile(path, MetricsJson(sim_elapsed, attribution_json));
+                                  const std::string& attribution_json,
+                                  const std::string& telemetry_json,
+                                  const std::string& slo_json) const {
+  return WriteWholeFile(path, MetricsJson(sim_elapsed, attribution_json, telemetry_json, slo_json));
 }
 
 Status Recorder::WriteSeriesCsv(const std::string& path) const {

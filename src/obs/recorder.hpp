@@ -27,11 +27,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "src/common/status.hpp"
 #include "src/common/units.hpp"
+#include "src/obs/flight_recorder.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/sim/engine.hpp"
 
@@ -174,7 +176,8 @@ class Recorder {
   }
   SpanRef AddSpanTagged(const char* category, const char* name, Track track, Time start,
                         Time end, Bytes bytes, SpanTag tag) {
-    if (spans_.size() >= span_limit_) {
+    if (FlightRecorder* fr = FlightRecorder::Current()) fr->Note(end, "span", name, end - start);
+    if (spans_.size() >= span_limit_ && !MakeRoom()) {
       ++spans_dropped_;
       return SpanRef{};
     }
@@ -201,10 +204,26 @@ class Recorder {
   const std::vector<SpanEvent>& spans() const { return spans_; }
   const std::vector<CausalLink>& links() const { return links_; }
 
-  /// Caps `spans()` memory; further spans are dropped and counted.
+  /// Caps `spans()` memory; further spans are dropped and counted (or
+  /// handed to the prune hook first, when one is set).
   void SetSpanLimit(std::size_t limit) { span_limit_ = limit; }
   std::size_t span_limit() const { return span_limit_; }
   std::uint64_t spans_dropped() const { return spans_dropped_; }
+
+  // --- tail-based retention ---------------------------------------------
+  /// Called when the span cap is hit, before any span is dropped: the hook
+  /// evicts spans it no longer needs (via EraseSpansIf) and returns how
+  /// many it freed. Owners decide *which* spans matter — e.g.
+  /// cluster::ClusterSim keeps the worst stretch decile and SLO violators
+  /// and evicts completed, unremarkable jobs. The hook must only observe
+  /// the simulation. Pass nullptr to clear.
+  using PruneHook = std::function<std::size_t(Recorder&)>;
+  void SetPruneHook(PruneHook hook) { prune_hook_ = std::move(hook); }
+  /// Removes every span matching `drop`; returns and counts the evictions.
+  std::size_t EraseSpansIf(const std::function<bool(const SpanEvent&)>& drop);
+  /// Spans evicted by the prune hook (distinct from spans_dropped(): a
+  /// pruned span was recorded and then deliberately retired).
+  std::uint64_t spans_pruned() const { return spans_pruned_; }
 
   // --- metrics -----------------------------------------------------------
   MetricsRegistry& metrics() { return metrics_; }
@@ -219,16 +238,22 @@ class Recorder {
   // --- export ------------------------------------------------------------
   /// Chrome trace-event JSON (spans + track names + sampled counters).
   std::string ChromeTraceJson() const;
-  /// Machine-readable run report: counters, gauges, distributions, series.
-  /// `attribution_json`, when non-empty, must be a complete JSON object
-  /// (obs::AttributionJson) embedded under the "attribution" key.
-  std::string MetricsJson(Time sim_elapsed, const std::string& attribution_json = "") const;
+  /// Machine-readable run report (schema univistor.metrics.v3): counters,
+  /// gauges, distributions, series. The embed parameters, when non-empty,
+  /// must each be a complete JSON object placed under the corresponding
+  /// key: `attribution_json` (obs::AttributionJson), `telemetry_json`
+  /// (per-tenant sketch rollup) and `slo_json` (SLO verdict block).
+  std::string MetricsJson(Time sim_elapsed, const std::string& attribution_json = "",
+                          const std::string& telemetry_json = "",
+                          const std::string& slo_json = "") const;
   /// The sampled time series as "t,metric,value" CSV.
   std::string SeriesCsv() const;
 
   Status WriteChromeTrace(const std::string& path) const;
   Status WriteMetricsJson(const std::string& path, Time sim_elapsed,
-                          const std::string& attribution_json = "") const;
+                          const std::string& attribution_json = "",
+                          const std::string& telemetry_json = "",
+                          const std::string& slo_json = "") const;
   Status WriteSeriesCsv(const std::string& path) const;
 
  private:
@@ -238,13 +263,19 @@ class Recorder {
     double value;
   };
 
+  /// Runs the prune hook (re-entrancy guarded); true when room was freed.
+  bool MakeRoom();
+
   static inline Recorder* current_ = nullptr;
 
   std::vector<SpanEvent> spans_;
   std::vector<CausalLink> links_;
   std::size_t span_limit_ = kDefaultSpanLimit;
   std::uint64_t spans_dropped_ = 0;
+  std::uint64_t spans_pruned_ = 0;
   std::uint32_t last_span_id_ = 0;
+  PruneHook prune_hook_;
+  bool pruning_ = false;
   MetricsRegistry metrics_;
   std::vector<SeriesPoint> series_;
   std::size_t samples_taken_ = 0;

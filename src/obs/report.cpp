@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <utility>
 
 #include "src/common/strings.hpp"
 #include "src/common/table.hpp"
@@ -81,6 +82,72 @@ Status LoadAttribution(const json::Value& attr, RunReport* report) {
   return Status::Ok();
 }
 
+Status LoadSloEntry(const std::string& tenant, const json::Value& entry, RunReport* report) {
+  if (!entry.is_object())
+    return InvalidArgumentError("report: slo entry is not an object");
+  LoadedSlo slo;
+  slo.tenant = tenant;
+  slo.name = entry.StringOr("name", "");
+  slo.label = entry.StringOr("label", "");
+  slo.verdict = entry.StringOr("verdict", "");
+  slo.threshold = entry.NumberOr("threshold", 0);
+  slo.budget = entry.NumberOr("budget", 0);
+  slo.total = entry.NumberOr("total", 0);
+  slo.bad = entry.NumberOr("bad", 0);
+  slo.budget_consumed = entry.NumberOr("budget_consumed", 0);
+  slo.peak_fast_burn = entry.NumberOr("peak_fast_burn", 0);
+  slo.peak_slow_burn = entry.NumberOr("peak_slow_burn", 0);
+  slo.alerts = entry.NumberOr("alerts", 0);
+  UVS_RETURN_IF_ERROR(CheckFinite("slo budget_consumed", slo.budget_consumed));
+  UVS_RETURN_IF_ERROR(CheckFinite("slo peak_fast_burn", slo.peak_fast_burn));
+  UVS_RETURN_IF_ERROR(CheckFinite("slo peak_slow_burn", slo.peak_slow_burn));
+  if (slo.verdict != "ok" && slo.verdict != "at_risk" && slo.verdict != "breached")
+    return InvalidArgumentError("report: slo entry with unknown verdict '" + slo.verdict +
+                                "'");
+  report->slos.push_back(std::move(slo));
+  return Status::Ok();
+}
+
+Status LoadSlo(const json::Value& slo, RunReport* report) {
+  report->has_slo = true;
+  report->slo_schema = slo.StringOr("schema", "");
+  if (report->slo_schema != "univistor.slo.v1")
+    return InvalidArgumentError("report: unknown slo schema '" + report->slo_schema + "'");
+  if (const json::Value* cluster = slo.Find("cluster");
+      cluster != nullptr && cluster->is_array())
+    for (const json::Value& entry : cluster->AsArray())
+      UVS_RETURN_IF_ERROR(LoadSloEntry("cluster", entry, report));
+  if (const json::Value* tenants = slo.Find("tenants");
+      tenants != nullptr && tenants->is_object())
+    for (const auto& [tenant, entries] : tenants->AsObject()) {
+      if (!entries.is_array())
+        return InvalidArgumentError("report: slo tenant '" + tenant + "' is not an array");
+      for (const json::Value& entry : entries.AsArray())
+        UVS_RETURN_IF_ERROR(LoadSloEntry(tenant, entry, report));
+    }
+  return Status::Ok();
+}
+
+Status LoadTelemetry(const json::Value& telemetry, RunReport* report) {
+  report->has_telemetry = true;
+  report->telemetry_schema = telemetry.StringOr("schema", "");
+  if (report->telemetry_schema != "univistor.telemetry.v1")
+    return InvalidArgumentError("report: unknown telemetry schema '" +
+                                report->telemetry_schema + "'");
+  // Only the cluster-wide headline quantiles are kept; per-tenant sketch
+  // detail stays in the JSON for ad-hoc tooling.
+  if (const json::Value* cluster = telemetry.Find("cluster");
+      cluster != nullptr && cluster->is_object())
+    if (const json::Value* stretch = cluster->Find("stretch");
+        stretch != nullptr && stretch->is_object()) {
+      report->stretch_p50 = stretch->NumberOr("p50", 0);
+      report->stretch_p99 = stretch->NumberOr("p99", 0);
+      UVS_RETURN_IF_ERROR(CheckFinite("telemetry stretch p50", report->stretch_p50));
+      UVS_RETURN_IF_ERROR(CheckFinite("telemetry stretch p99", report->stretch_p99));
+    }
+  return Status::Ok();
+}
+
 std::string Percent(double v) { return FormatDouble(100.0 * v, 1) + "%"; }
 
 }  // namespace
@@ -96,10 +163,12 @@ Result<RunReport> LoadRunReport(const json::Value& root) {
     return Result<RunReport>(InvalidArgumentError("report: document is not an object"));
   RunReport report;
   report.schema = root.StringOr("schema", "");
-  if (report.schema != "univistor.metrics.v2")
+  // v3 added spans_pruned and the telemetry/slo blocks; v2 reports (no
+  // such blocks) still load so older goldens keep diffing.
+  if (report.schema != "univistor.metrics.v2" && report.schema != "univistor.metrics.v3")
     return Result<RunReport>(
         InvalidArgumentError("report: unsupported schema '" + report.schema +
-                             "' (want univistor.metrics.v2)"));
+                             "' (want univistor.metrics.v2 or .v3)"));
   const json::Value* elapsed = root.Find("sim_elapsed_seconds");
   if (elapsed == nullptr || !elapsed->is_number())
     return Result<RunReport>(
@@ -110,12 +179,21 @@ Result<RunReport> LoadRunReport(const json::Value& root) {
   report.span_count = root.NumberOr("span_count", 0);
   report.span_limit = root.NumberOr("span_limit", 0);
   report.spans_dropped = root.NumberOr("spans_dropped", 0);
+  report.spans_pruned = root.NumberOr("spans_pruned", 0);
   if (Status s = LoadNumberMap(root.Find("counters"), "counters", &report.counters); !s.ok())
     return Result<RunReport>(std::move(s));
   if (Status s = LoadNumberMap(root.Find("gauges"), "gauges", &report.gauges); !s.ok())
     return Result<RunReport>(std::move(s));
   if (const json::Value* attr = root.Find("attribution"); attr != nullptr) {
     if (Status s = LoadAttribution(*attr, &report); !s.ok())
+      return Result<RunReport>(std::move(s));
+  }
+  if (const json::Value* telemetry = root.Find("telemetry"); telemetry != nullptr) {
+    if (Status s = LoadTelemetry(*telemetry, &report); !s.ok())
+      return Result<RunReport>(std::move(s));
+  }
+  if (const json::Value* slo = root.Find("slo"); slo != nullptr) {
+    if (Status s = LoadSlo(*slo, &report); !s.ok())
       return Result<RunReport>(std::move(s));
   }
   return report;
@@ -134,7 +212,24 @@ std::string RenderReport(const RunReport& report) {
   if (report.spans_dropped > 0)
     os << " (" << static_cast<long long>(report.spans_dropped) << " dropped at cap "
        << static_cast<long long>(report.span_limit) << ")";
+  if (report.spans_pruned > 0)
+    os << " (" << static_cast<long long>(report.spans_pruned)
+       << " pruned by tail retention)";
   os << "\n";
+  if (report.has_telemetry)
+    os << "telemetry: cluster stretch p50 " << FormatDouble(report.stretch_p50, 2)
+       << " p99 " << FormatDouble(report.stretch_p99, 2) << " (sketch)\n";
+
+  if (report.has_slo && !report.slos.empty()) {
+    os << "\n== slo ==\n";
+    Table slo_table({"tenant", "slo", "budget", "consumed", "peak-burn", "alerts", "verdict"});
+    for (const LoadedSlo& slo : report.slos)
+      slo_table.AddRow({slo.tenant, slo.label, FormatDouble(slo.budget, 3),
+                        FormatDouble(slo.budget_consumed, 2),
+                        FormatDouble(slo.peak_fast_burn, 2), FormatDouble(slo.alerts, 0),
+                        slo.verdict});
+    os << slo_table.ToString();
+  }
 
   if (report.has_attribution) {
     os << "\n== time attribution ==\n";
@@ -255,6 +350,25 @@ std::vector<std::string> DiffReports(const RunReport& before, const RunReport& a
   if ((before.spans_dropped > 0) != (after.spans_dropped > 0))
     shift("spans dropped " + FormatDouble(before.spans_dropped, 0) + " -> " +
           FormatDouble(after.spans_dropped, 0) + " (cap changed or trace volume shifted)");
+
+  // SLO verdict flips are regressions regardless of magnitude — that is
+  // the whole point of a verdict; matched by (tenant, label).
+  std::map<std::pair<std::string, std::string>, const LoadedSlo*> before_slos;
+  for (const LoadedSlo& slo : before.slos) before_slos[{slo.tenant, slo.label}] = &slo;
+  for (const LoadedSlo& slo : after.slos) {
+    const auto it = before_slos.find({slo.tenant, slo.label});
+    if (it == before_slos.end()) {
+      shift("slo " + slo.tenant + " " + slo.label + " only in the new report");
+      continue;
+    }
+    const LoadedSlo& old = *it->second;
+    before_slos.erase(it);
+    if (old.verdict != slo.verdict)
+      shift("slo " + slo.tenant + " " + slo.label + " verdict " + old.verdict + " -> " +
+            slo.verdict);
+  }
+  for (const auto& [key, slo] : before_slos)
+    shift("slo " + key.first + " " + key.second + " only in the old report");
 
   return shifts;
 }

@@ -1,7 +1,8 @@
 // Loading, rendering, and diffing of the metrics run report JSON
-// (univistor.metrics.v2, written by Recorder::WriteMetricsJson with an
-// optional embedded univistor.attribution.v1 object). Used by
-// tools/uvreport and the schema-validation tests; independent of the
+// (univistor.metrics.v3, written by Recorder::WriteMetricsJson with
+// optional embedded univistor.attribution.v1, univistor.telemetry.v1 and
+// univistor.slo.v1 objects; the v2 schema without them still loads). Used
+// by tools/uvreport and the schema-validation tests; independent of the
 // Recorder so reports from other builds can be compared.
 #pragma once
 
@@ -35,12 +36,30 @@ struct LoadedDevice {
   int errors = 0;
 };
 
+/// One SLO tracker from the report's slo block; `tenant` is "cluster" for
+/// the cluster-wide rollup or the tenant-class key otherwise.
+struct LoadedSlo {
+  std::string tenant;
+  std::string name;     // metric (stretch | wait | lost)
+  std::string label;    // e.g. "stretch<=4"
+  std::string verdict;  // ok | at_risk | breached
+  double threshold = 0;
+  double budget = 0;
+  double total = 0;
+  double bad = 0;
+  double budget_consumed = 0;
+  double peak_fast_burn = 0;
+  double peak_slow_burn = 0;
+  double alerts = 0;
+};
+
 struct RunReport {
   std::string schema;
   double sim_elapsed = 0;
   double span_count = 0;
   double span_limit = 0;
   double spans_dropped = 0;
+  double spans_pruned = 0;  // v3: tail-retention evictions
   std::map<std::string, double> counters;
   std::map<std::string, double> gauges;
 
@@ -52,6 +71,18 @@ struct RunReport {
   double critical_elapsed = 0;
   std::size_t critical_segments = 0;
   std::vector<LoadedDevice> devices;
+
+  // v3 telemetry block (per-tenant quantile sketches): loaders only keep
+  // the merged cluster-wide headline quantiles.
+  bool has_telemetry = false;
+  std::string telemetry_schema;
+  double stretch_p50 = 0;
+  double stretch_p99 = 0;
+
+  // v3 slo block: every tracker, cluster-wide first.
+  bool has_slo = false;
+  std::string slo_schema;
+  std::vector<LoadedSlo> slos;
 };
 
 /// Validates the schema version and required keys while loading.

@@ -1,0 +1,195 @@
+#include "src/obs/slo.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace uvs::obs {
+
+namespace {
+
+/// Burn rates divide by the budget; a zero-tolerance budget ("lost<=0")
+/// must still produce finite JSON, so burns are computed against a floored
+/// budget and capped. A capped burn is unambiguous: the budget is gone.
+constexpr double kMinBudget = 1e-9;
+constexpr double kMaxBurn = 1e6;
+
+std::string FmtNum(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  std::string s(buf);
+  if (s == "-0") s = "0";
+  return s;
+}
+
+std::string FmtShort(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::vector<std::string> SplitOn(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+std::string Trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  std::size_t e = s.find_last_not_of(" \t");
+  if (b == std::string::npos) return "";
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+std::string SloSpec::Label() const { return metric + "<=" + FmtShort(threshold); }
+
+std::string SloSpec::ToString() const {
+  return Label() + ":budget=" + FmtShort(budget) + ",fast=" + FmtShort(fast_window) +
+         ",slow=" + FmtShort(slow_window) + ",burn=" + FmtShort(alert_burn);
+}
+
+Result<std::vector<SloSpec>> ParseSloSpecs(const std::string& text) {
+  std::vector<SloSpec> specs;
+  for (const std::string& raw : SplitOn(text, ';')) {
+    const std::string entry = Trim(raw);
+    if (entry.empty()) continue;
+    const std::size_t op = entry.find("<=");
+    if (op == std::string::npos)
+      return Result<std::vector<SloSpec>>(
+          InvalidArgumentError("slo: '" + entry + "' has no '<=' threshold"));
+    SloSpec spec;
+    spec.metric = Trim(entry.substr(0, op));
+    if (spec.metric != "stretch" && spec.metric != "wait" && spec.metric != "lost")
+      return Result<std::vector<SloSpec>>(InvalidArgumentError(
+          "slo: unknown metric '" + spec.metric + "' (want stretch|wait|lost)"));
+    std::string rest = entry.substr(op + 2);
+    std::string opts;
+    if (const std::size_t colon = rest.find(':'); colon != std::string::npos) {
+      opts = rest.substr(colon + 1);
+      rest = rest.substr(0, colon);
+    }
+    spec.threshold = std::atof(Trim(rest).c_str());
+    for (const std::string& kv_raw : SplitOn(opts, ',')) {
+      const std::string kv = Trim(kv_raw);
+      if (kv.empty()) continue;
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos)
+        return Result<std::vector<SloSpec>>(
+            InvalidArgumentError("slo: bad option '" + kv + "' (want k=v)"));
+      const std::string key = Trim(kv.substr(0, eq));
+      const double val = std::atof(Trim(kv.substr(eq + 1)).c_str());
+      if (key == "budget") spec.budget = val;
+      else if (key == "fast") spec.fast_window = val;
+      else if (key == "slow") spec.slow_window = val;
+      else if (key == "burn") spec.alert_burn = val;
+      else
+        return Result<std::vector<SloSpec>>(
+            InvalidArgumentError("slo: unknown option '" + key + "'"));
+    }
+    if (spec.budget <= 0.0 || spec.budget > 1.0)
+      return Result<std::vector<SloSpec>>(
+          InvalidArgumentError("slo: budget must be in (0, 1]"));
+    if (spec.fast_window <= 0.0 || spec.slow_window < spec.fast_window)
+      return Result<std::vector<SloSpec>>(
+          InvalidArgumentError("slo: want 0 < fast <= slow window"));
+    if (spec.alert_burn <= 0.0)
+      return Result<std::vector<SloSpec>>(InvalidArgumentError("slo: burn must be > 0"));
+    specs.push_back(std::move(spec));
+  }
+  if (specs.empty())
+    return Result<std::vector<SloSpec>>(InvalidArgumentError("slo: empty spec list"));
+  return specs;
+}
+
+std::vector<SloSpec> DefaultSloSpecs() {
+  SloSpec stretch;
+  stretch.metric = "stretch";
+  stretch.threshold = 4.0;
+  stretch.budget = 0.25;
+  SloSpec wait;
+  wait.metric = "wait";
+  wait.threshold = 1.0;
+  wait.budget = 0.25;
+  SloSpec lost;
+  lost.metric = "lost";
+  lost.threshold = 0.0;
+  lost.budget = 1e-3;  // effectively zero tolerance: one loss breaches
+  return {stretch, wait, lost};
+}
+
+bool SloTracker::Record(Time now, double value) {
+  const bool is_bad = value > spec_.threshold;
+  ++total_;
+  if (is_bad) ++bad_;
+  events_.emplace_back(now, is_bad);
+  while (!events_.empty() && events_.front().first <= now - spec_.slow_window)
+    events_.pop_front();
+  const double fast = FastBurn(now);
+  const double slow = SlowBurn(now);
+  peak_fast_burn_ = std::max(peak_fast_burn_, fast);
+  peak_slow_burn_ = std::max(peak_slow_burn_, slow);
+  const bool now_alerting = fast >= spec_.alert_burn && slow >= spec_.alert_burn;
+  if (now_alerting && !alerting_) ++alerts_;
+  alerting_ = now_alerting;
+  return is_bad;
+}
+
+double SloTracker::WindowBurn(Time now, Time window) const {
+  std::uint64_t in_window = 0;
+  std::uint64_t bad_in_window = 0;
+  // events_ only spans the slow window, so this scan is bounded; windows
+  // are half-open (now - w, now].
+  for (const auto& [t, is_bad] : events_) {
+    if (t <= now - window) continue;
+    ++in_window;
+    bad_in_window += is_bad ? 1 : 0;
+  }
+  if (in_window == 0) return 0.0;
+  const double frac = static_cast<double>(bad_in_window) / static_cast<double>(in_window);
+  return std::min(frac / std::max(spec_.budget, kMinBudget), kMaxBurn);
+}
+
+double SloTracker::budget_consumed() const {
+  if (total_ == 0) return 0.0;
+  const double frac = static_cast<double>(bad_) / static_cast<double>(total_);
+  return std::min(frac / std::max(spec_.budget, kMinBudget), kMaxBurn);
+}
+
+const char* SloTracker::verdict() const {
+  if (alerts_ > 0 || budget_consumed() > 1.0) return "breached";
+  if (budget_consumed() > 0.5 || peak_fast_burn_ >= spec_.alert_burn) return "at_risk";
+  return "ok";
+}
+
+std::string SloTracker::ToJson() const {
+  std::string out = "{";
+  out += "\"name\":\"" + spec_.metric + "\"";
+  out += ",\"label\":\"" + spec_.Label() + "\"";
+  out += ",\"threshold\":" + FmtNum(spec_.threshold);
+  out += ",\"budget\":" + FmtNum(spec_.budget);
+  out += ",\"fast_window\":" + FmtNum(spec_.fast_window);
+  out += ",\"slow_window\":" + FmtNum(spec_.slow_window);
+  out += ",\"alert_burn\":" + FmtNum(spec_.alert_burn);
+  out += ",\"total\":" + std::to_string(total_);
+  out += ",\"bad\":" + std::to_string(bad_);
+  out += ",\"budget_consumed\":" + FmtNum(budget_consumed());
+  out += ",\"peak_fast_burn\":" + FmtNum(peak_fast_burn_);
+  out += ",\"peak_slow_burn\":" + FmtNum(peak_slow_burn_);
+  out += ",\"alerts\":" + std::to_string(alerts_);
+  out += ",\"verdict\":\"" + std::string(verdict()) + "\"";
+  out += "}";
+  return out;
+}
+
+}  // namespace uvs::obs

@@ -14,6 +14,7 @@
 #include "src/fault/injector.hpp"
 #include "src/fault/plan.hpp"
 #include "src/hw/params.hpp"
+#include "src/obs/recorder.hpp"
 #include "src/univistor/config.hpp"
 #include "src/univistor/driver.hpp"
 #include "src/univistor/system.hpp"
@@ -371,10 +372,7 @@ RunOutcome RunClusterScenario(const ScenarioSpec& spec, const RunOptions& option
   return outcome;
 }
 
-}  // namespace
-
-RunOutcome RunScenario(const ScenarioSpec& spec, const RunOptions& options) {
-  if (spec.jobs > 1) return RunClusterScenario(spec, options);
+RunOutcome RunSingleScenario(const ScenarioSpec& spec, const RunOptions& options) {
   RunOutcome outcome;
   outcome.spec = spec;
   try {
@@ -443,6 +441,27 @@ RunOutcome RunScenario(const ScenarioSpec& spec, const RunOptions& options) {
   } catch (...) {
     outcome.report.Add("exception", "non-standard exception escaped the run");
   }
+  return outcome;
+}
+
+}  // namespace
+
+RunOutcome RunScenario(const ScenarioSpec& spec, const RunOptions& options) {
+  obs::Recorder* recorder = obs::Recorder::Current();
+  const std::uint64_t dropped_before = recorder != nullptr ? recorder->spans_dropped() : 0;
+  RunOutcome outcome = spec.jobs > 1 ? RunClusterScenario(spec, options)
+                                     : RunSingleScenario(spec, options);
+  if (recorder != nullptr)
+    outcome.spans_dropped = recorder->spans_dropped() - dropped_before;
+  // A failing scenario freezes the flight-recorder ring to disk (no-op
+  // without an installed recorder or dump path).
+  if (!outcome.ok())
+    if (obs::FlightRecorder* flight = obs::FlightRecorder::Current()) {
+      for (const auto& v : outcome.report.violations)
+        flight->Note(outcome.sim_time, "invariant", v.invariant, 0, v.detail);
+      const Status dump = flight->Dump("invariant-failure");
+      if (!dump.ok()) outcome.report.Add("flight-dump", dump.message());
+    }
   return outcome;
 }
 

@@ -9,6 +9,7 @@
 // expose exactly the bytes the application wrote).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -29,6 +30,10 @@ struct RunOutcome {
   Bytes lost_bytes = 0;
   Bytes expected_lost_bytes = 0;
   Time sim_time = 0;
+  /// Spans the installed obs::Recorder dropped at its cap during this run
+  /// (0 when no recorder is installed); callers surface it so a truncated
+  /// trace never passes silently.
+  std::uint64_t spans_dropped = 0;
 
   bool ok() const { return report.ok(); }
 };

@@ -141,6 +141,13 @@ TEST(Histogram, ClampsOutOfRange) {
   h.Add(99.0);
   EXPECT_EQ(h.bucket(0), 1u);
   EXPECT_EQ(h.bucket(3), 1u);
+  // Clamped samples are counted, not silently folded into the edges.
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  h.Add(0.5);  // in range: neither counter moves
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 3u);
 }
 
 TEST(Histogram, EmptyQuantileIsLowerBound) {

@@ -8,6 +8,8 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "src/cluster/arrival.hpp"
+#include "src/cluster/simulation.hpp"
 #include "src/hw/utilization.hpp"
 #include "src/obs/recorder.hpp"
 #include "src/sim/fair_share.hpp"
@@ -157,6 +159,44 @@ TEST(GoldenTrace, VpicTraceDigestIsStable) {
   }
   recorder.Uninstall();
   CheckDigest("vpic_ia", Fnv1a(recorder.ChromeTraceJson()), 0xd53fcb3c7146867eull);
+}
+
+/// One traced cluster run; telemetry (sketches + SLO trackers) feeds only
+/// at job completion, so its digest must not depend on the toggle.
+std::uint64_t ClusterDigest(bool telemetry) {
+  hw::ClusterParams params = hw::CoriPreset(16, 4);
+  params.node.cores = 8;
+  params.bb.bb_nodes = 2;
+  params.bb.capacity_per_bb_node = 64_MiB;
+  params.pfs.osts = 4;
+  params.seed = 12;
+  workload::ScenarioOptions options;
+  options.procs = 16;
+  options.cluster_params = params;
+
+  obs::Recorder recorder;
+  recorder.Install();
+  std::uint64_t digest;
+  {
+    workload::Scenario scenario(options);
+    cluster::MixParams mix;
+    mix.jobs = 4;
+    mix.mean_interarrival = 0.005;
+    mix.bb_bound = true;
+    cluster::ClusterOptions cluster_options;
+    cluster_options.base_config.chunk_size = 1_MiB;
+    cluster_options.telemetry.enabled = telemetry;
+    cluster::ClusterSim sim(scenario, cluster::SampleJobMix(12, mix), cluster_options);
+    sim.Run();
+    digest = Fnv1a(recorder.ChromeTraceJson());
+  }
+  recorder.Uninstall();
+  return digest;
+}
+
+TEST(GoldenTrace, ClusterTraceIsIdenticalWithTelemetryOnOrOff) {
+  EXPECT_EQ(ClusterDigest(false), ClusterDigest(true))
+      << "telemetry must observe the run, never perturb it";
 }
 
 sim::Task RecordCompletion(sim::Engine& engine, sim::FairSharePool& pool, Bytes bytes,

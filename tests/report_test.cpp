@@ -61,7 +61,7 @@ TEST(Json, RoundTripsTheMetricsReport) {
   recorder.Uninstall();
   auto doc = json::Parse(recorder.MetricsJson(2.5));
   ASSERT_TRUE(doc.ok()) << doc.status().ToString();
-  EXPECT_EQ(doc->StringOr("schema", ""), "univistor.metrics.v2");
+  EXPECT_EQ(doc->StringOr("schema", ""), "univistor.metrics.v3");
   EXPECT_DOUBLE_EQ(doc->NumberOr("sim_elapsed_seconds", 0), 2.5);
 }
 
@@ -133,7 +133,7 @@ TEST(RunReport, SchemaValidatesOnARealRun) {
 
   auto report = obs::LoadRunReport(*doc);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
-  EXPECT_EQ(report->schema, "univistor.metrics.v2");
+  EXPECT_EQ(report->schema, "univistor.metrics.v3");
   EXPECT_GT(report->sim_elapsed, 0.0);
   EXPECT_GT(report->span_count, 0.0);
   EXPECT_GE(report->span_limit, report->span_count);
@@ -173,6 +173,82 @@ TEST(RunReport, LoaderRejectsWrongOrBrokenSchemas) {
           "counters":{},"gauges":{},"attribution":{"schema":"bogus.v9"}})");
   ASSERT_TRUE(bad_attr.ok());
   EXPECT_FALSE(obs::LoadRunReport(*bad_attr).ok());
+}
+
+TEST(RunReport, LoaderStillAcceptsV2Reports) {
+  // Goldens written before the telemetry/slo blocks existed must keep
+  // loading (ci/golden_report.json is one).
+  auto v2 = json::Parse(
+      R"({"schema":"univistor.metrics.v2","sim_elapsed_seconds":1.5,
+          "span_count":10,"counters":{"flush.count":3},"gauges":{}})");
+  ASSERT_TRUE(v2.ok());
+  auto report = obs::LoadRunReport(*v2);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->schema, "univistor.metrics.v2");
+  EXPECT_FALSE(report->has_telemetry);
+  EXPECT_FALSE(report->has_slo);
+  EXPECT_EQ(report->spans_pruned, 0.0);
+}
+
+/// Minimal v3 report with telemetry + slo blocks; `verdict` parameterizes
+/// the cluster stretch SLO so diffs can flip it.
+std::string V3SloDoc(const char* verdict, double consumed) {
+  std::string slo = R"({"name":"stretch","label":"stretch<=4","threshold":4,
+      "budget":0.25,"fast_window":1,"slow_window":10,"alert_burn":2,
+      "total":12,"bad":2,"budget_consumed":)";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", consumed);
+  slo += buf;
+  slo += R"(,"peak_fast_burn":1.2,"peak_slow_burn":0.8,"alerts":0,"verdict":")";
+  slo += verdict;
+  slo += "\"}";
+  return std::string(R"({"schema":"univistor.metrics.v3","sim_elapsed_seconds":2,
+      "span_count":5,"spans_pruned":7,"counters":{},"gauges":{},
+      "telemetry":{"schema":"univistor.telemetry.v1","relative_error":0.02,
+        "tenants":{"univistor/micro":{"stretch":{"count":12,"p50":3.1,"p99":4.0},
+                                      "wait":{"count":12,"p50":0.05,"p99":0.2}}},
+        "cluster":{"stretch":{"count":12,"p50":3.2,"p99":4.1},
+                   "wait":{"count":12,"p50":0.05,"p99":0.2}}},
+      "slo":{"schema":"univistor.slo.v1","cluster":[)") +
+         slo + R"(],"tenants":{"univistor/micro":[)" + slo + "]}}}";
+}
+
+TEST(RunReport, LoadsV3TelemetryAndSloBlocks) {
+  auto doc = json::Parse(V3SloDoc("ok", 0.3));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  auto report = obs::LoadRunReport(*doc);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->spans_pruned, 7.0);
+  ASSERT_TRUE(report->has_telemetry);
+  EXPECT_EQ(report->telemetry_schema, "univistor.telemetry.v1");
+  EXPECT_DOUBLE_EQ(report->stretch_p50, 3.2);
+  EXPECT_DOUBLE_EQ(report->stretch_p99, 4.1);
+  ASSERT_TRUE(report->has_slo);
+  EXPECT_EQ(report->slo_schema, "univistor.slo.v1");
+  ASSERT_EQ(report->slos.size(), 2u);
+  EXPECT_EQ(report->slos[0].tenant, "cluster");
+  EXPECT_EQ(report->slos[0].label, "stretch<=4");
+  EXPECT_EQ(report->slos[0].verdict, "ok");
+  EXPECT_DOUBLE_EQ(report->slos[0].budget_consumed, 0.3);
+  EXPECT_EQ(report->slos[1].tenant, "univistor/micro");
+
+  auto bad_verdict = json::Parse(V3SloDoc("sideways", 0.3));
+  ASSERT_TRUE(bad_verdict.ok());
+  EXPECT_FALSE(obs::LoadRunReport(*bad_verdict).ok()) << "unknown verdicts rejected";
+}
+
+TEST(RunReportDiff, SloVerdictFlipIsAlwaysAShift) {
+  auto ok = obs::LoadRunReport(*json::Parse(V3SloDoc("ok", 0.3)));
+  auto breached = obs::LoadRunReport(*json::Parse(V3SloDoc("breached", 1.4)));
+  ASSERT_TRUE(ok.ok() && breached.ok());
+  EXPECT_TRUE(obs::DiffReports(*ok, *ok, obs::DiffOptions{}).empty());
+  const auto shifts = obs::DiffReports(*ok, *breached, obs::DiffOptions{});
+  ASSERT_FALSE(shifts.empty()) << "verdict flips gate regardless of tolerance";
+  bool named = false;
+  for (const std::string& s : shifts)
+    if (s.find("stretch<=4") != std::string::npos && s.find("breached") != std::string::npos)
+      named = true;
+  EXPECT_TRUE(named) << "the shift names the flipped SLO";
 }
 
 // --- diff gate (tentpole part 4 / satellite 5) --------------------------

@@ -23,6 +23,7 @@
 #include <string>
 
 #include "src/common/log.hpp"
+#include "src/obs/flight_recorder.hpp"
 #include "src/testkit/runner.hpp"
 #include "src/testkit/scenario_spec.hpp"
 #include "src/testkit/shrink.hpp"
@@ -41,6 +42,7 @@ struct Args {
   bool shrink = true;
   bool differential = true;
   bool quiet = false;
+  std::string flight;  // flight-recorder dump path ("" = off)
 };
 
 void PrintUsage(std::FILE* out) {
@@ -53,6 +55,9 @@ void PrintUsage(std::FILE* out) {
                "  --time-budget=S    stop fuzzing after S wall-clock seconds\n"
                "  --no-shrink        do not shrink a failing scenario\n"
                "  --no-differential  skip the Lustre differential read-back\n"
+               "  --flight-recorder[=FILE]\n"
+               "                     dump a ring of recent events as JSON when a\n"
+               "                     scenario fails (default file flight-recorder.json)\n"
                "  --quiet            only print failures and the summary\n"
                "  --help             show this message\n");
 }
@@ -81,6 +86,8 @@ int Parse(int argc, char** argv, Args& args) {
       args.time_budget = std::atof(value.c_str());
     else if (std::strcmp(arg, "--no-shrink") == 0) args.shrink = false;
     else if (std::strcmp(arg, "--no-differential") == 0) args.differential = false;
+    else if (std::strcmp(arg, "--flight-recorder") == 0) args.flight = "flight-recorder.json";
+    else if (ParseFlag(arg, "--flight-recorder", &value)) args.flight = value;
     else if (std::strcmp(arg, "--quiet") == 0 || std::strcmp(arg, "-q") == 0) args.quiet = true;
     else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       PrintUsage(stdout);
@@ -99,6 +106,12 @@ int Parse(int argc, char** argv, Args& args) {
 bool RunOne(const testkit::ScenarioSpec& spec, const Args& args,
             const testkit::RunOptions& options) {
   const testkit::RunOutcome outcome = testkit::RunScenario(spec, options);
+  if (outcome.spans_dropped > 0)
+    std::fprintf(stderr,
+                 "uvfuzz: warning: seed %llu dropped %llu spans at the recorder "
+                 "cap — trace detail is incomplete\n",
+                 static_cast<unsigned long long>(spec.seed),
+                 static_cast<unsigned long long>(outcome.spans_dropped));
   if (outcome.ok()) {
     if (!args.quiet) {
       Bytes total = 0;
@@ -139,6 +152,14 @@ int main(int argc, char** argv) {
 
   testkit::RunOptions options;
   options.differential = args.differential;
+
+  // Dumped by the runner on the first failing scenario (reason
+  // "invariant-failure"); shrink replays reuse the same ring.
+  obs::FlightRecorder flight;
+  if (!args.flight.empty()) {
+    flight.SetDumpPath(args.flight);
+    flight.Install();
+  }
 
   try {
     if (!args.spec.empty()) {

@@ -3,9 +3,12 @@
 //   uvreport report.json                      pretty-print the report
 //   uvreport --diff old.json new.json         flag meaningful shifts
 //
+// Understands univistor.metrics.v2 and .v3 reports; v3 adds telemetry
+// (quantile-sketch headline) and slo blocks, rendered as extra sections.
 // Diff mode exits 0 when the reports agree within tolerance, 1 when a
 // statistically meaningful shift is found (for CI gating against a golden
-// report), and 2 on usage or parse errors. Tolerances:
+// report), and 2 on usage or parse errors. SLO verdict flips are always
+// meaningful shifts regardless of tolerance. Tolerances:
 //
 //   --rel-tol=F      relative change on elapsed / critical path / saturation
 //                    (default 0.10)

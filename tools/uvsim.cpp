@@ -62,6 +62,10 @@ struct Args {
   double sample_interval = -1;  // simulated seconds; <0 = default
   bool attribution = false;     // causal attribution analysis + tables
   long long span_limit = -1;    // recorder span cap; <0 = default
+  bool slo = false;             // cluster: evaluate + print SLO verdicts
+  std::string slo_spec;         // custom SLO list (obs::ParseSloSpecs grammar)
+  std::string flight;           // flight-recorder dump path ("" = off)
+  bool live = false;            // cluster: periodic progress ticker
 
   // --cluster mode: multi-tenant job mix through cluster::ClusterSim.
   bool cluster = false;
@@ -111,7 +115,19 @@ void PrintUsage(std::FILE* out) {
                "                                  path, device USE rollups; embedded in\n"
                "                                  --metrics JSON (diff with uvreport)\n"
                "  --span-limit=N                  cap recorder span memory at N spans\n"
-               "                                  (excess dropped and counted)\n"
+               "                                  (excess dropped and counted; in cluster\n"
+               "                                  mode tail-based retention prunes boring\n"
+               "                                  jobs' rank spans first)\n"
+               "  --slo[=SPEC]                    cluster: evaluate per-tenant SLOs and\n"
+               "                                  print burn-rate verdicts; SPEC is a ';'\n"
+               "                                  list like 'stretch<=4:budget=0.25'\n"
+               "                                  (default battery when omitted)\n"
+               "  --flight-recorder[=FILE]        keep a ring of recent events and dump it\n"
+               "                                  as JSON on invariant failure, node crash\n"
+               "                                  or non-zero exit (default file\n"
+               "                                  flight-recorder.json)\n"
+               "  --live                          cluster: print a progress ticker every\n"
+               "                                  sampling interval\n"
                "  --cluster                       multi-tenant mode: run a job mix through\n"
                "                                  the cluster scheduler and print per-job\n"
                "                                  QoS (wait, stretch, BB interference)\n"
@@ -163,6 +179,14 @@ Args Parse(int argc, char** argv) {
     else if (std::strcmp(arg, "--attribution") == 0) args.attribution = true;
     else if (ParseFlag(arg, "--span-limit", &value))
       args.span_limit = std::atoll(value.c_str());
+    else if (std::strcmp(arg, "--slo") == 0) args.slo = true;
+    else if (ParseFlag(arg, "--slo", &value)) {
+      args.slo = true;
+      args.slo_spec = value;
+    }
+    else if (std::strcmp(arg, "--flight-recorder") == 0) args.flight = "flight-recorder.json";
+    else if (ParseFlag(arg, "--flight-recorder", &value)) args.flight = value;
+    else if (std::strcmp(arg, "--live") == 0) args.live = true;
     else if (std::strcmp(arg, "--cluster") == 0) args.cluster = true;
     else if (ParseFlag(arg, "--jobs", &value)) args.jobs = std::atoi(value.c_str());
     else if (ParseFlag(arg, "--csched", &value)) args.csched = value;
@@ -227,8 +251,9 @@ int RunCluster(const Args& args) {
   options.cluster_params = params;
   workload::Scenario scenario(options);
 
-  const double interval =
-      args.sample_interval >= 0 ? args.sample_interval : (obs_on ? 1.0 : 0.0);
+  const double interval = args.sample_interval >= 0
+                              ? args.sample_interval
+                              : ((obs_on || args.live) ? 1.0 : 0.0);
   obs::Sampler sampler(scenario.engine(), recorder, interval);
   if (obs_on) hw::RegisterClusterGauges(sampler, scenario.cluster());
 
@@ -267,7 +292,28 @@ int RunCluster(const Args& args) {
   // default chunk would make every per-rank BB log come out below one
   // chunk and silently drop the BB layer even under a full reservation.
   cluster_options.base_config.chunk_size = 1_MiB;
+  // Telemetry is always-on whenever anything observes the run: --slo asks
+  // for it explicitly, and a trace/metrics export should carry the
+  // telemetry + slo blocks without extra flags.
+  cluster_options.telemetry.enabled = args.slo || obs_on;
+  if (!args.slo_spec.empty()) {
+    auto specs = obs::ParseSloSpecs(args.slo_spec);
+    if (!specs.ok()) {
+      std::fprintf(stderr, "uvsim: --slo: %s\n", specs.status().ToString().c_str());
+      return 2;
+    }
+    cluster_options.telemetry.slos = *std::move(specs);
+  }
   cluster::ClusterSim sim(scenario, std::move(jobs), cluster_options);
+
+  if (args.live)
+    sampler.AddSource([&sim, &scenario] {
+      std::printf("live: t=%s jobs %d/%d done, %d arrived | bb %s of %s\n",
+                  HumanTime(scenario.engine().Now()).c_str(), sim.completed_jobs(),
+                  sim.job_count(), sim.arrived_jobs(),
+                  HumanBytes(sim.peak_bb_reserved()).c_str(),
+                  HumanBytes(sim.bb_capacity()).c_str());
+    });
 
   std::unique_ptr<fault::Injector> injector;
   if (!args.faults.empty()) {
@@ -308,6 +354,22 @@ int RunCluster(const Args& args) {
               HumanTime(summary.total_drain_interference).c_str(),
               HumanBytes(sim.peak_bb_reserved()).c_str(),
               HumanBytes(sim.bb_capacity()).c_str());
+  if (args.slo && sim.telemetry_enabled()) {
+    std::printf("%-16s %8s %9s %10s %10s %7s %9s\n", "slo (cluster)", "budget", "consumed",
+                "burn-fast", "burn-slow", "alerts", "verdict");
+    for (const obs::SloTracker& tracker : sim.cluster_slos())
+      std::printf("%-16s %8.3g %9.2f %10.2f %10.2f %7llu %9s\n",
+                  tracker.spec().Label().c_str(), tracker.spec().budget,
+                  tracker.budget_consumed(), tracker.peak_fast_burn(),
+                  tracker.peak_slow_burn(),
+                  static_cast<unsigned long long>(tracker.alerts()), tracker.verdict());
+    const obs::QuantileSketch stretch = sim.ClusterStretchSketch();
+    std::printf("telemetry: stretch p50 %.3f p99 %.3f (sketch, rel err %.0f%%; "
+                "exact %.3f / %.3f)\n",
+                stretch.Quantile(0.5), stretch.Quantile(0.99),
+                100.0 * stretch.relative_error(), summary.p50_stretch,
+                summary.p99_stretch);
+  }
   std::printf("simulated %s in %llu events\n", HumanTime(scenario.engine().Now()).c_str(),
               static_cast<unsigned long long>(scenario.engine().processed_events()));
 
@@ -331,6 +393,10 @@ int RunCluster(const Args& args) {
     if (!check_report.ok()) {
       std::fprintf(stderr, "uvsim: invariant violations:\n%s",
                    check_report.ToString().c_str());
+      for (const auto& v : check_report.violations)
+        obs::FlightNote(scenario.engine().Now(), "invariant", v.invariant, 0, v.detail);
+      if (Status fs = obs::FlightDump("invariant-failure"); !fs.ok())
+        std::fprintf(stderr, "uvsim: flight dump failed: %s\n", fs.ToString().c_str());
       return 1;
     }
     std::printf("check: all invariants hold\n");
@@ -357,8 +423,15 @@ int RunCluster(const Args& args) {
   if (!args.metrics.empty()) {
     const bool csv = args.metrics.size() >= 4 &&
                      args.metrics.compare(args.metrics.size() - 4, 4, ".csv") == 0;
+    std::string telemetry_json;
+    std::string slo_json;
+    if (sim.telemetry_enabled()) {
+      telemetry_json = sim.TelemetryJson();
+      slo_json = sim.SloJson();
+    }
     Status s = csv ? recorder.WriteSeriesCsv(args.metrics)
-                   : recorder.WriteMetricsJson(args.metrics, scenario.engine().Now(), {});
+                   : recorder.WriteMetricsJson(args.metrics, scenario.engine().Now(), "",
+                                               telemetry_json, slo_json);
     if (!s.ok()) {
       std::fprintf(stderr, "uvsim: writing %s: %s\n", args.metrics.c_str(),
                    s.ToString().c_str());
@@ -366,6 +439,13 @@ int RunCluster(const Args& args) {
     }
     std::printf("metrics: %s\n", args.metrics.c_str());
   }
+  if (recorder.spans_dropped() > 0)
+    std::fprintf(stderr,
+                 "uvsim: warning: %llu spans dropped at span cap %zu (%llu pruned "
+                 "by tail retention) — trace detail is incomplete; raise --span-limit\n",
+                 static_cast<unsigned long long>(recorder.spans_dropped()),
+                 recorder.span_limit(),
+                 static_cast<unsigned long long>(recorder.spans_pruned()));
   return 0;
 }
 
@@ -550,6 +630,10 @@ int Run(const Args& args) {
     if (!check_report.ok()) {
       std::fprintf(stderr, "uvsim: invariant violations:\n%s",
                    check_report.ToString().c_str());
+      for (const auto& v : check_report.violations)
+        obs::FlightNote(scenario.engine().Now(), "invariant", v.invariant, 0, v.detail);
+      if (Status fs = obs::FlightDump("invariant-failure"); !fs.ok())
+        std::fprintf(stderr, "uvsim: flight dump failed: %s\n", fs.ToString().c_str());
       return 1;
     }
     std::printf("check: all invariants hold\n");
@@ -603,6 +687,12 @@ int Run(const Args& args) {
     }
     std::printf("metrics: %s\n", args.metrics.c_str());
   }
+  if (recorder.spans_dropped() > 0)
+    std::fprintf(stderr,
+                 "uvsim: warning: %llu spans dropped at span cap %zu — trace "
+                 "detail is incomplete; raise --span-limit\n",
+                 static_cast<unsigned long long>(recorder.spans_dropped()),
+                 recorder.span_limit());
   return 0;
 }
 
@@ -610,15 +700,35 @@ int Run(const Args& args) {
 
 int main(int argc, char** argv) {
   InitLogLevelFromEnv();
+  const Args args = Parse(argc, argv);
+  // The flight recorder brackets the whole run so a dump fires no matter
+  // which path exits non-zero (invariant failure, node crash, exception).
+  obs::FlightRecorder flight;
+  if (!args.flight.empty()) {
+    flight.SetDumpPath(args.flight);
+    flight.Install();
+  }
   // An exception escaping the simulation (engine rethrow of a process
   // failure, bad configuration) must not look like a successful run.
+  int rc = 1;
   try {
-    return Run(Parse(argc, argv));
+    rc = Run(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "uvsim: uncaught exception: %s\n", e.what());
-    return 1;
+    obs::FlightNote(0, "crash", e.what());
   } catch (...) {
     std::fprintf(stderr, "uvsim: uncaught non-standard exception\n");
-    return 1;
+    obs::FlightNote(0, "crash", "non-standard exception");
   }
+  // Earlier dumps (invariant failure, node crash) keep their more specific
+  // reason; "nonzero-exit" is the backstop for every other failing path.
+  if (rc != 0 && flight.installed()) {
+    if (flight.dumps() == 0)
+      if (Status s = flight.Dump("nonzero-exit"); !s.ok())
+        std::fprintf(stderr, "uvsim: flight dump failed: %s\n", s.ToString().c_str());
+    if (flight.dumps() > 0)
+      std::fprintf(stderr, "uvsim: flight recorder dumped to %s (reason: %s)\n",
+                   flight.dump_path().c_str(), flight.last_reason().c_str());
+  }
+  return rc;
 }
