@@ -6,6 +6,7 @@
 
 #include "src/fault/injector.hpp"
 #include "src/obs/recorder.hpp"
+#include "src/sim/worker_pool.hpp"
 
 namespace uvs::cluster {
 
@@ -110,13 +111,63 @@ Time ClusterSim::StarvationHorizon() const {
   return last_arrival + 10.0 + 20.0 * serial;
 }
 
+ClusterSim::SoloShape ClusterSim::ShapeOf(const JobSpec& spec) const {
+  const int ppn = std::max(options_.procs_per_node, 1);
+  SoloShape shape;
+  shape.width = std::clamp((spec.procs + ppn - 1) / ppn, 1,
+                           scenario_->cluster().node_count());
+  shape.bb_grant = ClampedDemand(spec);
+  shape.key = SoloKey(spec, shape.width, shape.bb_grant);
+  return shape;
+}
+
+void ClusterSim::WarmSoloBaselines() { PrecomputeSolo(); }
+
 void ClusterSim::PrecomputeSolo() {
+  if (solo_warmed_) return;
+  solo_warmed_ = true;
   // Solo baselines run in private engines; keep their spans and metrics
-  // out of the main run's recorder.
+  // out of the main run's recorder. (The binding is thread-local, so pool
+  // workers below start with no recorder either way — uninstalling here
+  // keeps the serial in-thread path identical.)
   obs::Recorder* recorder = obs::Recorder::Current();
   if (recorder != nullptr) recorder->Uninstall();
+
+  // Distinct job shapes in first-appearance order. Each is one independent
+  // contention-free run on a private engine — the worker-pool task unit.
+  std::vector<SoloShape> shapes;
+  std::vector<const JobSpec*> specs;
+  for (const JobState& job : jobs_) {
+    SoloShape shape = ShapeOf(job.spec);
+    if (solo_memo_.find(shape.key) != solo_memo_.end()) continue;
+    bool seen = false;
+    for (const SoloShape& s : shapes) seen = seen || s.key == shape.key;
+    if (seen) continue;
+    specs.push_back(&job.spec);
+    shapes.push_back(std::move(shape));
+  }
+
+  const int requested =
+      options_.solo_workers == 0 ? sim::WorkerPool::HardwareThreads() : options_.solo_workers;
+  const int workers = std::min<int>(requested, static_cast<int>(shapes.size()));
+  if (workers > 1) {
+    sim::WorkerPool pool(workers);
+    const std::vector<SoloStats> stats = sim::ParallelMap<SoloStats>(
+        pool, shapes.size(), [this, &shapes, &specs](std::size_t i) {
+          return SoloRunUncached(*specs[i], shapes[i]);
+        });
+    // Merge in first-appearance order: each entry is a pure function of its
+    // key, so the memo — and everything scheduled off it — is bit-identical
+    // to the serial path.
+    for (std::size_t i = 0; i < shapes.size(); ++i)
+      solo_memo_.emplace(shapes[i].key, stats[i]);
+  } else {
+    for (std::size_t i = 0; i < shapes.size(); ++i)
+      solo_memo_.emplace(shapes[i].key, SoloRunUncached(*specs[i], shapes[i]));
+  }
+
   for (std::size_t i = 0; i < jobs_.size(); ++i) {
-    const SoloStats stats = SoloRun(jobs_[i].spec);
+    const SoloStats& stats = solo_memo_.at(ShapeOf(jobs_[i].spec).key);
     jobs_[i].solo_elapsed = stats.elapsed;
     jobs_[i].solo_flush_wait = stats.flush_wait;
     qos_[i].solo_time = stats.elapsed;
@@ -124,13 +175,9 @@ void ClusterSim::PrecomputeSolo() {
   if (recorder != nullptr) recorder->Install();
 }
 
-ClusterSim::SoloStats ClusterSim::SoloRun(const JobSpec& spec) {
-  const int ppn = std::max(options_.procs_per_node, 1);
-  const int width = std::clamp((spec.procs + ppn - 1) / ppn, 1,
-                               scenario_->cluster().node_count());
-  const Bytes bb_grant = ClampedDemand(spec);
-  const std::string key = SoloKey(spec, width, bb_grant);
-  if (auto it = solo_memo_.find(key); it != solo_memo_.end()) return it->second;
+ClusterSim::SoloStats ClusterSim::SoloRunUncached(const JobSpec& spec, const SoloShape& shape) {
+  const int width = shape.width;
+  const Bytes bb_grant = shape.bb_grant;
 
   workload::ScenarioOptions opts;
   opts.procs = scenario_->options().procs;
@@ -154,7 +201,6 @@ ClusterSim::SoloStats ClusterSim::SoloRun(const JobSpec& spec) {
   // Contention-free drain baseline: total seconds this job's flushes (BB ->
   // PFS drains, including the flush-on-close wait) take when it runs alone.
   stats.flush_wait = job.system != nullptr ? job.system->flush_stats().total_flush_time : 0;
-  solo_memo_.emplace(key, stats);
   return stats;
 }
 

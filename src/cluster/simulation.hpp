@@ -65,6 +65,12 @@ struct ClusterOptions {
   int procs_per_node = 4;
   /// Walltime estimate fed to backfill: solo time x fudge.
   double estimate_fudge = 3.0;
+  /// Worker threads for the solo-baseline warmup (each distinct job shape
+  /// is one full run on a private engine — embarrassingly parallel).
+  /// Results merge in deterministic first-appearance order, so cluster
+  /// traces, QoS tables and golden digests are bit-identical to the serial
+  /// (=1) path at any worker count; 0 means hardware concurrency.
+  int solo_workers = 1;
   TelemetryOptions telemetry;
 };
 
@@ -80,6 +86,12 @@ class ClusterSim {
   /// the crashed node (and degradation windows to the shared hardware).
   /// Call before Run(); the injector must outlive the ClusterSim.
   void AttachInjector(fault::Injector& injector);
+
+  /// Precomputes the memoized solo baselines without starting the cluster
+  /// run — one full contention-free run per distinct job shape, fanned
+  /// across ClusterOptions::solo_workers threads. Run() calls this lazily;
+  /// exposed so benches can time the warmup in isolation. Idempotent.
+  void WarmSoloBaselines();
 
   /// Precomputes solo baselines, schedules arrivals, drains the engine.
   void Run();
@@ -160,12 +172,23 @@ class ClusterSim {
     Time flush_wait = 0;
   };
 
+  /// Everything that shapes one solo-baseline run (and its memo key).
+  struct SoloShape {
+    std::string key;
+    int width = 1;        // nodes the solo run spreads over
+    Bytes bb_grant = 0;   // clamped BB demand the solo run is granted
+  };
+
   int NodesNeeded(const JobSpec& spec) const;
   Bytes ClampedDemand(const JobSpec& spec) const;
+  SoloShape ShapeOf(const JobSpec& spec) const;
   void PrecomputeSolo();
-  /// Runs `spec` alone on a private engine with the same cluster params;
-  /// memoized by job shape.
-  SoloStats SoloRun(const JobSpec& spec);
+  /// Runs `spec` alone on a private engine with the same cluster params.
+  /// Pure (reads only immutable cluster/option state, writes nothing
+  /// shared), so distinct shapes run concurrently on pool workers; the
+  /// result is a function of the shape alone, never of the thread that
+  /// computed it.
+  SoloStats SoloRunUncached(const JobSpec& spec, const SoloShape& shape);
 
   sim::Task JobLifecycle(int idx);
   /// Builds the job's system + client program on `sc` and runs the
@@ -212,6 +235,7 @@ class ClusterSim {
   Bytes peak_bb_reserved_ = 0;
   int arrived_ = 0;
   int completed_ = 0;
+  bool solo_warmed_ = false;
   std::map<std::string, SoloStats> solo_memo_;
 
   // Telemetry (populated only when options_.telemetry.enabled).

@@ -48,7 +48,8 @@ FlightRecorder::FlightRecorder(std::size_t capacity)
 FlightRecorder::~FlightRecorder() { Uninstall(); }
 
 void FlightRecorder::Install() {
-  assert(current_ == nullptr && "another obs::FlightRecorder is already installed");
+  assert(current_ == nullptr &&
+         "another obs::FlightRecorder is already installed on this thread");
   current_ = this;
 }
 

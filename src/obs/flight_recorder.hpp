@@ -1,12 +1,16 @@
 // Crash flight recorder: a fixed-size ring of the most recent notable
 // events, dumped to JSON exactly when something goes wrong.
 //
-// While a FlightRecorder is installed (same Install()/Current() pattern as
-// obs::Recorder), instrumented layers call FlightNote() at interesting
-// moments — fault injections, cluster job transitions, SLO violations —
-// and the installed obs::Recorder mirrors every span it records into the
-// ring. The ring costs a few KB regardless of run length; nothing is
-// written until Dump(reason) fires, which happens when
+// While a FlightRecorder is installed (same thread-local Install()/
+// Current() pattern as obs::Recorder), instrumented layers call
+// FlightNote() at interesting moments — fault injections, cluster job
+// transitions, SLO violations — and the installed obs::Recorder mirrors
+// every span it records into the ring. The binding is per thread: each
+// concurrent engine run (sim::WorkerPool) gets its own recorder handle —
+// bind one with ScopedBind on the worker — so notes from parallel runs
+// can never interleave in one ring. The ring costs a few KB regardless of
+// run length; nothing is written until Dump(reason) fires, which happens
+// when
 //   * a testkit invariant fails (testkit::RunScenario),
 //   * a fault:: node-crash handler runs (fault::Injector), or
 //   * uvsim / uvfuzz exit non-zero.
@@ -34,11 +38,29 @@ class FlightRecorder {
   FlightRecorder& operator=(const FlightRecorder&) = delete;
   ~FlightRecorder();
 
+  /// The calling thread's flight recorder (nullptr when none is bound).
   static FlightRecorder* Current() { return current_; }
-  /// Makes this the process-wide flight recorder; at most one at a time.
+  /// Binds this recorder to the calling thread; at most one per thread.
   void Install();
   void Uninstall();
+  /// True when this recorder is the calling thread's binding.
   bool installed() const { return current_ == this; }
+
+  /// RAII per-run binding: installs the recorder on the current thread for
+  /// the scope — the idiom for one worker-pool task observing one engine
+  /// run without touching any other thread's ring.
+  class [[nodiscard]] ScopedBind {
+   public:
+    explicit ScopedBind(FlightRecorder& recorder) : recorder_(&recorder) {
+      recorder_->Install();
+    }
+    ScopedBind(const ScopedBind&) = delete;
+    ScopedBind& operator=(const ScopedBind&) = delete;
+    ~ScopedBind() { recorder_->Uninstall(); }
+
+   private:
+    FlightRecorder* recorder_;
+  };
 
   /// Where Dump() writes; empty (the default) makes Dump a no-op so tests
   /// can install a recorder without scattering files.
@@ -70,7 +92,7 @@ class FlightRecorder {
     std::string detail;
   };
 
-  static inline FlightRecorder* current_ = nullptr;
+  static inline thread_local FlightRecorder* current_ = nullptr;
 
   std::size_t capacity_;
   std::vector<Entry> ring_;   // slot i of the ring; reused in place

@@ -98,7 +98,7 @@ std::string Track::TidName() const {
 Recorder::~Recorder() { Uninstall(); }
 
 void Recorder::Install() {
-  assert(current_ == nullptr && "another obs::Recorder is already installed");
+  assert(current_ == nullptr && "another obs::Recorder is already installed on this thread");
   current_ = this;
 }
 

@@ -1,4 +1,4 @@
-// Process-wide tracing and metrics recorder.
+// Tracing and metrics recorder, bound per thread.
 //
 // A Recorder collects three coordinated surfaces from one simulation run:
 //   * spans — scoped begin/end intervals (rank I/O calls, metadata RPC
@@ -149,14 +149,19 @@ class Recorder {
   Recorder& operator=(const Recorder&) = delete;
   ~Recorder();
 
-  /// The process-wide recorder instrumentation publishes into; nullptr
-  /// (the default) disables all recording.
+  /// The recorder instrumentation on *this thread* publishes into;
+  /// nullptr (the default) disables all recording. The binding is
+  /// thread-local: a sim::WorkerPool worker running a private engine
+  /// observes nothing unless it installs its own recorder, so concurrent
+  /// runs can never interleave spans or metrics.
   static Recorder* Current() { return current_; }
 
-  /// Makes this the process-wide recorder. At most one may be installed.
+  /// Binds this recorder to the calling thread. At most one per thread.
   void Install();
-  /// Detaches this recorder (no-op if it is not the installed one).
+  /// Detaches this recorder (no-op if it is not the one installed on the
+  /// calling thread).
   void Uninstall();
+  /// True when this recorder is the calling thread's binding.
   bool installed() const { return current_ == this; }
 
   // --- span tracing ------------------------------------------------------
@@ -266,7 +271,7 @@ class Recorder {
   /// Runs the prune hook (re-entrancy guarded); true when room was freed.
   bool MakeRoom();
 
-  static inline Recorder* current_ = nullptr;
+  static inline thread_local Recorder* current_ = nullptr;
 
   std::vector<SpanEvent> spans_;
   std::vector<CausalLink> links_;

@@ -231,6 +231,31 @@ TEST(ClusterSim, SameSeedReplaysBitIdentically) {
   EXPECT_NE(a.sim->JobTraceJson(), c.sim->JobTraceJson());
 }
 
+TEST(ClusterSim, ParallelSoloWarmupIsBitIdentical) {
+  // The solo-baseline warmup fans distinct job shapes across
+  // ClusterOptions::solo_workers pool threads; the memo merges in
+  // first-appearance order, so the full cluster run — trace JSON, QoS —
+  // must be bit-identical at any worker count.
+  MixParams params;
+  params.jobs = 10;
+  params.bb_bound = true;
+  std::string golden;
+  for (int workers : {1, 2, 8}) {
+    MachineShape shape;
+    workload::Scenario scenario(ShapeOptions(shape));
+    ClusterOptions options = ShapeClusterOptions(Policy::kBbAware, shape);
+    options.solo_workers = workers;
+    ClusterSim sim(scenario, SampleJobMix(11, params), options);
+    sim.Run();
+    if (golden.empty()) {
+      golden = sim.JobTraceJson();
+      ASSERT_FALSE(golden.empty());
+    } else {
+      EXPECT_EQ(golden, sim.JobTraceJson()) << "solo_workers=" << workers;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Conservation invariants across policies and mixes.
 

@@ -6,6 +6,7 @@
 
 #include <cctype>
 #include <string>
+#include <thread>
 
 #include "src/hw/probes.hpp"
 #include "src/obs/recorder.hpp"
@@ -193,6 +194,34 @@ TEST(Recorder, HelpersAreNoOpsWhenNotInstalled) {
   EXPECT_FALSE(obs::Enabled());
   obs::Count("hello", 100);  // dropped: recorder detached
   EXPECT_EQ(recorder.metrics().GetCounter("hello").value(), 2u);
+}
+
+TEST(Recorder, InstallationIsPerThread) {
+  // Worker-pool isolation: a recorder installed on the main thread must be
+  // invisible to worker threads, whose runs observe nothing unless they
+  // install their own recorder.
+  obs::Recorder main_rec;
+  main_rec.Install();
+  obs::Count("main.counter", 1);
+
+  obs::Recorder worker_rec;
+  std::thread worker([&worker_rec] {
+    EXPECT_FALSE(obs::Enabled());
+    obs::Count("worker.dropped", 7);  // no recorder bound on this thread
+    worker_rec.Install();
+    EXPECT_EQ(obs::Recorder::Current(), &worker_rec);
+    obs::Count("worker.counter", 3);
+    worker_rec.Uninstall();
+  });
+  worker.join();
+
+  EXPECT_EQ(obs::Recorder::Current(), &main_rec);
+  obs::Count("main.counter", 1);
+  main_rec.Uninstall();
+  EXPECT_EQ(main_rec.metrics().GetCounter("main.counter").value(), 2u);
+  EXPECT_EQ(main_rec.metrics().GetCounter("worker.counter").value(), 0u);
+  EXPECT_EQ(main_rec.metrics().GetCounter("worker.dropped").value(), 0u);
+  EXPECT_EQ(worker_rec.metrics().GetCounter("worker.counter").value(), 3u);
 }
 
 TEST(Recorder, SpanTimerRecordsEngineTime) {

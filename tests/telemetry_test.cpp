@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/cluster/arrival.hpp"
@@ -273,6 +274,40 @@ TEST(FlightRecorder, NoteWithoutInstalledRecorderIsSafe) {
   ASSERT_EQ(obs::FlightRecorder::Current(), nullptr);
   obs::FlightNote(0.0, "test", "dropped on the floor");
   ASSERT_TRUE(obs::FlightDump("nothing-installed").ok());
+}
+
+TEST(FlightRecorder, BindingIsPerThread) {
+  // Regression for the old process-wide singleton: a recorder installed on
+  // one thread must be invisible to every other thread, so concurrent
+  // worker-pool runs can never interleave notes into one ring.
+  obs::FlightRecorder main_ring(8);
+  main_ring.Install();
+  obs::FlightNote(1.0, "test", "main-before");
+
+  obs::FlightRecorder worker_ring(8);
+  std::thread worker([&worker_ring] {
+    // A fresh thread starts unbound even while the main thread has a
+    // recorder installed.
+    EXPECT_EQ(obs::FlightRecorder::Current(), nullptr);
+    obs::FlightNote(2.0, "test", "dropped-unbound");
+    {
+      obs::FlightRecorder::ScopedBind bind(worker_ring);
+      EXPECT_EQ(obs::FlightRecorder::Current(), &worker_ring);
+      obs::FlightNote(3.0, "test", "worker-note");
+    }
+    EXPECT_EQ(obs::FlightRecorder::Current(), nullptr);
+  });
+  worker.join();
+
+  // The worker's binding and notes never touched the main thread's ring.
+  EXPECT_EQ(obs::FlightRecorder::Current(), &main_ring);
+  obs::FlightNote(4.0, "test", "main-after");
+  main_ring.Uninstall();
+  EXPECT_EQ(main_ring.total_noted(), 2u);
+  EXPECT_EQ(worker_ring.total_noted(), 1u);
+  const std::string json = main_ring.ToJson("unit-test");
+  EXPECT_EQ(json.find("worker-note"), std::string::npos);
+  EXPECT_EQ(json.find("dropped-unbound"), std::string::npos);
 }
 
 // --- cluster integration ------------------------------------------------

@@ -1,0 +1,133 @@
+// Tests for sim::WorkerPool: deterministic result identity of ParallelMap
+// under any worker count, the seed-sweep determinism property
+// (testkit::RunSeedBatch at -j 1/2/8 reports identical results), shutdown
+// with pending tasks, and exception propagation out of a worker.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/sim/worker_pool.hpp"
+#include "src/testkit/batch.hpp"
+
+namespace uvs {
+namespace {
+
+using sim::WorkerPool;
+
+TEST(WorkerPool, ClampsToAtLeastOneWorker) {
+  WorkerPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 1);
+  WorkerPool neg(-3);
+  EXPECT_EQ(neg.worker_count(), 1);
+  EXPECT_GE(WorkerPool::HardwareThreads(), 1);
+}
+
+TEST(WorkerPool, ParallelMapReturnsResultsInIndexOrder) {
+  for (int workers : {1, 2, 8}) {
+    WorkerPool pool(workers);
+    // Stagger task durations so completion order differs from submission
+    // order whenever more than one worker runs.
+    const std::vector<int> out = sim::ParallelMap<int>(pool, 64, [](std::size_t i) {
+      if (i % 7 == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1 + static_cast<int>(i % 3)));
+      return static_cast<int>(i * i);
+    });
+    ASSERT_EQ(out.size(), 64u) << "workers=" << workers;
+    for (std::size_t i = 0; i < out.size(); ++i)
+      EXPECT_EQ(out[i], static_cast<int>(i * i)) << "workers=" << workers << " i=" << i;
+    pool.WaitIdle();
+    EXPECT_EQ(pool.executed(), 64u);
+    EXPECT_EQ(pool.discarded(), 0u);
+  }
+}
+
+TEST(WorkerPool, ParallelForRunsEveryIndexExactlyOnce) {
+  WorkerPool pool(4);
+  std::vector<std::atomic<int>> hits(128);
+  sim::ParallelFor(pool, hits.size(), [&hits](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(WorkerPool, ShutdownDiscardsPendingTasksAndJoins) {
+  WorkerPool pool(2);
+  std::atomic<int> ran{0};
+  // Far more slow tasks than workers, so Shutdown() finds a deep queue.
+  for (int i = 0; i < 64; ++i)
+    pool.Submit([&ran] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      ++ran;
+    });
+  pool.Shutdown();
+  EXPECT_EQ(pool.submitted(), 64u);
+  EXPECT_EQ(pool.executed() + pool.discarded(), pool.submitted());
+  EXPECT_GT(pool.discarded(), 0u);
+  EXPECT_EQ(pool.executed(), static_cast<std::uint64_t>(ran.load()));
+  // Idempotent, and Submit() after Shutdown() is an error.
+  pool.Shutdown();
+  EXPECT_THROW(pool.Submit([] {}), std::runtime_error);
+}
+
+TEST(WorkerPool, LowestIndexExceptionPropagatesAfterAllTasksSettle) {
+  WorkerPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    sim::ParallelFor(pool, 16, [&completed](std::size_t i) {
+      if (i == 11) throw std::runtime_error("boom 11");
+      if (i == 3) throw std::runtime_error("boom 3");
+      ++completed;
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 3");
+  }
+  // Every non-throwing task still ran: the fan-out settles before the
+  // rethrow instead of abandoning in-flight work.
+  EXPECT_EQ(completed.load(), 14);
+}
+
+TEST(WorkerPool, StealingMovesWorkBetweenQueues) {
+  WorkerPool pool(4);
+  // All slow tasks land on home queues round-robin; with one long task
+  // pinning a worker, the others must steal to drain the backlog.
+  sim::ParallelFor(pool, 64, [](std::size_t i) {
+    std::this_thread::sleep_for(std::chrono::microseconds(i % 4 == 0 ? 500 : 50));
+  });
+  pool.WaitIdle();
+  EXPECT_EQ(pool.executed(), 64u);
+}
+
+// --- the determinism property the whole design hangs on -------------------
+
+TEST(WorkerPoolProperty, SeedBatchIsIdenticalAtAnyWorkerCount) {
+  constexpr std::uint64_t kSeeds = 6;
+  testkit::BatchOptions serial;
+  serial.workers = 1;
+  const testkit::BatchResult golden = testkit::RunSeedBatch(100, kSeeds, serial);
+  ASSERT_EQ(golden.ran_prefix(), kSeeds) << "reference sweep should be failure-free";
+
+  for (int workers : {2, 8}) {
+    testkit::BatchOptions fan = serial;
+    fan.workers = workers;
+    const testkit::BatchResult got = testkit::RunSeedBatch(100, kSeeds, fan);
+    ASSERT_EQ(got.runs.size(), golden.runs.size()) << "workers=" << workers;
+    for (std::size_t i = 0; i < got.runs.size(); ++i) {
+      const testkit::SeedRun& a = golden.runs[i];
+      const testkit::SeedRun& b = got.runs[i];
+      EXPECT_EQ(a.seed, b.seed);
+      EXPECT_EQ(a.ran, b.ran) << "workers=" << workers << " seed=" << a.seed;
+      EXPECT_EQ(a.ok, b.ok) << "workers=" << workers << " seed=" << a.seed;
+      EXPECT_EQ(a.spec.ToString(), b.spec.ToString())
+          << "workers=" << workers << " seed=" << a.seed;
+      EXPECT_EQ(a.sim_time, b.sim_time) << "workers=" << workers << " seed=" << a.seed;
+      EXPECT_EQ(a.file_sizes, b.file_sizes) << "workers=" << workers << " seed=" << a.seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace uvs

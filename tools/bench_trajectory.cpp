@@ -6,11 +6,20 @@
 // performance; docs/PERFORMANCE.md documents the schema and workflow.
 //
 // Usage:
-//   bench_trajectory [--smoke] [--label NAME] [--out PATH]
+//   bench_trajectory [--smoke] [--label NAME] [--out PATH] [-j N]
 //
 //   --smoke   smaller event counts / payloads (CI-friendly, seconds)
 //   --label   entry label (default "run")
 //   --out     output JSON path (default BENCH_sim.json in the CWD)
+//   -j N      workers for the parallel-runner metrics (0 = all hardware
+//             threads; default 0)
+//
+// Besides the kernel microbenchmarks and figure smokes, the entry carries
+// parallel-runner metrics: the same fuzz seed sweep and cluster
+// solo-baseline warmup timed serially and again fanned across a
+// sim::WorkerPool, plus the speedup ratios. Both parallel paths are
+// bit-identical to their serial twins by construction (see
+// docs/PERFORMANCE.md), so the ratio is pure scheduling gain.
 //
 // Compile with -DUVS_BENCH_NO_CANCEL to build against a kernel that
 // predates Engine::ScheduleCancellable (used to produce "before" entries
@@ -25,10 +34,15 @@
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "src/cluster/arrival.hpp"
+#include "src/cluster/simulation.hpp"
 #include "src/sim/engine.hpp"
 #include "src/sim/fair_share.hpp"
 #include "src/sim/task.hpp"
+#include "src/sim/worker_pool.hpp"
+#include "src/testkit/batch.hpp"
 #include "src/workload/hdf_micro.hpp"
+#include "src/workload/scenario.hpp"
 #include "src/workload/vpic.hpp"
 
 using namespace uvs;
@@ -145,6 +159,52 @@ double VpicSpillSmokeWallSec(int procs, int steps, Bytes bytes_per_var) {
   return Seconds(t0, t1);
 }
 
+// --- parallel-runner metrics (serial vs WorkerPool wall clock) ----------
+
+double FuzzSweepWallSec(int workers, std::uint64_t seeds) {
+  testkit::BatchOptions batch;
+  batch.workers = workers;
+  const auto t0 = Clock::now();
+  const testkit::BatchResult sweep = testkit::RunSeedBatch(1, seeds, batch);
+  const auto t1 = Clock::now();
+  if (sweep.first_failure() < sweep.runs.size())
+    std::fprintf(stderr, "bench_trajectory: fuzz sweep seed %llu FAILED (timing still reported)\n",
+                 static_cast<unsigned long long>(
+                     sweep.runs[sweep.first_failure()].seed));
+  return Seconds(t0, t1);
+}
+
+double SoloWarmupWallSec(int workers, int mix_jobs) {
+  // Same testkit-scale contended machine uvsim --cluster builds, so the
+  // warmup runs the shapes a real cluster sweep would.
+  hw::ClusterParams params = hw::CoriPreset(256, 4);
+  params.node.cores = 8;
+  params.node.dram_cache_capacity = 32_MiB;
+  params.bb.bb_nodes = 2;
+  params.bb.capacity_per_bb_node = 64_MiB;
+  params.pfs.osts = 4;
+  params.seed = 42;
+
+  workload::ScenarioOptions options;
+  options.procs = 256;
+  options.policy = sched::PlacementPolicy::kInterferenceAware;
+  options.cluster_params = params;
+  workload::Scenario scenario(options);
+
+  cluster::MixParams mix;
+  mix.jobs = mix_jobs;
+  std::vector<cluster::JobSpec> jobs = cluster::SampleJobMix(42, mix);
+
+  cluster::ClusterOptions cluster_options;
+  cluster_options.base_config.chunk_size = 1_MiB;
+  cluster_options.solo_workers = workers;
+  cluster::ClusterSim sim(scenario, std::move(jobs), cluster_options);
+  const auto t0 = Clock::now();
+  sim.WarmSoloBaselines();
+  const auto t1 = Clock::now();
+  return Seconds(t0, t1);
+}
+
 // --- JSON output --------------------------------------------------------
 
 struct Metric {
@@ -218,6 +278,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   std::string label = "run";
   std::string out_path = "BENCH_sim.json";
+  int jobs = 0;  // parallel-runner workers; 0 = all hardware threads
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -225,11 +286,18 @@ int main(int argc, char** argv) {
       label = argv[++i];
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if ((std::strcmp(argv[i], "-j") == 0 || std::strcmp(argv[i], "--jobs") == 0) &&
+               i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "-j", 2) == 0 && argv[i][2] != '\0') {
+      jobs = std::atoi(argv[i] + 2);
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--label NAME] [--out PATH]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--smoke] [--label NAME] [--out PATH] [-j N]\n",
+                   argv[0]);
       return 2;
     }
   }
+  const int workers = jobs > 0 ? jobs : sim::WorkerPool::HardwareThreads();
 
   const long chain_events = smoke ? 400000 : 2000000;
   const int sj_rounds = smoke ? 5 : 30;
@@ -259,6 +327,26 @@ int main(int argc, char** argv) {
     std::snprintf(name, sizeof(name), "vpic_spill_smoke_wall_sec_p%d", procs);
     add(name, VpicSpillSmokeWallSec(procs, vpic_steps, vpic_var_bytes));
   }
+  // Extreme-scale smoke: 8192 ranks with a small per-rank payload, so the
+  // cost is event-scheduling volume rather than simulated bytes.
+  add("fig5a_ia_smoke_wall_sec_p8192", Fig5aSmokeWallSec(8192, smoke ? 1_MiB : 4_MiB));
+
+  // Parallel-runner metrics: identical work timed serially and fanned
+  // across the WorkerPool. Speedup ~1.0 on a single-core host.
+  const std::uint64_t sweep_seeds = smoke ? 32 : 256;
+  const int warmup_mix = smoke ? 12 : 24;
+  add("parallel_workers", workers);
+  add("hw_threads", sim::WorkerPool::HardwareThreads());
+  const double fuzz_serial = FuzzSweepWallSec(1, sweep_seeds);
+  const double fuzz_parallel = FuzzSweepWallSec(workers, sweep_seeds);
+  add("parallel_fuzz_sweep_serial_wall_sec", fuzz_serial);
+  add("parallel_fuzz_sweep_parallel_wall_sec", fuzz_parallel);
+  add("parallel_fuzz_sweep_speedup", fuzz_parallel > 0 ? fuzz_serial / fuzz_parallel : 0);
+  const double solo_serial = SoloWarmupWallSec(1, warmup_mix);
+  const double solo_parallel = SoloWarmupWallSec(workers, warmup_mix);
+  add("parallel_solo_warmup_serial_wall_sec", solo_serial);
+  add("parallel_solo_warmup_parallel_wall_sec", solo_parallel);
+  add("parallel_solo_warmup_speedup", solo_parallel > 0 ? solo_serial / solo_parallel : 0);
 
   const std::string entry = FormatEntry(label, smoke ? "smoke" : "full", metrics);
   if (!AppendEntry(out_path, entry)) return 1;

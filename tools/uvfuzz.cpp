@@ -11,8 +11,18 @@
 // command.
 //
 //   uvfuzz --seeds=200            # fuzz 200 seeds
+//   uvfuzz --seeds=256 -j 8       # same sweep fanned across 8 workers
 //   uvfuzz --seed=17              # run exactly seed 17
 //   uvfuzz --spec='procs=4 ...'   # replay a (shrunk) spec verbatim
+//
+// `-j N` drains the seed sweep across N pool workers
+// (testkit::RunSeedBatch) with byte-identical output to the serial sweep:
+// results print in seed order, the first (lowest) failing seed is the one
+// reported and shrunk, and --time-budget is one shared deadline for the
+// whole sweep rather than per-worker. Each worker runs its scenarios with
+// no recorder bound (thread-local obs:: isolation); the failing seed is
+// replayed on the main thread, where the flight recorder is bound, to
+// regenerate the ring before dumping it.
 //
 // Exit codes: 0 all runs clean, 1 invariant violation or escaped
 // exception, 2 usage error.
@@ -24,6 +34,7 @@
 
 #include "src/common/log.hpp"
 #include "src/obs/flight_recorder.hpp"
+#include "src/testkit/batch.hpp"
 #include "src/testkit/runner.hpp"
 #include "src/testkit/scenario_spec.hpp"
 #include "src/testkit/shrink.hpp"
@@ -38,7 +49,8 @@ struct Args {
   bool single_seed = false;
   std::uint64_t seed = 0;
   std::string spec;          // explicit spec replay; overrides seeds
-  double time_budget = 0.0;  // wall seconds; 0 = unlimited
+  double time_budget = 0.0;  // wall seconds; 0 = unlimited (shared across workers)
+  int jobs = 1;              // worker threads for the seed sweep; 0 = hw
   bool shrink = true;
   bool differential = true;
   bool quiet = false;
@@ -52,7 +64,11 @@ void PrintUsage(std::FILE* out) {
                "  --base-seed=S      first seed (default 1)\n"
                "  --seed=S           run exactly one seed\n"
                "  --spec='k=v ...'   replay one explicit scenario spec\n"
-               "  --time-budget=S    stop fuzzing after S wall-clock seconds\n"
+               "  --time-budget=S    stop fuzzing after S wall-clock seconds (one\n"
+               "                     shared deadline — -j does not multiply it)\n"
+               "  -j N, --jobs=N     fan the sweep across N worker threads with\n"
+               "                     output identical to the serial sweep (0 = all\n"
+               "                     hardware threads; default 1)\n"
                "  --no-shrink        do not shrink a failing scenario\n"
                "  --no-differential  skip the Lustre differential read-back\n"
                "  --flight-recorder[=FILE]\n"
@@ -84,6 +100,11 @@ int Parse(int argc, char** argv, Args& args) {
     } else if (ParseFlag(arg, "--spec", &value)) args.spec = value;
     else if (ParseFlag(arg, "--time-budget", &value))
       args.time_budget = std::atof(value.c_str());
+    else if (ParseFlag(arg, "--jobs", &value)) args.jobs = std::atoi(value.c_str());
+    else if (std::strcmp(arg, "-j") == 0 && i + 1 < argc)
+      args.jobs = std::atoi(argv[++i]);
+    else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0')
+      args.jobs = std::atoi(arg + 2);
     else if (std::strcmp(arg, "--no-shrink") == 0) args.shrink = false;
     else if (std::strcmp(arg, "--no-differential") == 0) args.differential = false;
     else if (std::strcmp(arg, "--flight-recorder") == 0) args.flight = "flight-recorder.json";
@@ -174,21 +195,48 @@ int main(int argc, char** argv) {
       return RunOne(testkit::SampleScenario(args.seed), args, options) ? 0 : 1;
     }
 
-    const auto start = std::chrono::steady_clock::now();
+    testkit::BatchOptions batch;
+    batch.run = options;
+    batch.workers = args.jobs;
+    batch.time_budget = args.time_budget;
+    const testkit::BatchResult sweep = testkit::RunSeedBatch(args.base_seed, args.seeds, batch);
+
+    // Results in seed order; everything up to the first failure ran.
     std::uint64_t completed = 0;
-    for (std::uint64_t i = 0; i < args.seeds; ++i) {
-      if (args.time_budget > 0) {
-        const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
-        if (elapsed.count() >= args.time_budget) {
-          std::printf("time budget exhausted after %llu/%llu seeds\n",
-                      static_cast<unsigned long long>(completed),
-                      static_cast<unsigned long long>(args.seeds));
-          break;
+    for (const testkit::SeedRun& run : sweep.runs) {
+      if (!run.ran) break;
+      if (run.spans_dropped > 0)
+        std::fprintf(stderr,
+                     "uvfuzz: warning: seed %llu dropped %llu spans at the recorder "
+                     "cap — trace detail is incomplete\n",
+                     static_cast<unsigned long long>(run.seed),
+                     static_cast<unsigned long long>(run.spans_dropped));
+      if (!run.ok) {
+        // Replay on this thread — where the flight recorder is bound — to
+        // regenerate the ring, print the report, dump, and shrink. The
+        // simulation is deterministic, so the replay reproduces the
+        // worker's failure exactly.
+        if (RunOne(run.spec, args, options)) {
+          std::fprintf(stderr,
+                       "uvfuzz: seed %llu failed on a worker but replayed clean — "
+                       "parallel/serial divergence, report this\n",
+                       static_cast<unsigned long long>(run.seed));
+          std::printf("spec: %s\n", run.spec.ToString().c_str());
         }
+        return 1;
       }
-      if (!RunOne(testkit::SampleScenario(args.base_seed + i), args, options)) return 1;
+      if (!args.quiet)
+        std::printf("seed %llu ok (%s on %s, %d procs, %.1f MiB, sim %.3fs)\n",
+                    static_cast<unsigned long long>(run.seed),
+                    testkit::WorkloadKindName(run.spec.workload),
+                    testkit::SystemKindName(run.spec.system), run.spec.procs,
+                    static_cast<double>(run.total_bytes()) / (1_MiB), run.sim_time);
       ++completed;
     }
+    if (sweep.deadline_hit)
+      std::printf("time budget exhausted after %llu/%llu seeds\n",
+                  static_cast<unsigned long long>(completed),
+                  static_cast<unsigned long long>(args.seeds));
     std::printf("uvfuzz: %llu scenarios, all invariants hold\n",
                 static_cast<unsigned long long>(completed));
     return 0;

@@ -78,6 +78,7 @@ struct Args {
   int bb_mb = 64;                // BB capacity per BB node (MiB)
   int osts = 4;                  // PFS OSTs (few, so spilling hurts)
   int ppn = 4;                   // client ranks per allocated node
+  int solo_jobs = 1;             // solo-baseline warmup worker threads (0 = hw)
   std::string job_file;          // input job trace (at=.. procs=.. lines)
   std::string job_trace;         // output JSON job trace path
 };
@@ -143,6 +144,10 @@ void PrintUsage(std::FILE* out) {
                "  --osts=N                        cluster: PFS OSTs (default 4 — few, so\n"
                "                                  spilling past the BB hurts)\n"
                "  --ppn=N                         cluster: client ranks per node (default 4)\n"
+               "  --solo-jobs=N                   cluster: worker threads for the solo-\n"
+               "                                  baseline warmup (0 = all hardware\n"
+               "                                  threads; default 1). Output is identical\n"
+               "                                  at any worker count\n"
                "  --job-file=FILE                 cluster: read the mix from a job trace\n"
                "                                  (lines of 'at=T procs=N [kind=..] ...')\n"
                "  --job-trace=FILE                cluster: write the JSON job trace\n"
@@ -198,6 +203,7 @@ Args Parse(int argc, char** argv) {
     else if (ParseFlag(arg, "--bb-mb", &value)) args.bb_mb = std::atoi(value.c_str());
     else if (ParseFlag(arg, "--osts", &value)) args.osts = std::atoi(value.c_str());
     else if (ParseFlag(arg, "--ppn", &value)) args.ppn = std::atoi(value.c_str());
+    else if (ParseFlag(arg, "--solo-jobs", &value)) args.solo_jobs = std::atoi(value.c_str());
     else if (ParseFlag(arg, "--job-file", &value)) args.job_file = value;
     else if (ParseFlag(arg, "--job-trace", &value)) args.job_trace = value;
     else if (std::strcmp(arg, "--read") == 0) args.read = true;
@@ -288,6 +294,7 @@ int RunCluster(const Args& args) {
   cluster::ClusterOptions cluster_options;
   cluster_options.policy = *policy;
   cluster_options.procs_per_node = args.ppn;
+  cluster_options.solo_workers = args.solo_jobs;
   // Jobs at this scale write 1-8 MiB per rank; the Cori-scale 32 MiB
   // default chunk would make every per-rank BB log come out below one
   // chunk and silently drop the BB layer even under a full reservation.
