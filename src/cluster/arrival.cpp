@@ -52,6 +52,14 @@ std::vector<JobSpec> SampleJobMix(std::uint64_t seed, const MixParams& params) {
     }
     jobs.push_back(job);
   }
+  // Appended second pass (sampler stability: zero extra draws for classic
+  // mixes, and historical seeds keep their jobs when ec_fraction is 0).
+  if (params.ec_fraction > 0) {
+    for (JobSpec& job : jobs) {
+      if (job.system != JobSystem::kUniviStor) continue;
+      job.ec = Chance(rng, params.ec_fraction);
+    }
+  }
   return jobs;
 }
 
@@ -91,6 +99,8 @@ Result<JobSpec> ParseJobLine(const std::string& line) {
         job.compute_time = std::stod(val);
       } else if (key == "layer") {
         job.first_layer = std::stoi(val);
+      } else if (key == "ec") {
+        job.ec = std::stoi(val) != 0;
       } else {
         return InvalidArgumentError("unknown job key: " + key);
       }

@@ -21,6 +21,10 @@ struct MixParams {
   bool bb_bound = false;
   /// Fraction of jobs running the Lustre baseline instead of UniviStor.
   double lustre_fraction = 0.0;
+  /// Fraction of UniviStor jobs whose PFS files are erasure-coded. The
+  /// draw happens in a second pass appended after all classic draws, so
+  /// the default 0.0 leaves historical mixes bit-identical.
+  double ec_fraction = 0.0;
 };
 
 /// Deterministically samples a job mix: same (seed, params) -> same mix.
@@ -29,9 +33,10 @@ struct MixParams {
 std::vector<JobSpec> SampleJobMix(std::uint64_t seed, const MixParams& params);
 
 /// Parses one trace line of the form
-///   `at=0.25 kind=vpic system=univistor procs=8 mb=4 steps=2 layer=0`
+///   `at=0.25 kind=vpic system=univistor procs=8 mb=4 steps=2 layer=0 ec=1`
 /// (any order; `at` and `procs` required, the rest defaulted). `compute`
-/// gives the inter-step compute seconds for vpic jobs.
+/// gives the inter-step compute seconds for vpic jobs; `ec` erasure-codes
+/// the job's PFS files (UniviStor jobs only).
 Result<JobSpec> ParseJobLine(const std::string& line);
 
 /// Parses a whole trace (one job per non-empty line; '#' comments),

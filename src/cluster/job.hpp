@@ -41,6 +41,9 @@ struct JobSpec {
   /// First cache layer of the job's UniviStor instance: 0 = DRAM cascade,
   /// 2 = burst buffer first (BB-bound), 3 = straight to PFS.
   int first_layer = 0;
+  /// Erasure-code this job's PFS files (UniviStor only): the job's config
+  /// enables Config::ec so its flushes stripe k data + m parity shards.
+  bool ec = false;
 
   std::string Name() const { return "job" + std::to_string(id); }
   /// Total bytes the job writes.

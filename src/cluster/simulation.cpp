@@ -32,7 +32,7 @@ std::string SoloKey(const JobSpec& spec, int width, Bytes bb_grant) {
          std::to_string(spec.procs) + "/b" + std::to_string(spec.bytes_per_rank) + "/s" +
          std::to_string(spec.steps) + "/c" + FmtDouble(spec.compute_time) + "/l" +
          std::to_string(spec.first_layer) + "/w" + std::to_string(width) + "/g" +
-         std::to_string(bb_grant);
+         std::to_string(bb_grant) + "/e" + (spec.ec ? "1" : "0");
 }
 
 }  // namespace
@@ -263,6 +263,9 @@ sim::Task ClusterSim::ExecuteJob(workload::Scenario& sc, JobState& job, bool liv
     // means "the whole BB" — 1 byte is below any chunk size, so the
     // cascade drops the BB log and spills to the PFS instead.
     cfg.bb_capacity_limit = std::max<Bytes>(job.bb_grant, 1);
+    // Per-job EC opt-in layers onto the base config's shard counts (which
+    // default to 4+2; Pfs::Create clamps to the machine's OST count).
+    if (spec.ec) cfg.ec.enabled = true;
     job.system =
         std::make_unique<univistor::UniviStor>(sc.runtime(), sc.pfs(), sc.workflow(), cfg);
     if (live) {

@@ -59,6 +59,29 @@ void Injector::Apply(const FaultEvent& ev) {
       obs::Count("fault.timeout_windows");
       obs::FlightNote(now, "fault", "transfer-timeout", static_cast<double>(ev.target));
       break;
+    case EventKind::kOstFail:
+      if (cluster_ != nullptr && ev.target >= cluster_->pfs().ost_count()) break;
+      ++stats_.ost_failures;
+      obs::Count("fault.ost_failures");
+      obs::FlightNote(now, "fault", "ost-fail", static_cast<double>(ev.target));
+      for (const auto& handler : ost_fail_handlers_)
+        if (handler) handler(ev.target);
+      break;
+    case EventKind::kLatentError:
+      if (cluster_ != nullptr && ev.target >= cluster_->pfs().ost_count()) break;
+      ++stats_.latent_errors;
+      obs::Count("fault.latent_errors");
+      obs::FlightNote(now, "fault", "latent-error", static_cast<double>(ev.target));
+      for (const auto& handler : latent_handlers_)
+        if (handler) handler(ev.target);
+      break;
+    case EventKind::kScrub:
+      ++stats_.scrub_passes;
+      obs::Count("fault.scrub_passes");
+      obs::FlightNote(now, "fault", "scrub", 0.0);
+      for (const auto& handler : scrub_handlers_)
+        if (handler) handler();
+      break;
   }
 }
 
@@ -83,6 +106,9 @@ void Injector::EndWindow(const FaultEvent& ev) {
       if (active_timeouts_ > 0) --active_timeouts_;
       break;
     case EventKind::kNodeCrash:
+    case EventKind::kOstFail:
+    case EventKind::kLatentError:
+    case EventKind::kScrub:
       break;
   }
 }

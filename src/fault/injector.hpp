@@ -22,6 +22,9 @@ class Injector {
     std::uint64_t ost_windows = 0;
     std::uint64_t bb_windows = 0;
     std::uint64_t timeout_windows = 0;
+    std::uint64_t ost_failures = 0;
+    std::uint64_t latent_errors = 0;
+    std::uint64_t scrub_passes = 0;
   };
 
   Injector(sim::Engine& engine, Plan plan) : engine_(&engine), plan_(std::move(plan)) {}
@@ -47,6 +50,24 @@ class Injector {
     crash_handlers_.push_back(std::move(handler));
   }
 
+  /// Called with the OST index when a kOstFail event fires (typically
+  /// storage::Pfs::FailOst plus a rebuild spawn). Optional.
+  void AddOstFailHandler(std::function<void(int)> handler) {
+    ost_fail_handlers_.push_back(std::move(handler));
+  }
+
+  /// Called with the OST index when a kLatentError event fires (typically
+  /// storage::Pfs::InjectLatentError). Optional.
+  void AddLatentHandler(std::function<void(int)> handler) {
+    latent_handlers_.push_back(std::move(handler));
+  }
+
+  /// Called when a kScrub event fires; expected to spawn a scrub pass on
+  /// the engine. Optional.
+  void AddScrubHandler(std::function<void()> handler) {
+    scrub_handlers_.push_back(std::move(handler));
+  }
+
   /// Schedules every plan event on the engine. Call once, before Run();
   /// events whose time already passed fire immediately. Targets out of
   /// range for the attached cluster are skipped (counted in Stats as
@@ -69,6 +90,9 @@ class Injector {
   Plan plan_;
   hw::Cluster* cluster_ = nullptr;
   std::vector<std::function<void(int)>> crash_handlers_;
+  std::vector<std::function<void(int)>> ost_fail_handlers_;
+  std::vector<std::function<void(int)>> latent_handlers_;
+  std::vector<std::function<void()>> scrub_handlers_;
   Stats stats_;
   int active_timeouts_ = 0;
   bool armed_ = false;

@@ -78,9 +78,22 @@ const char* EventKindName(EventKind kind) {
       return "bb";
     case EventKind::kTransferTimeout:
       return "timeout";
+    case EventKind::kOstFail:
+      return "ostfail";
+    case EventKind::kLatentError:
+      return "latent";
+    case EventKind::kScrub:
+      return "scrub";
   }
   return "?";
 }
+
+namespace {
+bool DurationLess(EventKind kind) {
+  return kind == EventKind::kNodeCrash || kind == EventKind::kOstFail ||
+         kind == EventKind::kLatentError || kind == EventKind::kScrub;
+}
+}  // namespace
 
 std::string Plan::ToString() const {
   std::string out;
@@ -89,7 +102,7 @@ std::string Plan::ToString() const {
     out += EventKindName(ev.kind);
     out += '@';
     out += Num(ev.at);
-    if (ev.kind != EventKind::kNodeCrash) out += '+' + Num(ev.duration);
+    if (!DurationLess(ev.kind)) out += '+' + Num(ev.duration);
     switch (ev.kind) {
       case EventKind::kNodeCrash:
         out += ":node=" + std::to_string(ev.target);
@@ -102,7 +115,12 @@ std::string Plan::ToString() const {
         if (ev.target >= 0) out += "bb=" + std::to_string(ev.target) + ',';
         out += "factor=" + Num(ev.factor);
         break;
+      case EventKind::kOstFail:
+      case EventKind::kLatentError:
+        out += ":ost=" + std::to_string(ev.target);
+        break;
       case EventKind::kTransferTimeout:
+      case EventKind::kScrub:
         break;
     }
   }
@@ -160,6 +178,21 @@ Result<Plan> ParsePlan(const std::string& spec) {
     } else if (kind == "timeout") {
       ev.kind = EventKind::kTransferTimeout;
       if (!kvs.empty()) return BadEvent(token, "timeout takes no arguments");
+    } else if (kind == "ostfail" || kind == "latent") {
+      ev.kind = kind[0] == 'o' ? EventKind::kOstFail : EventKind::kLatentError;
+      ev.duration = 0.0;
+      bool have_ost = false;
+      if (!ForEachKv(kvs, [&](const std::string& k, const std::string& v) {
+            if (k != "ost") return false;
+            have_ost = true;
+            return ParseInt(v, &ev.target);
+          }))
+        return BadEvent(token, "expected ost=K");
+      if (!have_ost || ev.target < 0) return BadEvent(token, "expected ost=K");
+    } else if (kind == "scrub") {
+      ev.kind = EventKind::kScrub;
+      ev.duration = 0.0;
+      if (!kvs.empty()) return BadEvent(token, "scrub takes no arguments");
     } else {
       return BadEvent(token, "unknown event kind");
     }
@@ -173,7 +206,7 @@ Result<Plan> ParsePlan(const std::string& spec) {
   return plan;
 }
 
-Plan SamplePlan(Rng& rng, int nodes, int osts, int bb_nodes) {
+Plan SamplePlan(Rng& rng, int nodes, int osts, int bb_nodes, bool ec) {
   // Discrete menus keep plans printable/round-trippable and land the
   // windows inside the short simulated runs the fuzzer drives.
   static constexpr double kStarts[] = {0.0005, 0.001, 0.002, 0.005, 0.01, 0.05};
@@ -188,7 +221,18 @@ Plan SamplePlan(Rng& rng, int nodes, int osts, int bb_nodes) {
   for (int i = 0; i < count; ++i) {
     FaultEvent ev;
     ev.at = pick(kStarts, std::size(kStarts));
-    switch (rng.NextBelow(4)) {
+    switch (rng.NextBelow(ec ? 7 : 4)) {
+      case 4:
+        ev.kind = EventKind::kOstFail;
+        ev.target = static_cast<int>(rng.NextBelow(static_cast<std::uint64_t>(osts)));
+        break;
+      case 5:
+        ev.kind = EventKind::kLatentError;
+        ev.target = static_cast<int>(rng.NextBelow(static_cast<std::uint64_t>(osts)));
+        break;
+      case 6:
+        ev.kind = EventKind::kScrub;
+        break;
       case 0:
         ev.kind = EventKind::kNodeCrash;
         ev.target = static_cast<int>(rng.NextBelow(static_cast<std::uint64_t>(nodes)));

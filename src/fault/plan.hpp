@@ -12,6 +12,11 @@
 //   bb@T+D:bb=K,factor=F      only BB node K is stalled
 //   timeout@T+D               flush transfers time out (and are retried
 //                             with backoff) while the window is open
+//   ostfail@T:ost=K           permanent loss of OST K (erasure-coded shards
+//                             go degraded; rebuild may relocate them)
+//   latent@T:ost=K            silent corruption of one written shard on
+//                             OST K (reads don't notice; scrub repairs)
+//   scrub@T                   start a background scrub pass at time T
 // Times and factors are plain decimals, e.g. "crash@0.002:node=1;
 // ost@0.001+0.05:ost=3,factor=0.1".
 #pragma once
@@ -31,6 +36,10 @@ enum class EventKind : std::uint8_t {
   kOstDegrade = 1,
   kBbStall = 2,
   kTransferTimeout = 3,
+  // Erasure-coding events (docs/FAULTS.md): permanent, duration-less.
+  kOstFail = 4,
+  kLatentError = 5,
+  kScrub = 6,
 };
 
 const char* EventKindName(EventKind kind);
@@ -65,7 +74,9 @@ Result<Plan> ParsePlan(const std::string& spec);
 
 /// Deterministic random plan of 1–3 events with valid targets and times/
 /// factors drawn from small discrete menus (so ToString round-trips and
-/// shrunk repros stay readable).
-Plan SamplePlan(Rng& rng, int nodes, int osts, int bb_nodes);
+/// shrunk repros stay readable). `ec` opts the erasure-coding event kinds
+/// (ostfail/latent/scrub) into the menu; historical seeds sampled without
+/// it draw exactly the same plans as before.
+Plan SamplePlan(Rng& rng, int nodes, int osts, int bb_nodes, bool ec = false);
 
 }  // namespace uvs::fault

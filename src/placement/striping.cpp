@@ -90,4 +90,23 @@ StripePlan PlanDefaultStriping(Bytes file_size, int servers, int osts,
   return plan;
 }
 
+EcLayout PlanEcLayout(int data_shards, int parity_shards, int osts, int ost_offset) {
+  EcLayout layout;
+  layout.osts = std::max(osts, 1);
+  layout.parity_shards = std::clamp(parity_shards, 0, layout.osts - 1);
+  layout.data_shards = std::clamp(data_shards, 1, layout.osts - layout.parity_shards);
+  layout.ost_offset = ((ost_offset % layout.osts) + layout.osts) % layout.osts;
+  return layout;
+}
+
+int EcShardOst(const EcLayout& layout, std::uint64_t stripe, int shard) {
+  // Rotating the whole shard group by the stripe index keeps the shards of
+  // one stripe on distinct OSTs (k + m <= osts) while cycling which OST
+  // carries parity.
+  const auto osts = static_cast<std::uint64_t>(layout.osts);
+  return static_cast<int>((static_cast<std::uint64_t>(layout.ost_offset) + stripe +
+                           static_cast<std::uint64_t>(shard)) %
+                          osts);
+}
+
 }  // namespace uvs::placement

@@ -16,6 +16,7 @@
 // and server s flushes to OST s mod Cmax_units.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "src/common/units.hpp"
@@ -65,5 +66,26 @@ StripePlan PlanAdaptiveStriping(Bytes file_size, int servers, int osts,
 /// uncoordinated.
 StripePlan PlanDefaultStriping(Bytes file_size, int servers, int osts,
                                Bytes default_stripe_size = 1_MiB);
+
+/// Erasure-coded shard layout: each stripe's k data + m parity shards land
+/// on k+m *distinct* OSTs (a shard-failure domain is one OST), rotated per
+/// stripe RAID-5 style so parity I/O spreads evenly instead of hammering a
+/// dedicated parity device.
+struct EcLayout {
+  int data_shards = 1;    // k, clamped so k + m <= osts
+  int parity_shards = 0;  // m, clamped to osts - 1
+  int osts = 1;
+  int ost_offset = 0;
+
+  int total_shards() const { return data_shards + parity_shards; }
+};
+
+/// Clamps (k, m) to fit `osts` distinct failure domains: m first (a parity
+/// shard per surviving OST is the redundancy budget), then k into the rest.
+EcLayout PlanEcLayout(int data_shards, int parity_shards, int osts, int ost_offset);
+
+/// Home OST of shard `shard` (0..k+m-1; >= k is parity) of stripe `stripe`.
+/// Distinct across shards of one stripe by construction.
+int EcShardOst(const EcLayout& layout, std::uint64_t stripe, int shard);
 
 }  // namespace uvs::placement

@@ -22,7 +22,9 @@ const std::string& Process::name() const {
   return ctl_ ? ctl_->name : kEmpty;
 }
 
-Engine::~Engine() {
+Engine::~Engine() { Abandon(); }
+
+void Engine::Abandon() {
   // Queue entries may hold coroutine handles into process frames, so drop
   // the queue first. Invariant: finished frames were already reclaimed at
   // their final suspend, so every handle still recorded here belongs to a
@@ -33,7 +35,14 @@ Engine::~Engine() {
       rec.handle.destroy();
       rec.handle = {};
     }
+    rec.ctl.reset();
   }
+  // Unwinding frame locals (lock guards waking waiters) may have scheduled
+  // fresh resumptions into frames destroyed above — drop those too.
+  heap_.Clear();
+  processes_.clear();
+  free_process_slots_.clear();
+  live_processes_ = 0;
 }
 
 Process Engine::Spawn(Task task, std::string name) {
@@ -81,6 +90,12 @@ void Engine::DispatchTop() {
 
 void Engine::Run() {
   while (!heap_.empty()) DispatchTop();
+}
+
+bool Engine::Step() {
+  if (heap_.empty()) return false;
+  DispatchTop();
+  return true;
 }
 
 bool Engine::RunUntil(Time until) {

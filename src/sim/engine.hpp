@@ -156,6 +156,20 @@ class Engine {
   /// `until`. Returns true if events remain beyond `until`.
   bool RunUntil(Time until);
 
+  /// Dispatches exactly one event (advancing the clock to it); false when
+  /// the queue is empty. Crash-point sweeps halt a run at an exact event
+  /// index by calling Step() in a counted loop and then inspecting the
+  /// torn state the abandoned in-flight work left behind.
+  bool Step();
+
+  /// Drops every pending event and destroys every live (suspended) process
+  /// frame. Mid-run teardown MUST call this before destroying the objects
+  /// those frames reference: locals in abandoned frames (lock guards, flow
+  /// handles) unwind here, and they touch mutexes and pools that the
+  /// engine's own destructor would otherwise outlive. Idempotent; the
+  /// engine is empty but reusable afterwards.
+  void Abandon();
+
   std::uint64_t processed_events() const { return processed_; }
   std::size_t pending_events() const { return heap_.size(); }
 

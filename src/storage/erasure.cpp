@@ -1,0 +1,178 @@
+#include "src/storage/erasure.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace uvs::storage {
+namespace {
+
+// GF(2^8) with the AES-adjacent primitive polynomial x^8+x^4+x^3+x^2+1
+// (0x11d), generator 2. exp is doubled so GfMul needs no modulo.
+struct GfTables {
+  std::uint8_t exp[510];
+  std::uint8_t log[256];
+
+  GfTables() {
+    int x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[i] = static_cast<std::uint8_t>(x);
+      exp[i + 255] = static_cast<std::uint8_t>(x);
+      log[x] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11d;
+    }
+    log[0] = 0;  // never read: multiplication by zero short-circuits
+  }
+};
+
+const GfTables& Gf() {
+  static const GfTables tables;
+  return tables;
+}
+
+std::uint8_t GfMul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const GfTables& gf = Gf();
+  return gf.exp[gf.log[a] + gf.log[b]];
+}
+
+std::uint8_t GfInv(std::uint8_t a) {
+  assert(a != 0 && "GF(2^8) zero has no inverse");
+  const GfTables& gf = Gf();
+  return gf.exp[255 - gf.log[a]];
+}
+
+/// dst ^= coeff * src, element-wise.
+void MulAcc(std::uint8_t coeff, const std::vector<std::uint8_t>& src,
+            std::vector<std::uint8_t>& dst) {
+  if (coeff == 0) return;
+  const GfTables& gf = Gf();
+  const int log_c = gf.log[coeff];
+  for (std::size_t i = 0; i < src.size(); ++i)
+    if (src[i] != 0) dst[i] ^= gf.exp[log_c + gf.log[src[i]]];
+}
+
+/// In-place Gauss-Jordan inverse of an n x n matrix over GF(2^8).
+/// Returns false if singular (never happens for Cauchy submatrices; kept
+/// as a guard against caller bugs).
+bool Invert(std::vector<std::uint8_t>& mat, int n) {
+  std::vector<std::uint8_t> inv(static_cast<std::size_t>(n) * n, 0);
+  for (int i = 0; i < n; ++i) inv[static_cast<std::size_t>(i) * n + i] = 1;
+  auto row = [n](std::vector<std::uint8_t>& m, int r) { return m.data() + std::ptrdiff_t(r) * n; };
+  for (int col = 0; col < n; ++col) {
+    int pivot = -1;
+    for (int r = col; r < n; ++r)
+      if (row(mat, r)[col] != 0) {
+        pivot = r;
+        break;
+      }
+    if (pivot < 0) return false;
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) {
+        std::swap(row(mat, pivot)[c], row(mat, col)[c]);
+        std::swap(row(inv, pivot)[c], row(inv, col)[c]);
+      }
+    }
+    const std::uint8_t scale = GfInv(row(mat, col)[col]);
+    for (int c = 0; c < n; ++c) {
+      row(mat, col)[c] = GfMul(row(mat, col)[c], scale);
+      row(inv, col)[c] = GfMul(row(inv, col)[c], scale);
+    }
+    for (int r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const std::uint8_t factor = row(mat, r)[col];
+      if (factor == 0) continue;
+      for (int c = 0; c < n; ++c) {
+        row(mat, r)[c] ^= GfMul(factor, row(mat, col)[c]);
+        row(inv, r)[c] ^= GfMul(factor, row(inv, col)[c]);
+      }
+    }
+  }
+  mat = std::move(inv);
+  return true;
+}
+
+}  // namespace
+
+ErasureCodec::ErasureCodec(int data_shards, int parity_shards)
+    : k_(data_shards), m_(parity_shards) {
+  assert(k_ >= 1 && m_ >= 0 && k_ + m_ <= kMaxTotalShards);
+  encode_.resize(static_cast<std::size_t>(m_) * static_cast<std::size_t>(k_));
+  for (int i = 0; i < m_; ++i)
+    for (int j = 0; j < k_; ++j)
+      encode_[static_cast<std::size_t>(i) * k_ + j] =
+          GfInv(static_cast<std::uint8_t>((k_ + i) ^ j));
+}
+
+void ErasureCodec::EncodeParity(std::vector<std::vector<std::uint8_t>>& shards) const {
+  assert(static_cast<int>(shards.size()) == k_ + m_);
+  for (int i = 0; i < m_; ++i) {
+    auto& parity = shards[static_cast<std::size_t>(k_ + i)];
+    parity.assign(shards[0].size(), 0);
+    for (int j = 0; j < k_; ++j)
+      MulAcc(encode_[static_cast<std::size_t>(i) * k_ + j], shards[static_cast<std::size_t>(j)],
+             parity);
+  }
+}
+
+bool ErasureCodec::VerifyParity(const std::vector<std::vector<std::uint8_t>>& shards) const {
+  assert(static_cast<int>(shards.size()) == k_ + m_);
+  for (int i = 0; i < m_; ++i) {
+    std::vector<std::uint8_t> expect(shards[0].size(), 0);
+    for (int j = 0; j < k_; ++j)
+      MulAcc(encode_[static_cast<std::size_t>(i) * k_ + j], shards[static_cast<std::size_t>(j)],
+             expect);
+    if (expect != shards[static_cast<std::size_t>(k_ + i)]) return false;
+  }
+  return true;
+}
+
+Status ErasureCodec::Reconstruct(std::vector<std::vector<std::uint8_t>>& shards,
+                                 const std::vector<bool>& present) const {
+  assert(static_cast<int>(shards.size()) == k_ + m_);
+  assert(present.size() == shards.size());
+  // Pick the first k present shards; their generator rows form the square
+  // system to invert.
+  std::vector<int> chosen;
+  for (int s = 0; s < k_ + m_ && static_cast<int>(chosen.size()) < k_; ++s)
+    if (present[static_cast<std::size_t>(s)]) chosen.push_back(s);
+  if (static_cast<int>(chosen.size()) < k_)
+    return UnavailableError("erasure: only " + std::to_string(chosen.size()) + " of " +
+                            std::to_string(k_ + m_) + " shards present, need " +
+                            std::to_string(k_));
+
+  std::vector<std::uint8_t> mat(static_cast<std::size_t>(k_) * k_, 0);
+  for (int r = 0; r < k_; ++r) {
+    const int s = chosen[static_cast<std::size_t>(r)];
+    if (s < k_) {
+      mat[static_cast<std::size_t>(r) * k_ + s] = 1;  // data shard: unit row
+    } else {
+      std::memcpy(&mat[static_cast<std::size_t>(r) * k_],
+                  &encode_[static_cast<std::size_t>(s - k_) * k_],
+                  static_cast<std::size_t>(k_));
+    }
+  }
+  if (!Invert(mat, k_)) return InternalError("erasure: decode matrix singular");
+
+  const std::size_t len = shards[static_cast<std::size_t>(chosen[0])].size();
+  for (int j = 0; j < k_; ++j) {
+    if (present[static_cast<std::size_t>(j)]) continue;
+    auto& out = shards[static_cast<std::size_t>(j)];
+    out.assign(len, 0);
+    for (int c = 0; c < k_; ++c)
+      MulAcc(mat[static_cast<std::size_t>(j) * k_ + c],
+             shards[static_cast<std::size_t>(chosen[static_cast<std::size_t>(c)])], out);
+  }
+  // With all data shards back, missing parity is a plain re-encode.
+  for (int i = 0; i < m_; ++i) {
+    if (present[static_cast<std::size_t>(k_ + i)]) continue;
+    auto& parity = shards[static_cast<std::size_t>(k_ + i)];
+    parity.assign(len, 0);
+    for (int j = 0; j < k_; ++j)
+      MulAcc(encode_[static_cast<std::size_t>(i) * k_ + j], shards[static_cast<std::size_t>(j)],
+             parity);
+  }
+  return Status::Ok();
+}
+
+}  // namespace uvs::storage

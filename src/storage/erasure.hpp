@@ -1,0 +1,53 @@
+// Reed-Solomon erasure coding over GF(2^8) for k data + m parity shards.
+//
+// The encode matrix is Cauchy (a[i][j] = 1/(x_i + y_j) with x_i = k+i,
+// y_j = j), so every square submatrix of [I; A] is invertible and any k of
+// the k+m shards reconstruct the stripe. m = 1 degenerates to a weighted
+// XOR parity; classic RAID-5 is the m = 1, coefficient-1 special case.
+//
+// This is the byte-level math the storage::Pfs erasure model stands on:
+// the simulator itself moves no payload bytes, so Pfs tracks shard
+// versions and charges device traffic, while this codec (proven by the
+// encode/decode round-trip battery in tests/storage_ec_test.cpp) is what
+// a real implementation of that state machine would run per stripe.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.hpp"
+
+namespace uvs::storage {
+
+/// GF(2^8) shard-index space: k + m must stay below the field size.
+inline constexpr int kMaxTotalShards = 255;
+
+class ErasureCodec {
+ public:
+  /// Requires 1 <= k, 0 <= m, k + m <= kMaxTotalShards.
+  ErasureCodec(int data_shards, int parity_shards);
+
+  int data_shards() const { return k_; }
+  int parity_shards() const { return m_; }
+
+  /// `shards` holds k data shards followed by m parity shards, all the
+  /// same length; fills the parity shards from the data shards.
+  void EncodeParity(std::vector<std::vector<std::uint8_t>>& shards) const;
+
+  /// True iff the parity shards match the data shards exactly.
+  bool VerifyParity(const std::vector<std::vector<std::uint8_t>>& shards) const;
+
+  /// Rebuilds every shard whose `present` flag is false from the present
+  /// ones (data first, then re-encoded parity). Fails when fewer than k
+  /// shards are present.
+  Status Reconstruct(std::vector<std::vector<std::uint8_t>>& shards,
+                     const std::vector<bool>& present) const;
+
+ private:
+  int k_;
+  int m_;
+  /// m_ x k_ Cauchy encode matrix, row-major.
+  std::vector<std::uint8_t> encode_;
+};
+
+}  // namespace uvs::storage

@@ -217,4 +217,22 @@ void CheckQuiescence(const sim::Engine& engine, InvariantReport& report) {
   report.Add("quiescence", out.str());
 }
 
+void CheckErasure(const storage::Pfs& pfs, InvariantReport& report) {
+  const auto verify = pfs.VerifyParity();
+  if (verify.torn > 0) {
+    std::ostringstream out;
+    out << verify.torn << " of " << verify.stripes_checked
+        << " stripes have parity snapshots disagreeing with applied data versions "
+           "after quiescence";
+    report.Add("ec-parity-consistency", out.str());
+  }
+  if (!pfs.ec_redundancy_exceeded() && pfs.ec_lost_bytes() > 0) {
+    std::ostringstream out;
+    out << pfs.ec_lost_bytes()
+        << " bytes counted lost although no stripe ever exceeded its parity budget "
+           "(failed+latent shards <= m throughout)";
+    report.Add("ec-redundancy-bound", out.str());
+  }
+}
+
 }  // namespace uvs::testkit

@@ -27,6 +27,7 @@
 #include "src/meta/record.hpp"
 #include "src/sim/engine.hpp"
 #include "src/sim/fair_share.hpp"
+#include "src/storage/pfs.hpp"
 #include "src/univistor/system.hpp"
 #include "src/workload/scenario.hpp"
 
@@ -70,6 +71,13 @@ void CheckPoolConservation(workload::Scenario& scenario, InvariantReport& report
 
 /// After Run() has drained: no live (stranded) processes remain.
 void CheckQuiescence(const sim::Engine& engine, InvariantReport& report);
+
+/// Erasure-coding invariants after quiescence:
+///  * parity consistency — every materialized stripe's parity snapshots
+///    equal its applied data versions (no write left parity torn);
+///  * redundancy bound — while no stripe ever saw more than its m shards
+///    dead or latent-corrupt at once, ec_lost_bytes must be zero.
+void CheckErasure(const storage::Pfs& pfs, InvariantReport& report);
 
 /// Lost-byte expectation after node failure, derived record by record from
 /// the metadata: a read is lost iff its record sits on a volatile layer

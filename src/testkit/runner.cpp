@@ -15,6 +15,7 @@
 #include "src/fault/plan.hpp"
 #include "src/hw/params.hpp"
 #include "src/obs/recorder.hpp"
+#include "src/storage/pfs.hpp"
 #include "src/univistor/config.hpp"
 #include "src/univistor/driver.hpp"
 #include "src/univistor/system.hpp"
@@ -59,7 +60,37 @@ univistor::Config BuildConfig(const ScenarioSpec& spec) {
   config.promote_hot_reads = spec.promote_hot_reads;
   config.read_cache_capacity_per_node = 16_MiB;
   config.recovery.enabled = spec.recovery;
+  if (spec.ec_k > 0) {
+    config.ec.enabled = true;
+    config.ec.data_shards = spec.ec_k;
+    config.ec.parity_shards = spec.ec_m;
+  }
   return config;
+}
+
+/// Routes the EC plan events (ostfail/latent/scrub) into the scenario's
+/// shared Pfs; with recovery on, an OST failure also spawns the rebuild.
+void WireEcHandlers(fault::Injector& injector, workload::Scenario& scenario,
+                    const ScenarioSpec& spec) {
+  storage::Pfs* pfs = &scenario.pfs();
+  sim::Engine* engine = &scenario.engine();
+  const bool recovery = spec.recovery;
+  injector.AddOstFailHandler([pfs, engine, recovery](int ost) {
+    pfs->FailOst(ost);
+    if (recovery) engine->Spawn(pfs->RebuildOst(ost), "ec-rebuild");
+  });
+  injector.AddLatentHandler([pfs](int ost) { pfs->InjectLatentError(ost); });
+  const Time interval = univistor::Config::EcConfig{}.scrub_stripe_interval;
+  injector.AddScrubHandler(
+      [pfs, engine, interval] { engine->Spawn(pfs->ScrubPass(interval), "ec-scrub"); });
+}
+
+/// One full background scrub pass after the workload drained (spec.scrub).
+void RunFinalScrub(workload::Scenario& scenario) {
+  scenario.engine().Spawn(
+      scenario.pfs().ScrubPass(univistor::Config::EcConfig{}.scrub_stripe_interval),
+      "ec-scrub-final");
+  scenario.engine().Run();
 }
 
 /// The system under test behind one AdioDriver.
@@ -218,6 +249,9 @@ void RunDifferential(const ScenarioSpec& spec, RunOutcome& outcome) {
   ScenarioSpec baseline_spec = spec;
   baseline_spec.system = SystemKind::kLustre;
   baseline_spec.failure = FailureMode::kNone;
+  baseline_spec.ec_k = 0;  // the baseline has no EC path
+  baseline_spec.ec_m = 0;
+  baseline_spec.scrub = false;
   RunOptions options;
   options.differential = false;
   const RunOutcome baseline = RunScenario(baseline_spec, options);
@@ -265,6 +299,7 @@ std::vector<cluster::JobSpec> BuildJobMix(const ScenarioSpec& spec) {
     job.steps = spec.workload == WorkloadKind::kVpic ? spec.steps : 1;
     job.compute_time = spec.compute_time;
     job.first_layer = spec.first_layer;
+    job.ec = spec.ec_k > 0;  // redundant with base_config.ec, kept explicit
     jobs.push_back(job);
   }
   return jobs;
@@ -301,10 +336,12 @@ RunOutcome RunClusterScenario(const ScenarioSpec& spec, const RunOptions& option
       }
       injector = std::make_unique<fault::Injector>(scenario.engine(), *plan);
       sim.AttachInjector(*injector);
+      if (spec.ec_k > 0) WireEcHandlers(*injector, scenario, spec);
       injector->Arm();
     }
 
     sim.Run();
+    if (spec.ec_k > 0 && spec.scrub) RunFinalScrub(scenario);
     outcome.sim_time = scenario.engine().Now();
     for (int j = 0; j < sim.job_count(); ++j) {
       if (const univistor::UniviStor* sys = sim.system(j)) {
@@ -340,6 +377,7 @@ RunOutcome RunClusterScenario(const ScenarioSpec& spec, const RunOptions& option
                            "peak BB reservation " + std::to_string(sim.peak_bb_reserved()) +
                                " exceeds capacity " + std::to_string(sim.bb_capacity()));
       }
+      if (spec.ec_k > 0) CheckErasure(scenario.pfs(), outcome.report);
       for (int j = 0; j < sim.job_count(); ++j) {
         const univistor::UniviStor* sys = sim.system(j);
         if (sys == nullptr) continue;
@@ -397,12 +435,14 @@ RunOutcome RunSingleScenario(const ScenarioSpec& spec, const RunOptions& options
       injector = std::make_unique<fault::Injector>(scenario.engine(), *plan);
       injector->set_cluster(&scenario.cluster());
       injector->SetCrashHandler([&sut](int node) { sut.univistor->FailNode(node); });
+      if (spec.ec_k > 0) WireEcHandlers(*injector, scenario, spec);
       sut.univistor->AttachFaults(injector.get());
       injector->Arm();
     }
 
     const auto names = RunWorkload(spec, scenario, sut, outcome);
     scenario.engine().Run();  // final drain (asynchronous flushes)
+    if (spec.ec_k > 0 && spec.scrub) RunFinalScrub(scenario);
     outcome.sim_time = scenario.engine().Now();
     CollectFileSizes(names, sut, scenario, outcome);
     if (sut.univistor != nullptr) outcome.lost_bytes = sut.univistor->lost_bytes();
@@ -414,6 +454,7 @@ RunOutcome RunSingleScenario(const ScenarioSpec& spec, const RunOptions& options
       CheckQuiescence(scenario.engine(), outcome.report);
       CheckPoolConservation(scenario, outcome.report);
       if (sut.univistor != nullptr) CheckUniviStor(*sut.univistor, outcome.report);
+      if (spec.ec_k > 0) CheckErasure(scenario.pfs(), outcome.report);
       if (spec.failure == FailureMode::kPlan) {
         // Plan crashes land at arbitrary points relative to the reads, so
         // reads that beat the crash legitimately succeed; the watermark

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <iterator>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -129,6 +130,35 @@ ScenarioSpec SampleScenario(std::uint64_t seed) {
     spec.arrival = Chance(rng, 0.5) ? 0.0 : Pick(rng, {1, 5, 20}) * 0.001;
     spec.csched = Pick(rng, {0, 1, 2});
   }
+
+  // Erasure-coded PFS (storage::Pfs k+m striping). Appended after all
+  // earlier draws — same stability discipline as the blocks above.
+  if (spec.system == SystemKind::kUniviStor && Chance(rng, 0.25)) {
+    static constexpr int kGrid[][2] = {{2, 1}, {3, 2}, {4, 2}, {5, 3}};
+    const int* km = kGrid[rng.NextBelow(std::size(kGrid))];
+    if (km[0] + km[1] <= spec.osts) {
+      spec.ec_k = km[0];
+      spec.ec_m = km[1];
+    } else {  // osts >= 4 always, so 2+1 fits everywhere
+      spec.ec_k = 2;
+      spec.ec_m = 1;
+    }
+    spec.scrub = Chance(rng, 0.5);
+    // With parity to absorb shard loss, fault plans draw from the full
+    // event menu (ostfail/latent/scrub on top of the legacy kinds).
+    if (spec.failure == FailureMode::kPlan) {
+      Rng plan_rng = rng.Fork();
+      spec.fault_plan =
+          fault::SamplePlan(plan_rng, spec.Nodes(), spec.osts, spec.bb_nodes, /*ec=*/true)
+              .ToString();
+    } else if (failure_eligible && spec.failure == FailureMode::kNone && Chance(rng, 0.35)) {
+      spec.failure = FailureMode::kPlan;
+      Rng plan_rng = rng.Fork();
+      spec.fault_plan =
+          fault::SamplePlan(plan_rng, spec.Nodes(), spec.osts, spec.bb_nodes, /*ec=*/true)
+              .ToString();
+    }
+  }
   return spec;
 }
 
@@ -151,6 +181,9 @@ std::string ScenarioSpec::ToString() const {
   // strings round-trip unchanged.
   if (jobs > 1)
     out << " jobs=" << jobs << " arrival=" << arrival << " csched=" << csched;
+  // EC keys print only when erasure coding is on, same round-trip
+  // discipline as the cluster keys.
+  if (ec_k > 0) out << " ec=" << ec_k << "+" << ec_m << " scrub=" << (scrub ? 1 : 0);
   if (!fault_plan.empty()) out << " fplan=" << fault_plan;
   return out.str();
 }
@@ -217,6 +250,18 @@ Result<ScenarioSpec> ParseScenarioSpec(const std::string& text) {
       spec.fault_plan = value;
       continue;
     }
+    if (key == "ec") {
+      const std::size_t plus = value.find('+');
+      if (plus == std::string::npos || plus == 0 || plus + 1 == value.size())
+        return InvalidArgumentError("ec must be K+M, got '" + value + "'");
+      auto k = ParseInt(value.substr(0, plus));
+      if (!k.ok()) return k.status();
+      auto m = ParseInt(value.substr(plus + 1));
+      if (!m.ok()) return m.status();
+      spec.ec_k = static_cast<int>(*k);
+      spec.ec_m = static_cast<int>(*m);
+      continue;
+    }
     if (key == "compute") {
       auto parsed = ParseDouble(value);
       if (!parsed.ok()) return parsed.status();
@@ -264,6 +309,7 @@ Result<ScenarioSpec> ParseScenarioSpec(const std::string& text) {
     else if (key == "recov") spec.recovery = n != 0;
     else if (key == "jobs") spec.jobs = static_cast<int>(n);
     else if (key == "csched") spec.csched = static_cast<int>(n);
+    else if (key == "scrub") spec.scrub = n != 0;
     else return InvalidArgumentError("unknown key '" + key + "'");
   }
 
@@ -284,6 +330,17 @@ Result<ScenarioSpec> ParseScenarioSpec(const std::string& text) {
   if (spec.arrival < 0) return InvalidArgumentError("arrival must be >= 0");
   if (spec.csched < 0 || spec.csched > 2)
     return InvalidArgumentError("csched must be 0 (fcfs), 1 (easy), or 2 (bb)");
+  if (spec.ec_k < 0 || spec.ec_m < 0)
+    return InvalidArgumentError("ec shard counts must be >= 0");
+  if (spec.ec_k > 0) {
+    if (spec.system != SystemKind::kUniviStor)
+      return InvalidArgumentError("ec requires system=univistor");
+    if (spec.ec_m < 1) return InvalidArgumentError("ec needs at least one parity shard");
+    if (spec.ec_k + spec.ec_m > spec.osts)
+      return InvalidArgumentError("ec needs k+m <= osts");
+  } else if (spec.ec_m > 0 || spec.scrub) {
+    return InvalidArgumentError("ec_m/scrub require ec=K+M");
+  }
   if (spec.jobs > 1) {
     if (spec.system != SystemKind::kUniviStor)
       return InvalidArgumentError("jobs > 1 requires system=univistor");

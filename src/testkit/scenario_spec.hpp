@@ -67,6 +67,16 @@ struct ScenarioSpec {
   /// Enables univistor::Config::recovery (retries, re-striping, safe mode).
   bool recovery = false;
 
+  // --- Erasure-coded PFS (univistor only; docs/FAULTS.md). ---
+  /// Data shards k; 0 disables erasure coding (plain striping). When > 0,
+  /// ec_m must be >= 1 and ec_k + ec_m <= osts. Printed as `ec=K+M`.
+  int ec_k = 0;
+  /// Parity shards m (redundancy budget per stripe).
+  int ec_m = 0;
+  /// Run a background scrub pass after the workload (and honor any
+  /// `scrub@T` plan events); requires ec_k > 0.
+  bool scrub = false;
+
   // --- Multi-tenant cluster mix (cluster::, jobs > 1). ---
   /// Concurrent jobs in the mix; 1 = the classic single-job run. Each job
   /// gets procs/jobs client ranks of the same workload shape and the mix

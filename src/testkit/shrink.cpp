@@ -21,6 +21,14 @@ void Normalize(ScenarioSpec& spec) {
   if (spec.failure != FailureMode::kPlan) spec.fault_plan.clear();
   if (spec.failure == FailureMode::kPlan && spec.fault_plan.empty())
     spec.failure = FailureMode::kNone;
+  // EC only exists on the univistor path and needs k+m distinct OSTs; a
+  // transform that breaks either drops erasure coding entirely.
+  if (spec.system != SystemKind::kUniviStor) spec.ec_k = 0;
+  if (spec.ec_k > 0 && spec.ec_k + spec.ec_m > spec.osts) spec.ec_k = 0;
+  if (spec.ec_k == 0) {
+    spec.ec_m = 0;
+    spec.scrub = false;
+  }
   spec.jobs = std::max(spec.jobs, 1);
   if (spec.jobs == 1) {
     // Single-job specs keep the (unprinted) cluster defaults so shrunk
@@ -53,6 +61,8 @@ constexpr Transform kTransforms[] = {
       else s.fault_plan.resize(semi);
     },
     [](ScenarioSpec& s) { s.failure = FailureMode::kNone; },
+    [](ScenarioSpec& s) { s.ec_k = 0; },  // Normalize zeroes ec_m + scrub too
+    [](ScenarioSpec& s) { s.scrub = false; },
     [](ScenarioSpec& s) { s.arrival = 0.0; },
     [](ScenarioSpec& s) { s.recovery = false; },
     [](ScenarioSpec& s) { s.compute_time = 0.0; },

@@ -90,6 +90,20 @@ struct Config {
     Bytes safe_mode_dirty_limit = 0;
   };
   RecoveryConfig recovery;
+
+  /// Erasure-coded PFS files (see docs/FAULTS.md). On, every PFS
+  /// destination UniviStor creates is striped k+m: partial-stripe flushes
+  /// pay the read-modify-write cycle, reads survive up to m failed OSTs by
+  /// reconstruction, and OST failures trigger rebuild when recovery is
+  /// enabled.
+  struct EcConfig {
+    bool enabled = false;
+    int data_shards = 4;    // k
+    int parity_shards = 2;  // m
+    /// Pacing between stripes of a background scrub pass.
+    Time scrub_stripe_interval = 0.0001;
+  };
+  EcConfig ec;
 };
 
 }  // namespace uvs::univistor

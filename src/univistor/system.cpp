@@ -245,9 +245,14 @@ int UniviStor::BbNodeOf(ProducerId producer) const {
 
 storage::Pfs::FileHandle UniviStor::PfsDestination(FileInfo& info) {
   if (info.pfs_file < 0) {
-    info.pfs_file = pfs_->Create(info.name, storage::StripeConfig{
-                                                .stripe_size = 1_MiB,
-                                                .stripe_count = pfs_->ost_count()});
+    storage::StripeConfig stripe{.stripe_size = 1_MiB, .stripe_count = pfs_->ost_count()};
+    if (config_.ec.enabled) {
+      // Erasure-coded destination: k data shards wide instead of all-OST
+      // striping; the Pfs clamps k+m to the available failure domains.
+      stripe.stripe_count = config_.ec.data_shards;
+      stripe.parity_shards = config_.ec.parity_shards;
+    }
+    info.pfs_file = pfs_->Create(info.name, stripe);
   }
   return info.pfs_file;
 }

@@ -56,6 +56,10 @@ TEST(FaultPlan, ToStringRoundTripsHandWrittenSpecs) {
       "bb@0.01+0.02:bb=1,factor=0.5",
       "timeout@0.005+0.1",
       "crash@0.0005:node=0;timeout@0.001+0.02;ost@0.05+0.1:ost=7,factor=0.05",
+      "ostfail@0.002:ost=3",
+      "latent@0.001:ost=0",
+      "scrub@0.05",
+      "ostfail@0.001:ost=2;latent@0.002:ost=5;scrub@0.003;scrub@0.004",
   };
   for (const std::string& spec : specs) {
     const auto plan = fault::ParsePlan(spec);
@@ -88,10 +92,55 @@ TEST(FaultPlan, SampledPlansRoundTripAndStayInRange) {
           break;
         case fault::EventKind::kTransferTimeout:
           break;
+        case fault::EventKind::kOstFail:
+        case fault::EventKind::kLatentError:
+          EXPECT_GE(ev.target, 0);
+          EXPECT_LT(ev.target, 16);
+          break;
+        case fault::EventKind::kScrub:
+          break;
       }
-      if (ev.kind != fault::EventKind::kNodeCrash) {
+      if (ev.kind != fault::EventKind::kNodeCrash && ev.kind != fault::EventKind::kOstFail &&
+          ev.kind != fault::EventKind::kLatentError && ev.kind != fault::EventKind::kScrub) {
         EXPECT_GT(ev.duration, 0.0);
       }
+    }
+  }
+}
+
+TEST(FaultPlan, EcSampledPlansRoundTripAndStayInRange) {
+  bool saw_ec_kind = false;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    Rng rng(seed);
+    const fault::Plan plan =
+        fault::SamplePlan(rng, /*nodes=*/4, /*osts=*/16, /*bb_nodes=*/3, /*ec=*/true);
+    ASSERT_FALSE(plan.empty());
+    const auto back = fault::ParsePlan(plan.ToString());
+    ASSERT_TRUE(back.ok()) << plan.ToString();
+    EXPECT_EQ(*back, plan) << plan.ToString();
+    for (const fault::FaultEvent& ev : plan.events) {
+      if (ev.kind == fault::EventKind::kOstFail || ev.kind == fault::EventKind::kLatentError) {
+        saw_ec_kind = true;
+        EXPECT_GE(ev.target, 0);
+        EXPECT_LT(ev.target, 16);
+        EXPECT_EQ(ev.duration, 0.0) << plan.ToString();
+      }
+      if (ev.kind == fault::EventKind::kScrub) saw_ec_kind = true;
+    }
+  }
+  EXPECT_TRUE(saw_ec_kind) << "200 EC-mode samples never drew an EC event kind";
+}
+
+TEST(FaultPlan, NonEcSamplingNeverDrawsEcKinds) {
+  // Historical seeds must keep their plans: ec=false draws from the
+  // original 4-kind menu only.
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    Rng rng(seed);
+    const fault::Plan plan = fault::SamplePlan(rng, 4, 16, 3);
+    for (const fault::FaultEvent& ev : plan.events) {
+      EXPECT_NE(ev.kind, fault::EventKind::kOstFail);
+      EXPECT_NE(ev.kind, fault::EventKind::kLatentError);
+      EXPECT_NE(ev.kind, fault::EventKind::kScrub);
     }
   }
 }
@@ -109,6 +158,11 @@ TEST(FaultPlan, RejectsMalformedSpecs) {
       "flood@0.005+0.1",                    // unknown kind
       "crash0.002:node=1",                  // missing '@'
       "crash@abc:node=1",                   // non-numeric time
+      "ostfail@0.002",                      // missing ost=K
+      "ostfail@0.002:ost=-1",               // negative target
+      "latent@0.002",                       // missing ost=K
+      "latent@0.002:node=1",                // wrong argument key
+      "scrub@0.002:ost=1",                  // scrub takes no arguments
   };
   for (const char* spec : bad) {
     EXPECT_FALSE(fault::ParsePlan(spec).ok()) << "should reject: " << spec;

@@ -29,5 +29,28 @@ TEST(FuzzSmokeTest, FirstSixtyFourSeedsHoldAllInvariants) {
   }
 }
 
+// EC slice of the fuzz space: every seed in the first 256 whose sampled
+// spec enables erasure coding runs with the full invariant battery (parity
+// consistency after quiescence, lost_bytes == 0 while failures <= m). The
+// sampler gives ~25% of UniviStor seeds EC, so this also guards against the
+// EC sampling rate silently collapsing.
+TEST(FuzzSmokeTest, EcSeedsInFirstTwoFiftySixHoldErasureInvariants) {
+  int ec_runs = 0;
+  int failures = 0;
+  for (std::uint64_t seed = kBaseSeed; seed < kBaseSeed + 256; ++seed) {
+    const ScenarioSpec spec = SampleScenario(seed);
+    if (spec.ec_k == 0) continue;
+    ++ec_runs;
+    const RunOutcome outcome = RunScenario(spec);
+    if (!outcome.ok()) {
+      ++failures;
+      ADD_FAILURE() << "seed " << seed << " violated invariants:\n"
+                    << outcome.report.ToString() << "repro: " << spec.ReproCommand();
+      if (failures >= 3) break;  // keep the log readable on a broken tree
+    }
+  }
+  EXPECT_GE(ec_runs, 20) << "EC sampling rate collapsed";
+}
+
 }  // namespace
 }  // namespace uvs::testkit

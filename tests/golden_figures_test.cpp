@@ -9,6 +9,9 @@
 #include <gtest/gtest.h>
 
 #include "bench/bench_common.hpp"
+#include "src/cluster/arrival.hpp"
+#include "src/cluster/simulation.hpp"
+#include "src/workload/scenario.hpp"
 
 namespace uvs {
 namespace {
@@ -86,6 +89,117 @@ TEST(GoldenFig6c, UnivistorFlushesFasterThanDataElevator) {
 
   EXPECT_GT(dram, de) << "paper: 1.8-2.5x";
   EXPECT_GT(bb, de) << "paper: 1.6-2.5x";
+}
+
+// ---------------------------------------------------------------------------
+// Erasure-coded variants: k+m striping on the PFS adds parity write
+// amplification to every flush, but it must not flip any paper-reported
+// ordering. These pin the same comparisons as the figures above with
+// config.ec enabled (4+2, the default grid point).
+
+univistor::Config WithEc(univistor::Config config = {}) {
+  config.ec.enabled = true;
+  return config;
+}
+
+TEST(GoldenFig5aEc, IaAndCocStillBeatTheirAblationsUnderErasureCoding) {
+  const double both = UvsWriteRate(WithEc());
+
+  univistor::Config no_ia = WithEc();
+  no_ia.interference_aware_flush = false;
+  const double without_ia = UvsWriteRate(no_ia, /*cfs=*/true);
+
+  univistor::Config no_coc = WithEc();
+  no_coc.collective_open_close = false;
+  const double without_coc = UvsWriteRate(no_coc);
+
+  EXPECT_GT(both, without_ia) << "IA placement must still help with parity";
+  EXPECT_GT(both, without_coc) << "collective open/close must still help with parity";
+}
+
+TEST(GoldenFig6aEc, WriteRateOrderingSurvivesErasureCoding) {
+  const double dram = UvsWriteRate(WithEc());
+
+  univistor::Config bb_config = WithEc();
+  bb_config.first_cache_layer = hw::Layer::kSharedBurstBuffer;
+  const double bb = UvsWriteRate(bb_config);
+
+  auto de_setup = MakeDataElevator(kProcs);
+  const double de =
+      RunHdfMicro(*de_setup.scenario, de_setup.app, *de_setup.driver, kParams).rate();
+
+  auto lustre_setup = MakeLustre(kProcs);
+  const double lustre =
+      RunHdfMicro(*lustre_setup.scenario, lustre_setup.app, *lustre_setup.driver, kParams)
+          .rate();
+
+  EXPECT_GT(dram, bb) << "DRAM tier outruns the burst buffer with EC on";
+  EXPECT_GT(bb, de) << "EC-striped UVS/BB still beats (non-EC) Data Elevator";
+  EXPECT_GT(de, lustre) << "both hierarchical systems beat raw Lustre";
+}
+
+TEST(GoldenFig6cEc, UnivistorStillFlushesFasterThanDataElevator) {
+  const auto uvs_flush = [](hw::Layer first_layer) {
+    univistor::Config config = WithEc();
+    config.first_cache_layer = first_layer;
+    auto setup = MakeUniviStor(kProcs, config);
+    RunHdfMicro(*setup.scenario, setup.app, *setup.driver, kParams);
+    const auto& stats = setup.system->flush_stats();
+    EXPECT_GT(stats.last_flush_duration, 0.0);
+    return static_cast<double>(stats.bytes_flushed) / stats.last_flush_duration;
+  };
+  const double dram = uvs_flush(hw::Layer::kDram);
+
+  auto de_setup = MakeDataElevator(kProcs);
+  RunHdfMicro(*de_setup.scenario, de_setup.app, *de_setup.driver, kParams);
+  const auto& de_stats = de_setup.system->flush_stats();
+  ASSERT_GT(de_stats.last_flush_duration, 0.0);
+  const double de = static_cast<double>(de_stats.bytes_flushed) / de_stats.last_flush_duration;
+
+  // The (k+m)/k parity amplification eats into the paper's 1.8-2.5x DRAM
+  // margin but must not erase it.
+  EXPECT_GT(dram, de) << "EC-striped flush must still beat Data Elevator";
+}
+
+// ---------------------------------------------------------------------------
+// Cluster QoS pin with EC tenants: half the UniviStor jobs in the BB-bound
+// reference mix flush to erasure-coded files, and the BB-aware policy must
+// stay at least as good as FCFS on mean stretch.
+
+TEST(GoldenClusterQosEc, BbAwareBeatsFcfsWithErasureCodedJobs) {
+  hw::ClusterParams params = hw::CoriPreset(32, 4);
+  params.node.cores = 8;
+  params.node.dram_cache_capacity = 32_MiB;
+  params.bb.bb_nodes = 2;
+  params.bb.capacity_per_bb_node = 128_MiB;
+  params.pfs.osts = 8;  // room for the default 4+2 stripe
+  params.seed = 42;
+  workload::ScenarioOptions scenario_options;
+  scenario_options.procs = 32;
+  scenario_options.policy = sched::PlacementPolicy::kInterferenceAware;
+  scenario_options.cluster_params = params;
+
+  cluster::MixParams mix;
+  mix.jobs = 12;
+  mix.bb_bound = true;
+  mix.ec_fraction = 0.5;
+
+  const auto run = [&](cluster::Policy policy) {
+    workload::Scenario scenario(scenario_options);
+    cluster::ClusterOptions options;
+    options.policy = policy;
+    options.procs_per_node = 4;
+    options.base_config.chunk_size = 1_MiB;
+    cluster::ClusterSim sim(scenario, cluster::SampleJobMix(3, mix), options);
+    sim.Run();
+    return sim.summary();
+  };
+  const cluster::QosSummary f = run(cluster::Policy::kFcfs);
+  const cluster::QosSummary b = run(cluster::Policy::kBbAware);
+  EXPECT_EQ(f.completed, 12);
+  EXPECT_EQ(b.completed, 12);
+  EXPECT_LE(b.mean_stretch, f.mean_stretch)
+      << "BB-aware must stay at least as good as FCFS with EC tenants";
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 // shrinker's fixpoint behavior, and a few full RunScenario smoke runs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/testkit/invariants.hpp"
 #include "src/testkit/runner.hpp"
 #include "src/testkit/scenario_spec.hpp"
@@ -66,6 +68,50 @@ TEST(ScenarioSpecTest, ParseRejectsMalformedInput) {
   EXPECT_FALSE(ParseScenarioSpec("system=zfs").ok());
   EXPECT_FALSE(ParseScenarioSpec("layer=1").ok());  // SSD is never the first layer
   EXPECT_FALSE(ParseScenarioSpec("procs=4 ppn=4 fail=after_writes fail_node=7").ok());
+}
+
+TEST(ScenarioSpecTest, SamplerCoversErasureCoding) {
+  bool saw_ec = false, saw_scrub = false, saw_ec_plan = false;
+  for (std::uint64_t seed = 0; seed < 256; ++seed) {
+    const ScenarioSpec spec = SampleScenario(seed);
+    if (spec.ec_k > 0) {
+      saw_ec = true;
+      EXPECT_EQ(spec.system, SystemKind::kUniviStor);
+      EXPECT_GE(spec.ec_m, 1);
+      EXPECT_LE(spec.ec_k + spec.ec_m, spec.osts);
+      saw_scrub |= spec.scrub;
+      saw_ec_plan |= spec.failure == FailureMode::kPlan &&
+                     spec.fault_plan.find("ostfail") != std::string::npos;
+    } else {
+      EXPECT_EQ(spec.ec_m, 0);
+      EXPECT_FALSE(spec.scrub);
+    }
+  }
+  EXPECT_TRUE(saw_ec) << "ec never sampled in 256 seeds";
+  EXPECT_TRUE(saw_scrub) << "scrub never sampled in 256 seeds";
+  EXPECT_TRUE(saw_ec_plan) << "no EC fault plan with an ostfail event in 256 seeds";
+}
+
+TEST(ScenarioSpecTest, EcKeysRoundTrip) {
+  const auto parsed = ParseScenarioSpec(
+      "seed=9 procs=8 ppn=4 osts=8 system=univistor workload=micro_read ec=3+2 scrub=1 "
+      "fail=plan fplan=ostfail@0.001:ost=2;scrub@0.002 recov=1");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->ec_k, 3);
+  EXPECT_EQ(parsed->ec_m, 2);
+  EXPECT_TRUE(parsed->scrub);
+  const auto back = ParseScenarioSpec(parsed->ToString());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, *parsed);
+}
+
+TEST(ScenarioSpecTest, EcValidationRejectsInvalidCombinations) {
+  EXPECT_FALSE(ParseScenarioSpec("procs=4 ppn=4 system=lustre ec=3+2").ok());
+  EXPECT_FALSE(ParseScenarioSpec("procs=4 ppn=4 ec=3+0").ok());       // m must be >= 1
+  EXPECT_FALSE(ParseScenarioSpec("procs=4 ppn=4 osts=4 ec=3+2").ok());  // k+m > osts
+  EXPECT_FALSE(ParseScenarioSpec("procs=4 ppn=4 scrub=1").ok());      // scrub needs ec
+  EXPECT_FALSE(ParseScenarioSpec("procs=4 ppn=4 ec=3+").ok());        // malformed K+M
+  EXPECT_FALSE(ParseScenarioSpec("procs=4 ppn=4 ec=32").ok());        // missing '+'
 }
 
 TEST(ScenarioSpecTest, ReproCommandEmbedsTheSpec) {
@@ -155,6 +201,32 @@ TEST(ShrinkTest, KeepsFailureRelevantDimensions) {
   });
   EXPECT_EQ(result.spec.procs, 8);
   EXPECT_TRUE(result.spec.replicate_volatile);
+}
+
+TEST(ShrinkTest, DropsErasureDimensionsWhenIrrelevant) {
+  ScenarioSpec spec = SampleScenario(7);
+  spec.system = SystemKind::kUniviStor;
+  spec.ec_k = 4;
+  spec.ec_m = 2;
+  spec.scrub = true;
+  // The "bug" does not depend on EC at all, so the shrinker must strip it.
+  const auto result = Shrink(spec, [](const ScenarioSpec&) { return true; }, 256);
+  EXPECT_EQ(result.spec.ec_k, 0);
+  EXPECT_EQ(result.spec.ec_m, 0);
+  EXPECT_FALSE(result.spec.scrub);
+}
+
+TEST(ShrinkTest, KeepsErasureWhenTheBugNeedsIt) {
+  ScenarioSpec spec = SampleScenario(7);
+  spec.system = SystemKind::kUniviStor;
+  spec.osts = std::max(spec.osts, 8);
+  spec.ec_k = 4;
+  spec.ec_m = 2;
+  spec.scrub = true;
+  const auto result =
+      Shrink(spec, [](const ScenarioSpec& s) { return s.ec_k > 0; }, 256);
+  EXPECT_GT(result.spec.ec_k, 0);
+  EXPECT_GE(result.spec.ec_m, 1);
 }
 
 TEST(ShrinkTest, ReturnsOriginalWhenNothingSimplerFails) {

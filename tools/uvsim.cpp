@@ -32,6 +32,7 @@
 #include "src/obs/attribution.hpp"
 #include "src/obs/recorder.hpp"
 #include "src/obs/sampler.hpp"
+#include "src/storage/pfs.hpp"
 #include "src/testkit/invariants.hpp"
 #include "src/univistor/driver.hpp"
 #include "src/univistor/system.hpp"
@@ -57,6 +58,9 @@ struct Args {
   bool ia = true, coc = true, adpt = true, la = true;
   std::string faults;   // fault::Plan spec (docs/FAULTS.md grammar)
   bool recover = false;
+  std::string ec;               // "K+M" erasure-code shard counts ("" = off)
+  bool scrub = false;           // run a background scrub after the workload
+  double scrub_interval = -1;   // sim seconds between scrubbed stripes; <0 = default
   std::string trace;    // Chrome trace-event JSON output path
   std::string metrics;  // metrics JSON (or series CSV) output path
   double sample_interval = -1;  // simulated seconds; <0 = default
@@ -75,6 +79,7 @@ struct Args {
   unsigned long long seed = 42;  // mix sampling seed
   bool bb_bound = false;         // sample a BB-heavy mix
   double lustre_frac = 0.0;      // fraction of Lustre-baseline jobs
+  double ec_frac = 0.0;          // fraction of erasure-coded UniviStor jobs
   int bb_mb = 64;                // BB capacity per BB node (MiB)
   int osts = 4;                  // PFS OSTs (few, so spilling hurts)
   int ppn = 4;                   // client ranks per allocated node
@@ -101,6 +106,12 @@ void PrintUsage(std::FILE* out) {
                "  --faults=SPEC                   inject a fault plan, e.g.\n"
                "                                  'crash@0.5:node=1;ost@1+2:ost=3,factor=0.1'\n"
                "                                  (grammar in docs/FAULTS.md)\n"
+               "  --ec=K+M                        erasure-code PFS files into K data +\n"
+               "                                  M parity shards (RMW partial-stripe\n"
+               "                                  writes, degraded reads; docs/FAULTS.md)\n"
+               "  --scrub[=S]                     run a background parity scrub after the\n"
+               "                                  workload, pacing S sim seconds between\n"
+               "                                  stripes (plan scrub@T events also work)\n"
                "  --recover                       enable active recovery (retries,\n"
                "                                  re-striping, metadata repartitioning;\n"
                "                                  implies volatile replication)\n"
@@ -139,6 +150,8 @@ void PrintUsage(std::FILE* out) {
                "  --seed=N                        cluster: mix sampling seed (default 42)\n"
                "  --bb-bound                      cluster: sample a BB-heavy mix\n"
                "  --lustre-frac=F                 cluster: fraction of Lustre jobs\n"
+               "  --ec-frac=F                     cluster: fraction of erasure-coded\n"
+               "                                  UniviStor jobs in the sampled mix\n"
                "  --bb-mb=N                       cluster: BB capacity per BB node in MiB\n"
                "                                  (default 64 — small, so BB binds)\n"
                "  --osts=N                        cluster: PFS OSTs (default 4 — few, so\n"
@@ -164,6 +177,48 @@ bool ParseFlag(const char* arg, const char* name, std::string* out) {
   return false;
 }
 
+/// Parses the --ec "K+M" shard spec (K data, M parity, both >= 1).
+bool ParseEcSpec(const std::string& spec, int* k, int* m) {
+  const std::size_t plus = spec.find('+');
+  if (plus == std::string::npos || plus == 0 || plus + 1 >= spec.size()) return false;
+  *k = std::atoi(spec.substr(0, plus).c_str());
+  *m = std::atoi(spec.substr(plus + 1).c_str());
+  return *k >= 1 && *m >= 1;
+}
+
+double ScrubInterval(const Args& args) {
+  return args.scrub_interval >= 0 ? args.scrub_interval
+                                  : univistor::Config::EcConfig{}.scrub_stripe_interval;
+}
+
+/// Routes the EC plan events (ostfail/latent/scrub) into the shared PFS.
+void WireEcFaults(fault::Injector& injector, workload::Scenario& scenario, bool recover,
+                  double interval) {
+  storage::Pfs* pfs = &scenario.pfs();
+  sim::Engine* engine = &scenario.engine();
+  injector.AddOstFailHandler([pfs, engine, recover](int ost) {
+    pfs->FailOst(ost);
+    if (recover) engine->Spawn(pfs->RebuildOst(ost), "ec-rebuild");
+  });
+  injector.AddLatentHandler([pfs](int ost) { pfs->InjectLatentError(ost); });
+  injector.AddScrubHandler(
+      [pfs, engine, interval] { engine->Spawn(pfs->ScrubPass(interval), "ec-scrub"); });
+}
+
+void PrintEcStats(const storage::Pfs& pfs) {
+  const auto& e = pfs.ec_stats();
+  std::printf("ec: rmw %llu stripes (%s read, %s parity) | degraded %llu reads (%s) | "
+              "rebuilt %s | scrub %llu passes, %llu stripes, %llu repairs | lost %s\n",
+              static_cast<unsigned long long>(e.rmw_stripes),
+              HumanBytes(e.rmw_read_bytes).c_str(), HumanBytes(e.parity_bytes).c_str(),
+              static_cast<unsigned long long>(e.degraded_reads),
+              HumanBytes(e.degraded_read_bytes).c_str(), HumanBytes(e.rebuilt_bytes).c_str(),
+              static_cast<unsigned long long>(e.scrub_passes),
+              static_cast<unsigned long long>(e.scrub_stripes),
+              static_cast<unsigned long long>(e.scrub_repairs),
+              HumanBytes(e.lost_bytes).c_str());
+}
+
 Args Parse(int argc, char** argv) {
   Args args;
   std::string value;
@@ -176,6 +231,12 @@ Args Parse(int argc, char** argv) {
     else if (ParseFlag(arg, "--mb", &value)) args.mb = std::atoi(value.c_str());
     else if (ParseFlag(arg, "--steps", &value)) args.steps = std::atoi(value.c_str());
     else if (ParseFlag(arg, "--faults", &value)) args.faults = value;
+    else if (ParseFlag(arg, "--ec", &value)) args.ec = value;
+    else if (std::strcmp(arg, "--scrub") == 0) args.scrub = true;
+    else if (ParseFlag(arg, "--scrub", &value)) {
+      args.scrub = true;
+      args.scrub_interval = std::atof(value.c_str());
+    }
     else if (std::strcmp(arg, "--recover") == 0) args.recover = true;
     else if (ParseFlag(arg, "--trace", &value)) args.trace = value;
     else if (ParseFlag(arg, "--metrics", &value)) args.metrics = value;
@@ -200,6 +261,7 @@ Args Parse(int argc, char** argv) {
     else if (ParseFlag(arg, "--seed", &value)) args.seed = std::strtoull(value.c_str(), nullptr, 10);
     else if (std::strcmp(arg, "--bb-bound") == 0) args.bb_bound = true;
     else if (ParseFlag(arg, "--lustre-frac", &value)) args.lustre_frac = std::atof(value.c_str());
+    else if (ParseFlag(arg, "--ec-frac", &value)) args.ec_frac = std::atof(value.c_str());
     else if (ParseFlag(arg, "--bb-mb", &value)) args.bb_mb = std::atoi(value.c_str());
     else if (ParseFlag(arg, "--osts", &value)) args.osts = std::atoi(value.c_str());
     else if (ParseFlag(arg, "--ppn", &value)) args.ppn = std::atoi(value.c_str());
@@ -284,6 +346,7 @@ int RunCluster(const Args& args) {
     mix.mean_interarrival = args.interarrival;
     mix.bb_bound = args.bb_bound;
     mix.lustre_fraction = args.lustre_frac;
+    mix.ec_fraction = args.ec_frac;
     jobs = cluster::SampleJobMix(static_cast<std::uint64_t>(args.seed), mix);
   }
   if (jobs.empty()) {
@@ -299,6 +362,18 @@ int RunCluster(const Args& args) {
   // default chunk would make every per-rank BB log come out below one
   // chunk and silently drop the BB layer even under a full reservation.
   cluster_options.base_config.chunk_size = 1_MiB;
+  if (!args.ec.empty()) {
+    int k = 0, m = 0;
+    if (!ParseEcSpec(args.ec, &k, &m)) {
+      std::fprintf(stderr, "uvsim: --ec wants K+M with K,M >= 1, got %s\n", args.ec.c_str());
+      return 2;
+    }
+    // Every UniviStor job in the mix erasure-codes its PFS files; --ec-frac
+    // instead marks a sampled subset (with the 4+2 default shard counts).
+    cluster_options.base_config.ec.enabled = true;
+    cluster_options.base_config.ec.data_shards = k;
+    cluster_options.base_config.ec.parity_shards = m;
+  }
   // Telemetry is always-on whenever anything observes the run: --slo asks
   // for it explicitly, and a trace/metrics export should carry the
   // telemetry + slo blocks without extra flags.
@@ -331,6 +406,7 @@ int RunCluster(const Args& args) {
     }
     injector = std::make_unique<fault::Injector>(scenario.engine(), *plan);
     sim.AttachInjector(*injector);
+    WireEcFaults(*injector, scenario, args.recover, ScrubInterval(args));
     injector->Arm();
     std::printf("faults: %s\n", plan->ToString().c_str());
   }
@@ -342,6 +418,10 @@ int RunCluster(const Args& args) {
 
   sampler.Kick();
   sim.Run();
+  if (args.scrub && (!args.ec.empty() || args.ec_frac > 0)) {
+    scenario.engine().Spawn(scenario.pfs().ScrubPass(ScrubInterval(args)), "ec-scrub-final");
+    scenario.engine().Run();
+  }
 
   std::printf("%4s %-10s %-9s %5s %8s %9s %9s %8s %9s %10s\n", "job", "kind", "system",
               "procs", "arrival", "wait", "stretch", "bb", "drain-if", "lost");
@@ -361,6 +441,7 @@ int RunCluster(const Args& args) {
               HumanTime(summary.total_drain_interference).c_str(),
               HumanBytes(sim.peak_bb_reserved()).c_str(),
               HumanBytes(sim.bb_capacity()).c_str());
+  if (!args.ec.empty() || args.ec_frac > 0) PrintEcStats(scenario.pfs());
   if (args.slo && sim.telemetry_enabled()) {
     std::printf("%-16s %8s %9s %10s %10s %7s %9s\n", "slo (cluster)", "budget", "consumed",
                 "burn-fast", "burn-slow", "alerts", "verdict");
@@ -458,6 +539,10 @@ int RunCluster(const Args& args) {
 
 int Run(const Args& args) {
   if (args.cluster) return RunCluster(args);
+  if (!args.ec.empty() && args.system != "univistor") {
+    std::fprintf(stderr, "uvsim: --ec needs --system=univistor\n");
+    return 2;
+  }
   // The recorder outlives the scenario (spans are emitted from coroutine
   // frames destroyed during engine teardown).
   obs::Recorder recorder;
@@ -497,6 +582,16 @@ int Run(const Args& args) {
                                                       : hw::Layer::kDram;
     config.recovery.enabled = args.recover;
     if (args.recover) config.replicate_volatile = true;
+    if (!args.ec.empty()) {
+      int k = 0, m = 0;
+      if (!ParseEcSpec(args.ec, &k, &m)) {
+        std::fprintf(stderr, "uvsim: --ec wants K+M with K,M >= 1, got %s\n", args.ec.c_str());
+        return 2;
+      }
+      config.ec.enabled = true;
+      config.ec.data_shards = k;
+      config.ec.parity_shards = m;
+    }
     uvs_system = std::make_unique<univistor::UniviStor>(
         scenario.runtime(), scenario.pfs(), scenario.workflow(), config);
     uvs_driver = std::make_unique<univistor::UniviStorDriver>(*uvs_system);
@@ -535,6 +630,7 @@ int Run(const Args& args) {
       injector->SetCrashHandler([sys](int node) { sys->FailNode(node); });
       uvs_system->AttachFaults(injector.get());
     }
+    WireEcFaults(*injector, scenario, args.recover, ScrubInterval(args));
     injector->Arm();
     std::printf("faults: %s\n", plan->ToString().c_str());
   }
@@ -589,6 +685,11 @@ int Run(const Args& args) {
     return 2;
   }
 
+  if (args.scrub && !args.ec.empty()) {
+    scenario.engine().Spawn(scenario.pfs().ScrubPass(ScrubInterval(args)), "ec-scrub-final");
+    scenario.engine().Run();
+  }
+
   if (uvs_system != nullptr && uvs_system->flush_stats().flushes > 0) {
     const auto& f = uvs_system->flush_stats();
     std::printf("flush: %d flushes, %s, last took %s\n", f.flushes,
@@ -616,6 +717,7 @@ int Run(const Args& args) {
                 HumanBytes(uvs_system->safe_mode_bytes()).c_str(),
                 HumanBytes(uvs_system->lost_bytes()).c_str());
   }
+  if (!args.ec.empty()) PrintEcStats(scenario.pfs());
   std::printf("simulated %s in %llu events\n", HumanTime(scenario.engine().Now()).c_str(),
               static_cast<unsigned long long>(scenario.engine().processed_events()));
 
